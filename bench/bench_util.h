@@ -1,0 +1,27 @@
+// Shared helpers for the figure benches. Every bench prints self-describing
+// tab-separated rows: "<series>\t<x>\t<y>" (plus free-form "# ..." comment
+// lines), so each paper figure can be re-plotted straight from stdout.
+//
+// Scale: benches default to a reduced corpus / instance count so the whole
+// suite runs in minutes with the from-scratch simplex; set
+// LDR_BENCH_SCALE=full for the full 116-network corpus.
+#ifndef LDR_BENCH_BENCH_UTIL_H_
+#define LDR_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ldr::bench {
+
+// Progress notes go to stderr so stdout stays machine-readable.
+inline void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace ldr::bench
+
+#endif  // LDR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,27 @@
+// Paper Fig. 3: fraction of congested source-destination pairs under
+// delay-proportional shortest-path routing, vs the network's LLPD. Median
+// and 90th percentile across traffic-matrix instances (load 0.77 min-cut,
+// locality 1). High-LLPD networks concentrate traffic under SP.
+#include "bench/bench_util.h"
+#include "sim/corpus_runner.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 3: SP congestion vs LLPD\n");
+  std::printf("# rows: median|p90  <llpd>  <congested-fraction>   (one point per network)\n");
+  std::vector<Topology> corpus = BenchCorpus();
+  CorpusRunOptions opts;
+  opts.scheme_ids = {kSchemeSp};
+  opts.workload.num_instances = BenchFullScale() ? 10 : 3;
+  int idx = 0;
+  for (const Topology& t : corpus) {
+    bench::Note("fig03: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
+    TopologyRun run = RunTopology(t, opts);
+    if (run.schemes.empty()) continue;
+    const SchemeSeries& sp = run.schemes[0];
+    PrintSeriesRow("median", run.llpd, Median(sp.congested_fraction));
+    PrintSeriesRow("p90", run.llpd, Percentile(sp.congested_fraction, 90));
+  }
+  return 0;
+}

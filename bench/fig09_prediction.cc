@@ -1,0 +1,39 @@
+// Paper Fig. 9: CDF of measured/predicted mean bitrate under Algorithm 1,
+// across 40 synthetic one-hour backbone traces (the CAIDA stand-in; see
+// DESIGN.md). Constant traffic would sit at 1/1.1 = 0.91; the paper's
+// traces exceed the prediction only ~0.5% of the time and never by > 10%.
+#include "bench/bench_util.h"
+#include "traffic/predictor.h"
+#include "traffic/trace.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 9: CDF of measured/predicted mean rate (Algorithm 1)\n");
+  std::printf("# rows: ratio  <measured/predicted>  <cdf>\n");
+  Rng rng(90909);
+  EmpiricalCdf cdf;
+  size_t exceed = 0, total = 0;
+  const int kTraces = 40;
+  for (int i = 0; i < kTraces; ++i) {
+    TraceOptions opts;
+    opts.minutes = 60;
+    opts.mean_gbps = rng.Uniform(1.0, 3.0);  // CAIDA links ran 1-3 Gbps
+    opts.samples_per_sec = 10;
+    Rng trng = rng.Fork(static_cast<uint64_t>(i + 1));
+    std::vector<double> trace = SynthesizeTraceGbps(opts, &trng);
+    std::vector<double> means = PerMinuteMeans(trace, opts.samples_per_sec);
+    for (double r : PredictionRatios(means)) {
+      cdf.Add(r);
+      ++total;
+      if (r > 1.0) ++exceed;
+    }
+  }
+  PrintCdf("ratio", cdf, 80);
+  PrintSeriesRow("exceed-fraction", 0,
+                 static_cast<double>(exceed) / static_cast<double>(total));
+  bench::Note("fig09: %zu minutes, exceed fraction %.4f", total,
+              static_cast<double>(exceed) / static_cast<double>(total));
+  return 0;
+}

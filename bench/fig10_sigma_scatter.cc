@@ -1,0 +1,32 @@
+// Paper Fig. 10: scatter of the per-minute standard deviation of 1 ms rates
+// at minute t vs minute t+1, across traces. Points cluster on x = y: an
+// aggregate's sub-second variability is stable minute-to-minute, so a
+// controller can characterize it and predict statistical multiplexing.
+#include "bench/bench_util.h"
+#include "traffic/trace.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 10: sigma(t) vs sigma(t+1) of 1ms rates, one series per trace\n");
+  std::printf("# rows: trace<i>  <sigma_t>  <sigma_t+1>\n");
+  Rng rng(101010);
+  const int kTraces = 8;
+  for (int i = 0; i < kTraces; ++i) {
+    TraceOptions opts;
+    opts.minutes = 12;
+    opts.samples_per_sec = 1000;  // 1 ms bins
+    opts.mean_gbps = rng.Uniform(0.8, 3.0);
+    opts.burst_amplitude = rng.Uniform(0.1, 0.5);
+    Rng trng = rng.Fork(static_cast<uint64_t>(i + 1));
+    std::vector<double> trace = SynthesizeTraceGbps(opts, &trng);
+    std::vector<double> sigmas = PerMinuteStdDevs(trace, opts.samples_per_sec);
+    for (size_t t = 0; t + 1 < sigmas.size(); ++t) {
+      PrintSeriesRow("trace" + std::to_string(i), sigmas[t], sigmas[t + 1]);
+    }
+    bench::Note("fig10: trace %d sigma range [%.3f, %.3f]", i,
+                MinOf(sigmas), MaxOf(sigmas));
+  }
+  return 0;
+}

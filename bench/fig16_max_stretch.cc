@@ -1,0 +1,84 @@
+// Paper Fig. 16 (a-c): CDFs of the maximum path stretch per traffic matrix:
+// (a) networks with LLPD < 0.5, no headroom; (b) LLPD > 0.5, no headroom;
+// (c) LLPD > 0.5, 10% headroom. Where the paper's CDF fails to reach 1.0
+// the scheme could not fit the traffic; we print that as a separate
+// "fit:<scheme>" fraction per panel.
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sim/corpus_runner.h"
+#include "util/stats.h"
+
+namespace {
+
+struct Panel {
+  std::string name;
+  std::map<std::string, ldr::EmpiricalCdf> stretch;
+  std::map<std::string, std::pair<int, int>> fit;  // (feasible, total)
+};
+
+}  // namespace
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 16: max path stretch CDFs by LLPD group and headroom\n");
+  std::printf("# rows: <panel>:<scheme>  <max-stretch>  <cdf>  |  fit:<panel>:<scheme>  0  <fraction>\n");
+  std::vector<Topology> corpus = BenchCorpus();
+  Panel a{"low-llpd-h0", {}, {}};
+  Panel b{"high-llpd-h0", {}, {}};
+  Panel c{"high-llpd-h10", {}, {}};
+
+  CorpusRunOptions base;
+  base.workload.num_instances = BenchFullScale() ? 5 : 2;
+  int idx = 0;
+  for (const Topology& t : corpus) {
+    bench::Note("fig16: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
+    // No-headroom pass: B4, Optimal(=LDR h0), MinMax, MinMaxK10.
+    CorpusRunOptions h0 = base;
+    h0.scheme_ids = {kSchemeB4, kSchemeOptimal, kSchemeMinMax,
+                     kSchemeMinMaxK10};
+    TopologyRun run0 = RunTopology(t, h0);
+    if (run0.schemes.empty()) continue;
+    Panel& panel = run0.llpd < 0.5 ? a : b;
+    for (const SchemeSeries& s : run0.schemes) {
+      for (size_t i = 0; i < s.max_stretch.size(); ++i) {
+        auto& fit = panel.fit[s.scheme];
+        ++fit.second;
+        if (s.feasible[i]) {
+          ++fit.first;
+          panel.stretch[s.scheme].Add(s.max_stretch[i]);
+        }
+      }
+    }
+    // 10% headroom pass for the high-LLPD group only (panel c).
+    if (run0.llpd >= 0.5) {
+      CorpusRunOptions h10 = base;
+      h10.scheme_ids = {kSchemeB4Headroom, kSchemeLdr10, kSchemeMinMax,
+                        kSchemeMinMaxK10};
+      TopologyRun run1 = RunTopology(t, h10);
+      for (const SchemeSeries& s : run1.schemes) {
+        for (size_t i = 0; i < s.max_stretch.size(); ++i) {
+          auto& fit = c.fit[s.scheme];
+          ++fit.second;
+          if (s.feasible[i]) {
+            ++fit.first;
+            c.stretch[s.scheme].Add(s.max_stretch[i]);
+          }
+        }
+      }
+    }
+  }
+  for (Panel* panel : {&a, &b, &c}) {
+    for (auto& [scheme, cdf] : panel->stretch) {
+      PrintCdf(panel->name + ":" + scheme, cdf, 50);
+    }
+    for (auto& [scheme, fit] : panel->fit) {
+      PrintSeriesRow("fit:" + panel->name + ":" + scheme, 0,
+                     fit.second == 0 ? 0
+                                     : static_cast<double>(fit.first) /
+                                           static_cast<double>(fit.second));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Paper Fig. 17: median max flow stretch (log scale in the paper) as load
+// grows from 60% to 90% of min-max link utilization, on networks with
+// LLPD > 0.5. B4 degrades sharply at high load; LDR stays near 1; at low
+// load B4 is optimal and at high load MinMax converges to optimal.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/corpus_runner.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 17: median max stretch vs load, networks with LLPD > 0.5\n");
+  std::printf("# rows: <scheme>  <load-percent>  <median-max-stretch>\n");
+  std::vector<Topology> corpus = BenchCorpus();
+  const double loads[] = {0.60, 0.70, 0.77, 0.85, 0.90};
+  std::map<double, std::map<std::string, std::vector<double>>> samples;
+  int idx = 0;
+  for (const Topology& t : corpus) {
+    ++idx;
+    if (t.graph.NodeCount() > 64) continue;
+    double llpd = ComputeLlpd(t.graph);
+    if (llpd <= 0.5) continue;
+    bench::Note("fig17: %s (llpd %.2f, %d/%zu)", t.name.c_str(), llpd, idx,
+                corpus.size());
+    for (double load : loads) {
+      CorpusRunOptions opts;
+      opts.scheme_ids = {kSchemeB4, kSchemeOptimal, kSchemeMinMax,
+                         kSchemeMinMaxK10};
+      opts.workload.num_instances = BenchFullScale() ? 5 : 2;
+      opts.workload.target_utilization = load;
+      TopologyRun run = RunTopology(t, opts);
+      for (const SchemeSeries& s : run.schemes) {
+        std::string name = s.scheme == kSchemeOptimal ? "LDR" : s.scheme;
+        for (double ms : s.max_stretch) {
+          samples[load][name].push_back(ms);
+        }
+      }
+    }
+  }
+  for (const auto& [load, by_scheme] : samples) {
+    for (const auto& [scheme, xs] : by_scheme) {
+      PrintSeriesRow(scheme, load * 100, Median(xs));
+    }
+  }
+  return 0;
+}

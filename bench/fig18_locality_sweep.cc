@@ -1,0 +1,49 @@
+// Paper Fig. 18: median max flow stretch as traffic locality varies from 0
+// (long-haul heavy) to 2 (local heavy), on high-LLPD networks at load 0.77.
+// Low locality hurts B4 most (it congests the wide-area links first); all
+// schemes improve as locality rises; MinMax flattens past ~1.5.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/corpus_runner.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 18: median max stretch vs locality, networks with LLPD > 0.5\n");
+  std::printf("# rows: <scheme>  <locality>  <median-max-stretch>\n");
+  std::vector<Topology> corpus = BenchCorpus();
+  const double localities[] = {0.0, 0.5, 1.0, 1.5, 2.0};
+  std::map<double, std::map<std::string, std::vector<double>>> samples;
+  int idx = 0;
+  for (const Topology& t : corpus) {
+    ++idx;
+    if (t.graph.NodeCount() > 64) continue;
+    double llpd = ComputeLlpd(t.graph);
+    if (llpd <= 0.5) continue;
+    bench::Note("fig18: %s (llpd %.2f, %d/%zu)", t.name.c_str(), llpd, idx,
+                corpus.size());
+    for (double locality : localities) {
+      CorpusRunOptions opts;
+      opts.scheme_ids = {kSchemeB4, kSchemeOptimal, kSchemeMinMax,
+                         kSchemeMinMaxK10};
+      opts.workload.num_instances = BenchFullScale() ? 5 : 2;
+      opts.workload.locality = locality;
+      TopologyRun run = RunTopology(t, opts);
+      for (const SchemeSeries& s : run.schemes) {
+        std::string name = s.scheme == kSchemeOptimal ? "LDR" : s.scheme;
+        for (double ms : s.max_stretch) {
+          samples[locality][name].push_back(ms);
+        }
+      }
+    }
+  }
+  for (const auto& [locality, by_scheme] : samples) {
+    for (const auto& [scheme, xs] : by_scheme) {
+      PrintSeriesRow(scheme, locality, Median(xs));
+    }
+  }
+  return 0;
+}

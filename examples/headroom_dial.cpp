@@ -1,0 +1,64 @@
+// headroom_dial: §4 of the paper as an interactive-ish experiment.
+//
+// On the GTS-like network (high LLPD), sweeps the headroom dial from 0
+// (latency-optimal, busiest links near 100%) toward the MinMax extreme and
+// prints how latency stretch and the busiest link's utilization trade off.
+//
+//   ./headroom_dial [load]        (default 0.77 = paper's 1.3x growth slack)
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/shortest_path.h"
+#include "routing/lp_routing.h"
+#include "sim/evaluate.h"
+#include "sim/workload.h"
+#include "topology/zoo_corpus.h"
+#include "util/stats.h"
+
+using namespace ldr;
+
+int main(int argc, char** argv) {
+  double load = argc > 1 ? std::atof(argv[1]) : 0.77;
+  Topology gts = GtsLike();
+  KspCache cache(&gts.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 3;
+  wopts.target_utilization = load;
+  std::fprintf(stderr, "scaling 3 traffic matrices to %.0f%% min-max load...\n",
+               load * 100);
+  auto workloads = MakeScaledWorkloads(gts, &cache, wopts);
+  std::vector<double> apsp = AllPairsShortestDelay(gts.graph);
+
+  std::printf("%-10s %14s %14s %12s\n", "headroom", "median-stretch",
+              "max-link-util", "feasible");
+  for (double h : {0.0, 0.05, 0.10, 0.15, 0.23, 0.30, 0.40}) {
+    LatencyOptimalScheme scheme(&gts.graph, &cache, h);
+    std::vector<double> stretches, peak_utils;
+    int feasible = 0;
+    for (const auto& aggs : workloads) {
+      RoutingOutcome out = scheme.Route(aggs);
+      EvalResult e = Evaluate(gts.graph, aggs, out, apsp);
+      stretches.push_back(e.total_stretch);
+      peak_utils.push_back(MaxOf(e.link_utilization));
+      feasible += out.feasible ? 1 : 0;
+    }
+    std::printf("%-10.2f %14.4f %14.3f %9d/%zu\n", h, Median(stretches),
+                Median(peak_utils), feasible, workloads.size());
+  }
+
+  // The MinMax endpoint for comparison.
+  MinMaxScheme minmax(&gts.graph, &cache);
+  std::vector<double> stretches, peak_utils;
+  for (const auto& aggs : workloads) {
+    EvalResult e = Evaluate(gts.graph, aggs, minmax.Route(aggs), apsp);
+    stretches.push_back(e.total_stretch);
+    peak_utils.push_back(MaxOf(e.link_utilization));
+  }
+  std::printf("%-10s %14.4f %14.3f\n", "minmax", Median(stretches),
+              Median(peak_utils));
+  std::printf(
+      "\nReading: moderate headroom costs little latency even on a\n"
+      "path-diverse network; only near the MinMax extreme does delay climb\n"
+      "(paper Fig. 8).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the library in ~60 lines.
+//
+// Builds a small European backbone, measures its low-latency path diversity
+// (LLPD, §2 of the paper), and routes a set of traffic aggregates with the
+// latency-optimal LDR scheme, printing the chosen paths.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "graph/ksp.h"
+#include "graph/shortest_path.h"
+#include "metrics/llpd.h"
+#include "routing/lp_routing.h"
+#include "sim/evaluate.h"
+#include "topology/topology.h"
+
+using namespace ldr;
+
+int main() {
+  // A five-PoP topology with a diamond of 10G links. Delays come from the
+  // PoP coordinates (great-circle distance at 2/3 c).
+  Topology net;
+  net.name = "quickstart";
+  NodeId lon = net.AddPop("London", 51.5, -0.12);
+  NodeId par = net.AddPop("Paris", 48.85, 2.35);
+  NodeId ams = net.AddPop("Amsterdam", 52.37, 4.9);
+  NodeId fra = net.AddPop("Frankfurt", 50.11, 8.68);
+  NodeId zrh = net.AddPop("Zurich", 47.37, 8.54);
+  net.AddCable(lon, par, 10);
+  net.AddCable(lon, ams, 10);
+  net.AddCable(par, fra, 10);
+  net.AddCable(ams, fra, 10);
+  net.AddCable(par, zrh, 10);
+  net.AddCable(fra, zrh, 10);
+
+  std::printf("topology: %s (%zu PoPs, %zu directed links)\n",
+              net.name.c_str(), net.graph.NodeCount(), net.graph.LinkCount());
+  std::printf("LLPD = %.3f  (fraction of PoP pairs whose shortest-path links\n"
+              "               can mostly be routed around within 1.4x delay)\n",
+              ComputeLlpd(net.graph));
+
+  // Traffic: London->Zurich wants 14 Gbps; Paris->Frankfurt wants 6 Gbps.
+  std::vector<Aggregate> traffic;
+  traffic.push_back({lon, zrh, 14.0, 140});
+  traffic.push_back({par, fra, 6.0, 60});
+
+  // Route with the latency-optimal LP (Fig. 12/13 of the paper); a 10%
+  // headroom would be LatencyOptimalScheme(&graph, &cache, 0.10).
+  KspCache cache(&net.graph);
+  LatencyOptimalScheme ldr(&net.graph, &cache);
+  RoutingOutcome outcome = ldr.Route(traffic);
+
+  std::printf("\nplacement (%s, %d LP rounds, %.1f ms):\n",
+              outcome.feasible ? "congestion-free" : "OVERLOADED",
+              outcome.lp_rounds, outcome.solve_ms);
+  for (size_t a = 0; a < traffic.size(); ++a) {
+    std::printf("  %s -> %s, %.1f Gbps:\n",
+                net.graph.node_name(traffic[a].src).c_str(),
+                net.graph.node_name(traffic[a].dst).c_str(),
+                traffic[a].demand_gbps);
+    for (const PathAllocation& pa : outcome.allocations[a]) {
+      std::printf("    %5.1f%%  %-40s  %.2f ms\n", pa.fraction * 100,
+                  pa.path.ToString(net.graph).c_str(),
+                  pa.path.DelayMs(net.graph));
+    }
+  }
+
+  std::vector<double> apsp = AllPairsShortestDelay(net.graph);
+  EvalResult eval = Evaluate(net.graph, traffic, outcome, apsp);
+  std::printf("\ncongested pairs: %.0f%%   total latency stretch: %.3f\n",
+              eval.congested_fraction * 100, eval.total_stretch);
+  return 0;
+}

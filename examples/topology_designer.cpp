@@ -1,0 +1,76 @@
+// topology_designer: §8 / Fig. 20 as a planning tool.
+//
+// Takes a network that is hard to route with low latency (a wide ring),
+// greedily adds links that maximize LLPD gain, and shows how much each
+// routing scheme benefits — demonstrating the paper's conjecture that the
+// routing system determines which topology upgrades pay off.
+//
+//   ./topology_designer [ring-size]       (default 14)
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/ksp.h"
+#include "sim/corpus_runner.h"
+#include "sim/workload.h"
+#include "sim/growth.h"
+#include "topology/generators.h"
+#include "util/stats.h"
+
+using namespace ldr;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 14;
+  Rng rng(31337);
+  Topology net = MakeRing("wide-ring", n, EuropeRegion(), &rng,
+                          {100, 100, 0.0});
+
+  CorpusRunOptions eval;
+  eval.scheme_ids = {kSchemeOptimal, kSchemeB4, kSchemeMinMax,
+                     kSchemeMinMaxK10};
+  eval.workload.num_instances = 3;
+  eval.workload.target_utilization = 0.9;  // pressure: detours become necessary
+
+  // Route the SAME traffic before and after growth.
+  KspCache cache(&net.graph);
+  auto workloads = MakeScaledWorkloads(net, &cache, eval.workload);
+  std::fprintf(stderr, "evaluating the original ring...\n");
+  TopologyRun before = RunTopologyOnWorkloads(net, workloads, eval);
+  std::printf("before: LLPD %.3f\n", before.llpd);
+  for (const SchemeSeries& s : before.schemes) {
+    std::printf("  %-10s median stretch %.4f\n", s.scheme.c_str(),
+                Median(s.total_stretch));
+  }
+
+  GrowthOptions gopts;
+  gopts.link_fraction = 0.15;  // a ring needs more than 5% to transform
+  std::fprintf(stderr, "adding links by greedy LLPD gain...\n");
+  std::vector<GrowthStep> steps = GreedyLlpdAugment(&net, gopts, &rng);
+  for (const GrowthStep& s : steps) {
+    std::printf("added %s - %s: LLPD %.3f -> %.3f\n",
+                net.graph.node_name(s.a).c_str(),
+                net.graph.node_name(s.b).c_str(), s.llpd_before,
+                s.llpd_after);
+  }
+
+  std::fprintf(stderr, "evaluating the grown topology...\n");
+  TopologyRun after = RunTopologyOnWorkloads(net, workloads, eval);
+  std::printf("after: LLPD %.3f\n", after.llpd);
+  for (size_t i = 0; i < after.schemes.size(); ++i) {
+    double pre = Median(before.schemes[i].total_stretch);
+    double post = Median(after.schemes[i].total_stretch);
+    // Stretch is relative to the *new* shortest paths (which the added
+    // links shorten), so also report the absolute delay ratio.
+    double delay_ratio = Median(after.schemes[i].weighted_delay_ms) /
+                         Median(before.schemes[i].weighted_delay_ms);
+    std::printf("  %-10s median stretch %.4f -> %.4f, absolute delay x%.4f (%s)\n",
+                after.schemes[i].scheme.c_str(), pre, post, delay_ratio,
+                delay_ratio < 1 - 1e-4   ? "improved"
+                : delay_ratio > 1 + 1e-4 ? "WORSE"
+                                         : "unchanged");
+  }
+  std::printf(
+      "\nReading: an ISP whose routing cannot exploit the added diversity\n"
+      "sees little or negative benefit; LDR converts it into latency wins\n"
+      "(paper Fig. 20).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// traffic_study: the full LDR controller loop (paper Figs. 11 and 14) on
+// synthetic measured traffic.
+//
+// Synthesizes per-aggregate rate histories (some smooth, some bursty),
+// predicts next-minute means with Algorithm 1, finds the latency-optimal
+// placement, checks statistical multiplexing per link (temporal + FFT
+// convolution), and scales up the demand estimates of badly-multiplexing
+// aggregates until every link passes.
+//
+//   ./traffic_study [burstiness]      (default 0.5)
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/shortest_path.h"
+#include "routing/ldr_controller.h"
+#include "sim/evaluate.h"
+#include "sim/workload.h"
+#include "topology/zoo_corpus.h"
+#include "traffic/trace.h"
+#include "util/random.h"
+
+using namespace ldr;
+
+int main(int argc, char** argv) {
+  double burstiness = argc > 1 ? std::atof(argv[1]) : 0.3;
+  Topology gts = GtsLike();
+  KspCache cache(&gts.graph);
+
+  // A scaled workload defines which aggregates exist and their rough size;
+  // the controller itself will ignore demand_gbps and work from traces.
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  wopts.target_utilization = 0.7;
+  std::vector<Aggregate> aggs = MakeScaledWorkloads(gts, &cache, wopts)[0];
+  std::fprintf(stderr, "%zu aggregates on %s\n", aggs.size(),
+               gts.name.c_str());
+
+  // Two minutes of 100 ms measurements per aggregate; even-indexed
+  // aggregates are smooth, odd ones bursty.
+  Rng rng(777);
+  std::vector<std::vector<double>> history(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    TraceOptions topts;
+    topts.minutes = 2;
+    topts.mean_gbps = aggs[a].demand_gbps;
+    topts.burst_amplitude = (a % 2 == 0) ? 0.05 : burstiness;
+    Rng trng = rng.Fork(a + 1);
+    history[a] = SynthesizeTraceGbps(topts, &trng);
+  }
+
+  LdrControllerOptions opts;
+  LdrControllerResult result =
+      RunLdrController(gts.graph, aggs, history, &cache, opts);
+
+  std::printf("controller finished in %d round(s); multiplexing %s\n",
+              result.rounds, result.multiplex_ok ? "OK" : "NOT satisfied");
+  std::printf("links failing in final round: %zu\n",
+              result.failing_links_last_round);
+
+  // How much headroom did the controller add, and to whom?
+  double scaled_up = 0;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    auto minutes = PerMinuteMeans(history[a], 10.0);
+    double last_mean = minutes.empty() ? 0 : minutes.back();
+    if (last_mean > 0 &&
+        result.demand_estimate_gbps[a] > last_mean * 1.1 * 1.05) {
+      ++scaled_up;
+    }
+  }
+  std::printf("aggregates whose Ba was scaled beyond the 10%% hedge: %.0f/%zu\n",
+              scaled_up, aggs.size());
+
+  std::vector<double> apsp = AllPairsShortestDelay(gts.graph);
+  EvalResult eval = Evaluate(gts.graph, aggs, result.outcome, apsp);
+  std::printf("placement: %.1f%% pairs congested, stretch %.4f\n",
+              eval.congested_fraction * 100, eval.total_stretch);
+  return 0;
+}

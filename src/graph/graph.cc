@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace ldr {
+
+NodeId Graph::AddNode(std::string name) {
+  node_names_.push_back(std::move(name));
+  out_links_.emplace_back();
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+LinkId Graph::AddLink(NodeId src, NodeId dst, double delay_ms,
+                      double capacity_gbps) {
+  Link l;
+  l.src = src;
+  l.dst = dst;
+  l.delay_ms = delay_ms;
+  l.capacity_gbps = capacity_gbps;
+  links_.push_back(l);
+  LinkId id = static_cast<LinkId>(links_.size() - 1);
+  out_links_[static_cast<size_t>(src)].push_back(id);
+  return id;
+}
+
+LinkId Graph::AddBidiLink(NodeId a, NodeId b, double delay_ms,
+                          double capacity_gbps) {
+  LinkId fwd = AddLink(a, b, delay_ms, capacity_gbps);
+  AddLink(b, a, delay_ms, capacity_gbps);
+  return fwd;
+}
+
+NodeId Graph::FindNode(const std::string& name) const {
+  for (size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+LinkId Graph::ReverseLink(LinkId id) const {
+  const Link& l = link(id);
+  for (LinkId cand : out_links_[static_cast<size_t>(l.dst)]) {
+    if (link(cand).dst == l.src) return cand;
+  }
+  return kInvalidLink;
+}
+
+bool Graph::HasLink(NodeId src, NodeId dst) const {
+  for (LinkId cand : out_links_[static_cast<size_t>(src)]) {
+    if (link(cand).dst == dst) return true;
+  }
+  return false;
+}
+
+double Path::DelayMs(const Graph& g) const {
+  double d = 0;
+  for (LinkId id : links_) d += g.link(id).delay_ms;
+  return d;
+}
+
+double Path::BottleneckGbps(const Graph& g) const {
+  double b = 1e300;
+  for (LinkId id : links_) b = std::min(b, g.link(id).capacity_gbps);
+  return links_.empty() ? 0 : b;
+}
+
+std::vector<NodeId> Path::Nodes(const Graph& g) const {
+  std::vector<NodeId> nodes;
+  if (links_.empty()) return nodes;
+  nodes.reserve(links_.size() + 1);
+  nodes.push_back(g.link(links_[0]).src);
+  for (LinkId id : links_) nodes.push_back(g.link(id).dst);
+  return nodes;
+}
+
+bool Path::ContainsLink(LinkId id) const {
+  return std::find(links_.begin(), links_.end(), id) != links_.end();
+}
+
+bool Path::ContainsNode(const Graph& g, NodeId id) const {
+  for (NodeId n : Nodes(g)) {
+    if (n == id) return true;
+  }
+  return false;
+}
+
+std::string Path::ToString(const Graph& g) const {
+  if (links_.empty()) return "(empty)";
+  std::string out = g.node_name(g.link(links_[0]).src);
+  for (LinkId id : links_) {
+    out += "->";
+    out += g.node_name(g.link(id).dst);
+  }
+  return out;
+}
+
+}  // namespace ldr

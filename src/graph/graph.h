@@ -1,0 +1,117 @@
+// Directed multigraph model of a WAN backbone.
+//
+// Nodes are PoPs; links are unidirectional (a physical cable is modelled as
+// two directed links, as in the paper's Fig. 5 discussion where the eastbound
+// and westbound directions of one cable fill independently). Each link
+// carries a propagation delay in milliseconds and a capacity in Gbps.
+#ifndef LDR_GRAPH_GRAPH_H_
+#define LDR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldr {
+
+using NodeId = int32_t;
+using LinkId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double delay_ms = 0;
+  double capacity_gbps = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Adds a node and returns its id (ids are dense, starting at 0).
+  NodeId AddNode(std::string name);
+
+  // Adds a directed link; returns its id (dense, starting at 0).
+  LinkId AddLink(NodeId src, NodeId dst, double delay_ms, double capacity_gbps);
+
+  // Adds both directions with identical delay/capacity; returns the id of the
+  // forward link (the reverse link has id forward+1).
+  LinkId AddBidiLink(NodeId a, NodeId b, double delay_ms, double capacity_gbps);
+
+  size_t NodeCount() const { return node_names_.size(); }
+  size_t LinkCount() const { return links_.size(); }
+
+  const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
+  const std::string& node_name(NodeId id) const {
+    return node_names_[static_cast<size_t>(id)];
+  }
+  // Returns kInvalidNode if no node has this name.
+  NodeId FindNode(const std::string& name) const;
+
+  // Outgoing link ids of `node`.
+  const std::vector<LinkId>& OutLinks(NodeId node) const {
+    return out_links_[static_cast<size_t>(node)];
+  }
+
+  // The opposite-direction link (same endpoints, swapped), or kInvalidLink.
+  // When several exist, the first added is returned.
+  LinkId ReverseLink(LinkId id) const;
+
+  // True if a link src->dst exists.
+  bool HasLink(NodeId src, NodeId dst) const;
+
+  // Mutators used by topology evolution experiments (§8 / Fig. 20).
+  void SetCapacity(LinkId id, double capacity_gbps) {
+    links_[static_cast<size_t>(id)].capacity_gbps = capacity_gbps;
+  }
+  void SetDelay(LinkId id, double delay_ms) {
+    links_[static_cast<size_t>(id)].delay_ms = delay_ms;
+  }
+
+  const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+// An explicit path: an ordered list of link ids, where link i's dst is
+// link i+1's src. An empty path is valid only as "no path".
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<LinkId> links) : links_(std::move(links)) {}
+
+  const std::vector<LinkId>& links() const { return links_; }
+  bool empty() const { return links_.empty(); }
+  size_t hop_count() const { return links_.size(); }
+
+  // Sum of link delays.
+  double DelayMs(const Graph& g) const;
+
+  // Minimum link capacity along the path (the bottleneck).
+  double BottleneckGbps(const Graph& g) const;
+
+  // Node sequence src..dst (hop_count()+1 nodes). Empty for the empty path.
+  std::vector<NodeId> Nodes(const Graph& g) const;
+
+  bool ContainsLink(LinkId id) const;
+  bool ContainsNode(const Graph& g, NodeId id) const;
+
+  // "A->B->C" using node names; for logs and examples.
+  std::string ToString(const Graph& g) const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.links_ == b.links_;
+  }
+
+ private:
+  std::vector<LinkId> links_;
+};
+
+}  // namespace ldr
+
+#endif  // LDR_GRAPH_GRAPH_H_

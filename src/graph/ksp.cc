@@ -1,0 +1,121 @@
+#include "graph/ksp.h"
+
+#include <algorithm>
+
+namespace ldr {
+
+KspGenerator::KspGenerator(const Graph* g, NodeId src, NodeId dst,
+                           ExclusionSet excl)
+    : g_(g), src_(src), dst_(dst), base_excl_(std::move(excl)) {
+  std::optional<Path> sp = ShortestPath(*g_, src_, dst_, base_excl_);
+  if (sp.has_value() && !sp->empty()) {
+    seen_.insert(sp->links());
+    produced_.push_back(std::move(*sp));
+  } else {
+    exhausted_ = true;
+  }
+}
+
+const Path* KspGenerator::Get(size_t k) {
+  while (produced_.size() <= k) {
+    if (!ProduceNext()) return nullptr;
+  }
+  return &produced_[k];
+}
+
+void KspGenerator::GenerateCandidatesFromLast() {
+  const Path& prev = produced_.back();
+  const std::vector<LinkId>& prev_links = prev.links();
+  std::vector<NodeId> prev_nodes = prev.Nodes(*g_);
+
+  ExclusionSet excl = base_excl_;
+  if (excl.links.empty()) excl.links.assign(g_->LinkCount(), false);
+  if (excl.nodes.empty()) excl.nodes.assign(g_->NodeCount(), false);
+
+  // Root path delay accumulator.
+  double root_delay = 0;
+  for (size_t i = 0; i < prev_links.size(); ++i) {
+    NodeId spur_node = prev_nodes[i];
+
+    // Exclude links that would retrace any already-produced path sharing the
+    // same root (standard Yen rule).
+    std::vector<LinkId> removed_links;
+    std::vector<LinkId> root(prev_links.begin(),
+                             prev_links.begin() + static_cast<long>(i));
+    for (const Path& p : produced_) {
+      const auto& pl = p.links();
+      if (pl.size() >= i &&
+          std::equal(root.begin(), root.end(), pl.begin())) {
+        if (pl.size() > i && !excl.links[static_cast<size_t>(pl[i])]) {
+          excl.links[static_cast<size_t>(pl[i])] = true;
+          removed_links.push_back(pl[i]);
+        }
+      }
+    }
+    // Exclude root nodes (all nodes before the spur node) to keep paths
+    // simple.
+    std::vector<NodeId> removed_nodes;
+    for (size_t j = 0; j < i; ++j) {
+      if (!excl.nodes[static_cast<size_t>(prev_nodes[j])]) {
+        excl.nodes[static_cast<size_t>(prev_nodes[j])] = true;
+        removed_nodes.push_back(prev_nodes[j]);
+      }
+    }
+
+    std::optional<Path> spur = ShortestPath(*g_, spur_node, dst_, excl);
+    if (spur.has_value() && !spur->empty()) {
+      std::vector<LinkId> total = root;
+      total.insert(total.end(), spur->links().begin(), spur->links().end());
+      if (seen_.insert(total).second) {
+        Candidate c;
+        c.delay_ms = root_delay + spur->DelayMs(*g_);
+        c.links = std::move(total);
+        candidates_.insert(std::move(c));
+      }
+    }
+
+    // Restore exclusions for the next spur position.
+    for (LinkId lid : removed_links) excl.links[static_cast<size_t>(lid)] = false;
+    for (NodeId nid : removed_nodes) excl.nodes[static_cast<size_t>(nid)] = false;
+
+    root_delay += g_->link(prev_links[i]).delay_ms;
+  }
+}
+
+bool KspGenerator::ProduceNext() {
+  if (produced_.empty()) return false;  // never had a shortest path
+  GenerateCandidatesFromLast();
+  if (candidates_.empty()) {
+    exhausted_ = true;
+    return false;
+  }
+  auto it = candidates_.begin();
+  produced_.push_back(Path(it->links));
+  candidates_.erase(it);
+  return true;
+}
+
+KspGenerator* KspCache::Get(NodeId src, NodeId dst) {
+  auto key = std::make_pair(src, dst);
+  auto it = generators_.find(key);
+  if (it == generators_.end()) {
+    it = generators_
+             .emplace(key, std::make_unique<KspGenerator>(g_, src, dst))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
+                                 size_t k, const ExclusionSet& excl) {
+  KspGenerator gen(&g, src, dst, excl);
+  std::vector<Path> out;
+  for (size_t i = 0; i < k; ++i) {
+    const Path* p = gen.Get(i);
+    if (p == nullptr) break;
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace ldr

@@ -1,0 +1,93 @@
+// Incremental K-shortest simple paths (Yen's algorithm).
+//
+// The paper's LDR scheme grows each aggregate's candidate path list lazily
+// ("we associate each aggregate with the list of its k shortest paths, where
+// initially k = 1", Fig. 13) and notes that the KSP computation — not the LP
+// — is the bottleneck, "the results of which can be readily cached" (§5).
+// KspGenerator is exactly that: it produces the k-th shortest path on demand
+// and memoizes all previously produced paths and candidates, so asking for
+// path k after path k-1 is cheap. KspCache keys generators by (src, dst).
+#ifndef LDR_GRAPH_KSP_H_
+#define LDR_GRAPH_KSP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace ldr {
+
+class KspGenerator {
+ public:
+  // The graph must outlive the generator. An optional exclusion set
+  // restricts the universe of usable links (used by the APA metric to ask
+  // for alternates that avoid a congested link).
+  KspGenerator(const Graph* g, NodeId src, NodeId dst,
+               ExclusionSet excl = {});
+
+  // Returns the k-th (0-based) shortest simple path, or nullptr if fewer
+  // than k+1 simple paths exist. Paths are produced in non-decreasing delay
+  // order. Pointers remain valid for the generator's lifetime.
+  const Path* Get(size_t k);
+
+  // Number of paths produced so far.
+  size_t ProducedCount() const { return produced_.size(); }
+
+  // True once the path space is known to be exhausted.
+  bool Exhausted() const { return exhausted_ && candidates_.empty(); }
+
+ private:
+  struct Candidate {
+    double delay_ms;
+    std::vector<LinkId> links;
+    bool operator<(const Candidate& o) const {
+      if (delay_ms != o.delay_ms) return delay_ms < o.delay_ms;
+      return links < o.links;
+    }
+  };
+
+  // Generates candidates spurred from the most recent produced path.
+  void GenerateCandidatesFromLast();
+  bool ProduceNext();
+
+  const Graph* g_;
+  NodeId src_;
+  NodeId dst_;
+  ExclusionSet base_excl_;
+  std::deque<Path> produced_;  // deque: stable element addresses across growth
+  std::set<Candidate> candidates_;       // ordered; also deduplicates
+  std::set<std::vector<LinkId>> seen_;   // all produced + candidate link seqs
+  bool exhausted_ = false;
+};
+
+// Cache of generators per (src, dst) pair over one graph. Used by LDR so
+// repeated optimizations on the same topology pay the Yen cost only once
+// (the "LDR" vs "LDR (cold cache)" distinction of Fig. 15).
+class KspCache {
+ public:
+  explicit KspCache(const Graph* g) : g_(g) {}
+
+  KspGenerator* Get(NodeId src, NodeId dst);
+
+  void Clear() { generators_.clear(); }
+  size_t size() const { return generators_.size(); }
+
+ private:
+  const Graph* g_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<KspGenerator>>
+      generators_;
+};
+
+// Convenience: first k shortest simple paths (possibly fewer).
+std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
+                                 size_t k, const ExclusionSet& excl = {});
+
+}  // namespace ldr
+
+#endif  // LDR_GRAPH_KSP_H_

@@ -1,0 +1,115 @@
+#include "graph/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ldr {
+
+namespace {
+
+// Compact residual-graph implementation of Dinic's algorithm.
+class Dinic {
+ public:
+  explicit Dinic(size_t node_count) : head_(node_count, -1) {}
+
+  void AddEdge(int u, int v, double cap) {
+    edges_.push_back({v, head_[static_cast<size_t>(u)], cap});
+    head_[static_cast<size_t>(u)] = static_cast<int>(edges_.size() - 1);
+    edges_.push_back({u, head_[static_cast<size_t>(v)], 0.0});
+    head_[static_cast<size_t>(v)] = static_cast<int>(edges_.size() - 1);
+  }
+
+  double Run(int s, int t) {
+    double flow = 0;
+    while (Bfs(s, t)) {
+      iter_ = head_;
+      double f;
+      while ((f = Dfs(s, t, std::numeric_limits<double>::infinity())) > 1e-12) {
+        flow += f;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    double cap;
+  };
+
+  bool Bfs(int s, int t) {
+    level_.assign(head_.size(), -1);
+    std::queue<int> q;
+    level_[static_cast<size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (int e = head_[static_cast<size_t>(u)]; e != -1;
+           e = edges_[static_cast<size_t>(e)].next) {
+        const Edge& ed = edges_[static_cast<size_t>(e)];
+        if (ed.cap > 1e-12 && level_[static_cast<size_t>(ed.to)] == -1) {
+          level_[static_cast<size_t>(ed.to)] =
+              level_[static_cast<size_t>(u)] + 1;
+          q.push(ed.to);
+        }
+      }
+    }
+    return level_[static_cast<size_t>(t)] != -1;
+  }
+
+  double Dfs(int u, int t, double pushed) {
+    if (u == t) return pushed;
+    for (int& e = iter_[static_cast<size_t>(u)]; e != -1;
+         e = edges_[static_cast<size_t>(e)].next) {
+      Edge& ed = edges_[static_cast<size_t>(e)];
+      if (ed.cap > 1e-12 && level_[static_cast<size_t>(ed.to)] ==
+                                level_[static_cast<size_t>(u)] + 1) {
+        double f = Dfs(ed.to, t, std::min(pushed, ed.cap));
+        if (f > 1e-12) {
+          ed.cap -= f;
+          edges_[static_cast<size_t>(e ^ 1)].cap += f;
+          return f;
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> iter_;
+  std::vector<int> level_;
+};
+
+}  // namespace
+
+double MaxFlowGbps(const Graph& g, NodeId src, NodeId dst,
+                   const ExclusionSet& excl,
+                   const std::vector<LinkId>& allowed_links) {
+  if (src == dst) return 0;
+  Dinic dinic(g.NodeCount());
+  if (allowed_links.empty()) {
+    for (LinkId id = 0; id < static_cast<LinkId>(g.LinkCount()); ++id) {
+      if (excl.LinkExcluded(id)) continue;
+      const Link& l = g.link(id);
+      if (excl.NodeExcluded(l.src) || excl.NodeExcluded(l.dst)) continue;
+      dinic.AddEdge(l.src, l.dst, l.capacity_gbps);
+    }
+  } else {
+    // Deduplicate: the same link may appear in several overlapping paths but
+    // its capacity must be counted once.
+    std::vector<bool> used(g.LinkCount(), false);
+    for (LinkId id : allowed_links) {
+      if (used[static_cast<size_t>(id)] || excl.LinkExcluded(id)) continue;
+      used[static_cast<size_t>(id)] = true;
+      const Link& l = g.link(id);
+      dinic.AddEdge(l.src, l.dst, l.capacity_gbps);
+    }
+  }
+  return dinic.Run(src, dst);
+}
+
+}  // namespace ldr

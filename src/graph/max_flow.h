@@ -1,0 +1,26 @@
+// Dinic max-flow / min-cut over (a subgraph of) a Graph.
+//
+// Needed by the APA metric (§2): a set of alternate paths is a "viable
+// alternate" only if the min-cut of their union is at least the bottleneck
+// capacity of the shortest path. Also used to compute a topology's min-cut
+// between PoP pairs when scaling traffic matrices.
+#ifndef LDR_GRAPH_MAX_FLOW_H_
+#define LDR_GRAPH_MAX_FLOW_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace ldr {
+
+// Max flow src->dst using each link's capacity_gbps, restricted to links not
+// excluded by `excl`. If `allowed_links` is non-empty, only those links may
+// carry flow (used for path-union subgraphs).
+double MaxFlowGbps(const Graph& g, NodeId src, NodeId dst,
+                   const ExclusionSet& excl = {},
+                   const std::vector<LinkId>& allowed_links = {});
+
+}  // namespace ldr
+
+#endif  // LDR_GRAPH_MAX_FLOW_H_

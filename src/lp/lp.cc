@@ -1,0 +1,478 @@
+#include "lp/lp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace ldr::lp {
+
+std::string ToString(Status s) {
+  switch (s) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+    case Status::kIterLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+int Problem::AddVariable(double lo, double hi, double obj) {
+  obj_.push_back(obj);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  return static_cast<int>(obj_.size() - 1);
+}
+
+void Problem::AddRow(RowType type, double rhs,
+                     std::vector<std::pair<int, double>> coeffs) {
+  Row r;
+  r.type = type;
+  r.rhs = rhs;
+  r.coeffs = std::move(coeffs);
+  rows_.push_back(std::move(r));
+}
+
+namespace {
+
+enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+// Dense simplex working state. Columns: structural variables first, then one
+// slack per row. The tableau row-major matrix T always equals B^-1 * A.
+class Simplex {
+ public:
+  Simplex(const Problem& p, const SolveOptions& opt) : opt_(opt) {
+    m_ = p.RowCount();
+    size_t n_struct = p.VariableCount();
+    n_ = n_struct + m_;  // + slacks
+
+    lo_ = p.lower_bounds();
+    hi_ = p.upper_bounds();
+    cost_.assign(n_, 0.0);
+    for (size_t j = 0; j < n_struct; ++j) cost_[j] = p.objective()[j];
+
+    // Slack bounds encode the row type: ax + s = b.
+    for (const Row& row : p.rows()) {
+      switch (row.type) {
+        case RowType::kLe:
+          lo_.push_back(0);
+          hi_.push_back(kInfinity);
+          break;
+        case RowType::kGe:
+          lo_.push_back(-kInfinity);
+          hi_.push_back(0);
+          break;
+        case RowType::kEq:
+          lo_.push_back(0);
+          hi_.push_back(0);
+          break;
+      }
+    }
+
+    // Dense tableau.
+    t_.assign(m_ * n_, 0.0);
+    rhs_.assign(m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      const Row& row = p.rows()[i];
+      for (const auto& [var, coeff] : row.coeffs) {
+        t_[i * n_ + static_cast<size_t>(var)] += coeff;
+      }
+      t_[i * n_ + n_struct + i] = 1.0;  // slack
+      rhs_[i] = row.rhs;
+    }
+
+    // Initial point: nonbasic structural variables rest at their bound
+    // nearest zero (or 0 if free); slacks form the basis.
+    state_.assign(n_, VarState::kAtLower);
+    value_.assign(n_, 0.0);
+    for (size_t j = 0; j < n_; ++j) {
+      if (std::isfinite(lo_[j]) &&
+          (!std::isfinite(hi_[j]) || std::abs(lo_[j]) <= std::abs(hi_[j]))) {
+        state_[j] = VarState::kAtLower;
+        value_[j] = lo_[j];
+      } else if (std::isfinite(hi_[j])) {
+        state_[j] = VarState::kAtUpper;
+        value_[j] = hi_[j];
+      } else {
+        state_[j] = VarState::kFree;
+        value_[j] = 0.0;
+      }
+    }
+    basis_.resize(m_);
+    xb_.assign(m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      size_t sj = n_struct + i;
+      basis_[i] = static_cast<int>(sj);
+      state_[sj] = VarState::kBasic;
+      double v = rhs_[i];
+      for (const auto& [var, coeff] : p.rows()[i].coeffs) {
+        v -= coeff * value_[static_cast<size_t>(var)];
+      }
+      xb_[i] = v;
+    }
+  }
+
+  Solution Run(const Problem& p) {
+    Solution sol;
+    int limit = opt_.max_iters > 0
+                    ? opt_.max_iters
+                    : 200 + 40 * static_cast<int>(m_ + n_);
+
+    // Reject inconsistent bounds up-front.
+    for (size_t j = 0; j < n_; ++j) {
+      if (lo_[j] > hi_[j] + opt_.tol) {
+        sol.status = Status::kInfeasible;
+        return sol;
+      }
+    }
+
+    // Phase 1: drive bound violations of basic variables to zero.
+    int degenerate_run = 0;
+    while (iter_ < limit) {
+      if (!HasInfeasibleBasic()) break;
+      ComputePhase1Costs();
+      if (!Iterate(/*phase1=*/true, &degenerate_run)) {
+        sol.status = Status::kInfeasible;
+        sol.iterations = iter_;
+        return sol;
+      }
+    }
+    if (HasInfeasibleBasic()) {
+      sol.status = iter_ >= limit ? Status::kIterLimit : Status::kInfeasible;
+      sol.iterations = iter_;
+      return sol;
+    }
+
+    // Phase 2: optimize the real objective.
+    degenerate_run = 0;
+    while (iter_ < limit) {
+      ComputePhase2Costs();
+      int entering = ChooseEntering(degenerate_run >= kBlandThreshold);
+      if (entering < 0) {
+        sol.status = Status::kOptimal;
+        break;
+      }
+      StepResult r = Step(entering, /*phase1=*/false, &degenerate_run);
+      if (r == StepResult::kUnbounded) {
+        sol.status = Status::kUnbounded;
+        sol.iterations = iter_;
+        return sol;
+      }
+      // Feasibility must be preserved in phase 2; if numerics broke it,
+      // re-enter phase 1 rather than returning garbage.
+      if (HasInfeasibleBasic()) {
+        while (iter_ < limit && HasInfeasibleBasic()) {
+          ComputePhase1Costs();
+          if (!Iterate(true, &degenerate_run)) {
+            sol.status = Status::kInfeasible;
+            sol.iterations = iter_;
+            return sol;
+          }
+        }
+      }
+    }
+    if (iter_ >= limit && sol.status != Status::kOptimal) {
+      sol.status = Status::kIterLimit;
+      sol.iterations = iter_;
+      return sol;
+    }
+
+    // Extract solution for structural variables.
+    size_t n_struct = p.VariableCount();
+    sol.values.assign(n_struct, 0.0);
+    for (size_t j = 0; j < n_; ++j) {
+      if (state_[j] != VarState::kBasic && j < n_struct) {
+        sol.values[j] = value_[j];
+      }
+    }
+    for (size_t i = 0; i < m_; ++i) {
+      size_t b = static_cast<size_t>(basis_[i]);
+      if (b < n_struct) sol.values[b] = xb_[i];
+    }
+    sol.objective = 0;
+    for (size_t j = 0; j < n_struct; ++j) {
+      sol.objective += p.objective()[j] * sol.values[j];
+    }
+    sol.iterations = iter_;
+    return sol;
+  }
+
+ private:
+  static constexpr int kBlandThreshold = 60;
+
+  enum class StepResult { kPivoted, kBoundFlip, kUnbounded, kStuck };
+
+  // A basic variable counts as infeasible when it violates a bound by more
+  // than a relative tolerance. The same predicate drives the phase-1 loop
+  // condition and the phase-1 gradient, so the two can never disagree.
+  bool BasicViolated(size_t row) const {
+    size_t b = static_cast<size_t>(basis_[row]);
+    double t = opt_.tol * (1.0 + std::abs(xb_[row]));
+    return xb_[row] < lo_[b] - t || xb_[row] > hi_[b] + t;
+  }
+
+  bool HasInfeasibleBasic() const {
+    for (size_t i = 0; i < m_; ++i) {
+      if (BasicViolated(i)) return true;
+    }
+    return false;
+  }
+
+  // Phase-1 reduced costs: d_j = -sum_i grad_i * T[i][j], where grad is the
+  // subgradient of total infeasibility w.r.t. each basic value. A nonbasic
+  // variable improves infeasibility if moving up with d_j < 0 (at lower /
+  // free) or moving down with d_j > 0 (at upper / free).
+  void ComputePhase1Costs() {
+    d_.assign(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (!BasicViolated(i)) continue;
+      size_t b = static_cast<size_t>(basis_[i]);
+      double grad = xb_[i] < lo_[b] ? -1 : 1;
+      const double* row = &t_[i * n_];
+      for (size_t j = 0; j < n_; ++j) d_[j] -= grad * row[j];
+    }
+    // Basic columns must price at zero (numerical noise otherwise).
+    for (size_t i = 0; i < m_; ++i) d_[static_cast<size_t>(basis_[i])] = 0;
+  }
+
+  // Phase-2 reduced costs: d_j = c_j - c_B^T B^-1 A_j.
+  void ComputePhase2Costs() {
+    d_ = cost_;
+    for (size_t i = 0; i < m_; ++i) {
+      double cb = cost_[static_cast<size_t>(basis_[i])];
+      if (cb == 0) continue;
+      const double* row = &t_[i * n_];
+      for (size_t j = 0; j < n_; ++j) d_[j] -= cb * row[j];
+    }
+    for (size_t i = 0; i < m_; ++i) d_[static_cast<size_t>(basis_[i])] = 0;
+  }
+
+  // Picks an entering variable by Dantzig pricing (or Bland when asked).
+  // Returns -1 if no improving variable exists.
+  int ChooseEntering(bool bland) const {
+    int best = -1;
+    double best_score = opt_.tol;
+    for (size_t j = 0; j < n_; ++j) {
+      if (state_[j] == VarState::kBasic) continue;
+      if (lo_[j] == hi_[j]) continue;  // fixed variable can never move
+      double score = 0;
+      switch (state_[j]) {
+        case VarState::kAtLower:
+          score = -d_[j];
+          break;
+        case VarState::kAtUpper:
+          score = d_[j];
+          break;
+        case VarState::kFree:
+          score = std::abs(d_[j]);
+          break;
+        default:
+          break;
+      }
+      if (score > best_score) {
+        best = static_cast<int>(j);
+        best_score = score;
+        if (bland) return best;  // first eligible index
+      }
+    }
+    return best;
+  }
+
+  bool Iterate(bool phase1, int* degenerate_run) {
+    int entering = ChooseEntering(*degenerate_run >= kBlandThreshold);
+    if (entering < 0) return false;  // stuck while still infeasible
+    StepResult r = Step(entering, phase1, degenerate_run);
+    if (r == StepResult::kUnbounded || r == StepResult::kStuck) return false;
+    return true;
+  }
+
+  StepResult Step(int entering, bool phase1, int* degenerate_run) {
+    ++iter_;
+    size_t q = static_cast<size_t>(entering);
+    double dir;
+    switch (state_[q]) {
+      case VarState::kAtLower:
+        dir = 1;
+        break;
+      case VarState::kAtUpper:
+        dir = -1;
+        break;
+      case VarState::kFree:
+        dir = d_[q] < 0 ? 1 : -1;
+        break;
+      default:
+        return StepResult::kStuck;
+    }
+
+    // Ratio test: how far can the entering variable move?
+    double t_max = kInfinity;
+    int leave_row = -1;
+    double leave_bound = 0;  // bound the leaving variable lands on
+    double best_pivot = 0;
+    // Entering variable's own opposite bound.
+    double own_range =
+        (std::isfinite(lo_[q]) && std::isfinite(hi_[q])) ? hi_[q] - lo_[q]
+                                                         : kInfinity;
+    if (own_range < t_max) t_max = own_range;
+
+    for (size_t i = 0; i < m_; ++i) {
+      double alpha = t_[i * n_ + q];
+      if (std::abs(alpha) < 1e-10) continue;
+      double delta = -dir * alpha;  // basic value moves at this rate
+      size_t b = static_cast<size_t>(basis_[i]);
+      double t_block = kInfinity;
+      double bound = 0;
+      bool violated = phase1 && BasicViolated(i);
+      bool below = violated && xb_[i] < lo_[b];
+      bool above = violated && xb_[i] > hi_[b];
+      if (below) {
+        // Infeasible-below basic blocks only when rising to its lower bound.
+        if (delta > 0) {
+          t_block = (lo_[b] - xb_[i]) / delta;
+          bound = lo_[b];
+        }
+      } else if (above) {
+        if (delta < 0) {
+          t_block = (hi_[b] - xb_[i]) / delta;
+          bound = hi_[b];
+        }
+      } else {
+        if (delta < 0 && std::isfinite(lo_[b])) {
+          t_block = (lo_[b] - xb_[i]) / delta;
+          bound = lo_[b];
+        } else if (delta > 0 && std::isfinite(hi_[b])) {
+          t_block = (hi_[b] - xb_[i]) / delta;
+          bound = hi_[b];
+        }
+      }
+      if (t_block == kInfinity) continue;
+      t_block = std::max(t_block, 0.0);
+      // Harris-style tie handling: among near-minimal ratios prefer the
+      // largest pivot magnitude for stability.
+      if (t_block < t_max - 1e-9 ||
+          (t_block < t_max + 1e-9 && std::abs(alpha) > best_pivot)) {
+        t_max = std::min(t_max, t_block);
+        leave_row = static_cast<int>(i);
+        leave_bound = bound;
+        best_pivot = std::abs(alpha);
+      }
+    }
+
+    if (t_max == kInfinity) {
+      // In phase 1 an unbounded improving ray cannot happen (infeasibility
+      // is bounded below by 0); treat as stuck.
+      return phase1 ? StepResult::kStuck : StepResult::kUnbounded;
+    }
+
+    if (t_max <= 1e-12) {
+      ++*degenerate_run;
+    } else {
+      *degenerate_run = 0;
+    }
+
+    // Apply the move to all basic values.
+    for (size_t i = 0; i < m_; ++i) {
+      double alpha = t_[i * n_ + q];
+      if (alpha == 0) continue;
+      xb_[i] += -dir * alpha * t_max;
+    }
+    double new_q_value = value_[q] + dir * t_max;
+
+    if (leave_row < 0) {
+      // Bound flip: the entering variable traverses to its opposite bound.
+      value_[q] = new_q_value;
+      state_[q] = (dir > 0) ? VarState::kAtUpper : VarState::kAtLower;
+      return StepResult::kBoundFlip;
+    }
+
+    // Pivot: entering becomes basic in leave_row; leaving variable goes to
+    // the bound it hit.
+    size_t r = static_cast<size_t>(leave_row);
+    size_t leaving = static_cast<size_t>(basis_[r]);
+    double pivot = t_[r * n_ + q];
+    assert(std::abs(pivot) > 1e-12);
+
+    double* prow = &t_[r * n_];
+    double inv = 1.0 / pivot;
+    for (size_t j = 0; j < n_; ++j) prow[j] *= inv;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      double factor = t_[i * n_ + q];
+      if (factor == 0) continue;
+      double* row = &t_[i * n_];
+      for (size_t j = 0; j < n_; ++j) row[j] -= factor * prow[j];
+      t_[i * n_ + q] = 0;  // exact zero, kill residue
+    }
+
+    state_[leaving] = (leave_bound == lo_[leaving]) ? VarState::kAtLower
+                                                    : VarState::kAtUpper;
+    if (lo_[leaving] == hi_[leaving]) state_[leaving] = VarState::kAtLower;
+    value_[leaving] = leave_bound;
+    xb_[r] = new_q_value;
+    basis_[r] = entering;
+    state_[q] = VarState::kBasic;
+    return StepResult::kPivoted;
+  }
+
+  const SolveOptions opt_;
+  size_t m_ = 0;  // rows
+  size_t n_ = 0;  // all columns (structural + slack)
+  std::vector<double> t_;      // m x n tableau, row-major
+  std::vector<double> rhs_;
+  std::vector<double> cost_;   // phase-2 costs, all columns
+  std::vector<double> d_;      // current reduced costs
+  std::vector<double> lo_, hi_;
+  std::vector<double> value_;  // nonbasic variable values
+  std::vector<VarState> state_;
+  std::vector<int> basis_;     // variable index basic in each row
+  std::vector<double> xb_;     // basic variable values
+  int iter_ = 0;
+};
+
+}  // namespace
+
+Solution Solve(const Problem& problem, const SolveOptions& options) {
+  if (problem.RowCount() == 0) {
+    // Pure bound minimization: each variable sits at whichever finite bound
+    // minimizes its cost term.
+    Solution sol;
+    sol.values.assign(problem.VariableCount(), 0.0);
+    for (size_t j = 0; j < problem.VariableCount(); ++j) {
+      double c = problem.objective()[j];
+      double lo = problem.lower_bounds()[j];
+      double hi = problem.upper_bounds()[j];
+      double v;
+      if (c > 0) {
+        if (!std::isfinite(lo)) {
+          sol.status = Status::kUnbounded;
+          return sol;
+        }
+        v = lo;
+      } else if (c < 0) {
+        if (!std::isfinite(hi)) {
+          sol.status = Status::kUnbounded;
+          return sol;
+        }
+        v = hi;
+      } else {
+        v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0);
+      }
+      if (lo > hi) {
+        sol.status = Status::kInfeasible;
+        return sol;
+      }
+      sol.values[j] = v;
+      sol.objective += c * v;
+    }
+    sol.status = Status::kOptimal;
+    return sol;
+  }
+  Simplex simplex(problem, options);
+  return simplex.Run(problem);
+}
+
+}  // namespace ldr::lp

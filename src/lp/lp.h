@@ -1,0 +1,94 @@
+// A from-scratch linear-program solver.
+//
+// The paper relies on an LP solver in three places: the Fig. 12 latency
+// optimization at LDR's core, the MinMax traffic-engineering baselines, and
+// the locality extension of the gravity traffic-matrix model (§3, footnote
+// 3). No solver is available offline, so this module implements a dense
+// two-phase *bounded-variable* primal simplex:
+//
+//   minimize    c^T x
+//   subject to  row_i: a_i^T x (<= | >= | =) b_i     for each row
+//               lo_j <= x_j <= hi_j                  for each variable
+//
+// Bounds may be infinite on either side. Phase 1 uses the composite
+// (artificial-free) objective — the sum of bound violations of basic
+// variables — and phase 2 the real objective; both use Dantzig pricing with
+// a Bland's-rule fallback after a run of degenerate pivots, which guarantees
+// termination. The tableau is dense: problem sizes in this library are a few
+// hundred rows by a few thousand columns (the Fig. 13 iterative path growth
+// keeps LDR's LPs small by construction — that is the paper's point).
+#ifndef LDR_LP_LP_H_
+#define LDR_LP_LP_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ldr::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowType { kLe, kGe, kEq };
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+std::string ToString(Status s);
+
+// A sparse constraint row.
+struct Row {
+  RowType type = RowType::kLe;
+  double rhs = 0;
+  std::vector<std::pair<int, double>> coeffs;  // (variable index, coefficient)
+};
+
+// Incrementally built LP. Variables are referenced by the dense index that
+// AddVariable returns.
+class Problem {
+ public:
+  // Adds a variable with bounds [lo, hi] and objective coefficient `obj`
+  // (minimization). Returns the variable's index.
+  int AddVariable(double lo, double hi, double obj);
+
+  // Adds `delta` to an existing variable's objective coefficient.
+  void AddToObjective(int var, double delta) { obj_[static_cast<size_t>(var)] += delta; }
+
+  // Adds a constraint row; coefficients with repeated variable indices are
+  // summed.
+  void AddRow(RowType type, double rhs,
+              std::vector<std::pair<int, double>> coeffs);
+
+  size_t VariableCount() const { return obj_.size(); }
+  size_t RowCount() const { return rows_.size(); }
+
+  const std::vector<double>& objective() const { return obj_; }
+  const std::vector<double>& lower_bounds() const { return lo_; }
+  const std::vector<double>& upper_bounds() const { return hi_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<double> obj_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<Row> rows_;
+};
+
+struct SolveOptions {
+  double tol = 1e-7;
+  // 0 means automatic: 200 + 40 * (rows + variables).
+  int max_iters = 0;
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0;
+  std::vector<double> values;  // one per variable; empty unless optimal
+  int iterations = 0;
+
+  bool ok() const { return status == Status::kOptimal; }
+};
+
+Solution Solve(const Problem& problem, const SolveOptions& options = {});
+
+}  // namespace ldr::lp
+
+#endif  // LDR_LP_LP_H_

@@ -1,0 +1,59 @@
+// Alternate Path Availability (APA) and Low Latency Path Diversity (LLPD) —
+// the paper's §2 metric of a topology's routing- and traffic-agnostic
+// potential for congestion-free low-latency delivery.
+//
+// For each PoP pair, take the lowest-latency path (delay ds, bottleneck
+// capacity Bsp). For each link on that path, ask whether traffic could be
+// routed *around* it without excessive delay: enumerate alternate paths that
+// avoid the link in increasing delay order, keeping only those whose delay
+// is within `stretch_limit * ds`; progressively add the n cheapest until the
+// min-cut of their union reaches Bsp (capacity-aware viability — a 1 Gb/s
+// detour is no alternate for a 100 Gb/s path). The pair's APA is the
+// fraction of its shortest-path links that can be routed around this way.
+//
+//   LLPD = (# PoP pairs with APA >= apa_threshold) / (# PoP pairs)
+//
+// The paper uses stretch_limit = 1.4 and apa_threshold = 0.7 and notes the
+// rank ordering of networks is insensitive to the exact choice.
+#ifndef LDR_METRICS_LLPD_H_
+#define LDR_METRICS_LLPD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ldr {
+
+struct ApaOptions {
+  double stretch_limit = 1.4;
+  double apa_threshold = 0.7;
+  // Cap on how many alternate paths may be unioned to reach Bsp capacity.
+  size_t max_alternates = 6;
+};
+
+struct PairApa {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double apa = 0;  // in [0, 1]
+};
+
+// APA for every ordered PoP pair with a path between them. Pairs whose
+// shortest path has zero hops (src == dst) are skipped.
+std::vector<PairApa> ComputeApa(const Graph& g, const ApaOptions& opts = {});
+
+// LLPD from precomputed APA values.
+double LlpdFromApa(const std::vector<PairApa>& apa, double apa_threshold);
+
+// Convenience: full LLPD computation.
+double ComputeLlpd(const Graph& g, const ApaOptions& opts = {});
+
+// True if a single congested link `link` on the src->dst shortest path can
+// be routed around within the stretch limit (the per-link APA primitive;
+// exposed for tests and for the Fig. 20 link-addition search).
+bool CanRouteAround(const Graph& g, NodeId src, NodeId dst, LinkId link,
+                    double shortest_delay_ms, double bottleneck_gbps,
+                    const ApaOptions& opts);
+
+}  // namespace ldr
+
+#endif  // LDR_METRICS_LLPD_H_

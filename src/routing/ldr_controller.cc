@@ -1,0 +1,95 @@
+#include "routing/ldr_controller.h"
+
+#include <algorithm>
+
+#include "traffic/predictor.h"
+#include "traffic/trace.h"
+
+namespace ldr {
+
+LdrControllerResult RunLdrController(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
+    const LdrControllerOptions& opts) {
+  LdrControllerResult result;
+
+  // (1) Predict each aggregate's next-minute mean (Algorithm 1), feeding
+  // the predictor one update per full minute of history.
+  result.demand_estimate_gbps.assign(aggregates.size(), 0.0);
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    std::vector<double> minutes = PerMinuteMeans(history_100ms[a], 10.0);
+    if (minutes.empty() && !history_100ms[a].empty()) {
+      // Less than a minute of data: use what there is.
+      double s = 0;
+      for (double v : history_100ms[a]) s += v;
+      minutes.push_back(s / static_cast<double>(history_100ms[a].size()));
+    }
+    MeanRatePredictor pred(opts.predictor_decay, opts.predictor_hedge);
+    for (double m : minutes) pred.Update(m);
+    result.demand_estimate_gbps[a] = pred.prediction();
+  }
+
+  std::vector<Aggregate> working = aggregates;
+  for (size_t a = 0; a < working.size(); ++a) {
+    working[a].demand_gbps = result.demand_estimate_gbps[a];
+  }
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    result.rounds = round + 1;
+    // (2) Latency-optimal placement for current Ba estimates.
+    result.outcome = IterativeLpRoute(g, working, cache, opts.routing);
+
+    // (3) Appraise multiplexing per link using the *measured* last-minute
+    // series (not the estimates).
+    std::vector<std::vector<WeightedSeries>> on_link(g.LinkCount());
+    for (size_t a = 0; a < working.size(); ++a) {
+      for (const PathAllocation& pa : result.outcome.allocations[a]) {
+        if (pa.fraction <= 1e-9) continue;
+        for (LinkId l : pa.path.links()) {
+          on_link[static_cast<size_t>(l)].push_back(
+              {&history_100ms[a], pa.fraction});
+        }
+      }
+    }
+    std::vector<bool> failing(g.LinkCount(), false);
+    size_t fail_count = 0;
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      if (on_link[l].empty()) continue;
+      LinkCheckResult check = CheckLinkMultiplexing(
+          on_link[l], g.link(static_cast<LinkId>(l)).capacity_gbps,
+          opts.multiplex);
+      if (!check.pass) {
+        failing[l] = true;
+        ++fail_count;
+      }
+    }
+    result.failing_links_last_round = fail_count;
+    if (fail_count == 0) {
+      result.multiplex_ok = true;
+      break;
+    }
+
+    // (4) Scale up Ba for aggregates crossing failing links ("add headroom,
+    // but only for those aggregates that don't multiplex well").
+    for (size_t a = 0; a < working.size(); ++a) {
+      bool crosses = false;
+      for (const PathAllocation& pa : result.outcome.allocations[a]) {
+        if (pa.fraction <= 1e-9) continue;
+        for (LinkId l : pa.path.links()) {
+          if (failing[static_cast<size_t>(l)]) {
+            crosses = true;
+            break;
+          }
+        }
+        if (crosses) break;
+      }
+      if (crosses) {
+        working[a].demand_gbps *= opts.scale_up;
+        result.demand_estimate_gbps[a] = working[a].demand_gbps;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ldr

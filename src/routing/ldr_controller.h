@@ -1,0 +1,55 @@
+// The full LDR controller — the paper's Fig. 11/Fig. 14 loop and the
+// system's primary contribution:
+//
+//   (1) predict each aggregate's next-minute mean rate (Algorithm 1) from
+//       its measured history;
+//   (2) find the latency-optimal placement for those rates via the Fig. 12
+//       LP with Fig. 13 iterative path growth;
+//   (3) appraise statistical multiplexing on every busy link (temporal and
+//       FFT-convolution tests, Fig. 14 B/C);
+//   (4) where a link fails, scale up the demand estimate Ba of the
+//       aggregates crossing it — adding headroom only where it is needed,
+//       "for those aggregates that don't multiplex well" — and re-optimize.
+#ifndef LDR_ROUTING_LDR_CONTROLLER_H_
+#define LDR_ROUTING_LDR_CONTROLLER_H_
+
+#include <vector>
+
+#include "graph/ksp.h"
+#include "routing/lp_routing.h"
+#include "routing/scheme.h"
+#include "tm/traffic_matrix.h"
+#include "traffic/multiplex.h"
+
+namespace ldr {
+
+struct LdrControllerOptions {
+  IterativeOptions routing;          // the LP/path-growth knobs
+  MultiplexOptions multiplex;        // queue budget, period, quantization
+  int max_rounds = 6;                // optimize/appraise/tweak iterations
+  double scale_up = 1.1;             // Ba multiplier for failing aggregates
+  double predictor_decay = 0.98;     // Algorithm 1 constants
+  double predictor_hedge = 1.1;
+};
+
+struct LdrControllerResult {
+  RoutingOutcome outcome;
+  // Final per-aggregate demand estimates Ba (after prediction and scaling).
+  std::vector<double> demand_estimate_gbps;
+  int rounds = 0;
+  bool multiplex_ok = false;  // all links passed in the final round
+  size_t failing_links_last_round = 0;
+};
+
+// `history_100ms[a]`: aggregate a's measured rate series at 100 ms
+// granularity (at least one minute; multiple minutes drive the predictor
+// through multiple updates). The aggregates' demand_gbps fields are ignored
+// — demand comes from prediction, as in a deployed controller.
+LdrControllerResult RunLdrController(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
+    const LdrControllerOptions& opts = {});
+
+}  // namespace ldr
+
+#endif  // LDR_ROUTING_LDR_CONTROLLER_H_

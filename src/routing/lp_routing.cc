@@ -1,0 +1,396 @@
+#include "routing/lp_routing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "lp/lp.h"
+
+namespace ldr {
+
+namespace {
+
+double NowMs() {
+  using namespace std::chrono;
+  return duration_cast<duration<double, std::milli>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double AggregateDelayMs(const Graph& g,
+                        const std::vector<PathAllocation>& allocation) {
+  double d = 0;
+  for (const PathAllocation& pa : allocation) {
+    d += pa.fraction * pa.path.DelayMs(g);
+  }
+  return d;
+}
+
+RoutingLpResult SolveRoutingLp(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<const Path*>>& paths,
+    const RoutingLpOptions& opts) {
+  RoutingLpResult result;
+  size_t num_links = g.LinkCount();
+  double cap_scale = 1.0 - opts.headroom;
+
+  // Weight normalization: sum_a n_a * S_a == 100 keeps the delay objective
+  // well-scaled against M2 regardless of network size.
+  double weight_denom = 0;
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    if (paths[a].empty()) continue;
+    weight_denom += aggregates[a].flow_count * paths[a][0]->DelayMs(g);
+  }
+  if (weight_denom <= 0) weight_denom = 1;
+  auto class_weight = [&](size_t a) {
+    if (opts.class_weights.empty()) return 1.0;
+    size_t c = static_cast<size_t>(std::max(0, aggregates[a].traffic_class));
+    c = std::min(c, opts.class_weights.size() - 1);
+    return opts.class_weights[c];
+  };
+  auto weight = [&](size_t a) {
+    return 100.0 * class_weight(a) * aggregates[a].flow_count / weight_denom;
+  };
+
+  // Fixed loads from single-path aggregates; collect variable aggregates.
+  std::vector<double> fixed_load(num_links, 0.0);
+  std::vector<size_t> variable;  // aggregate indices with >= 2 paths
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    if (paths[a].empty()) continue;
+    if (paths[a].size() == 1) {
+      for (LinkId l : paths[a][0]->links()) {
+        fixed_load[static_cast<size_t>(l)] += aggregates[a].demand_gbps;
+      }
+    } else {
+      variable.push_back(a);
+    }
+  }
+
+  // Links that can carry load: fixed load now, or any candidate path.
+  std::vector<bool> link_used(num_links, false);
+  for (size_t l = 0; l < num_links; ++l) link_used[l] = fixed_load[l] > 0;
+  for (size_t a : variable) {
+    for (const Path* p : paths[a]) {
+      for (LinkId l : p->links()) link_used[static_cast<size_t>(l)] = true;
+    }
+  }
+
+  lp::Problem problem;
+  // Path-fraction variables.
+  std::vector<std::vector<int>> xvar(aggregates.size());
+  for (size_t a : variable) {
+    double s_a = paths[a][0]->DelayMs(g);
+    if (s_a <= 0) s_a = 1e-3;
+    xvar[a].resize(paths[a].size());
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      double dp = paths[a][pi]->DelayMs(g);
+      double coeff = weight(a) * dp * (1.0 + opts.m1 / s_a);
+      xvar[a][pi] = problem.AddVariable(0, 1, coeff);
+    }
+  }
+
+  // Per-link rows and overload/utilization variables.
+  std::vector<int> olvar(num_links, -1);
+  int omax_var = -1;
+  if (opts.minmax) {
+    omax_var = problem.AddVariable(0, lp::kInfinity, opts.m2);  // U
+  } else {
+    omax_var = problem.AddVariable(1, lp::kInfinity, opts.m2);  // Omax
+  }
+
+  // Gather per-link terms from variable aggregates.
+  std::vector<std::vector<std::pair<int, double>>> link_terms(num_links);
+  for (size_t a : variable) {
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      for (LinkId l : paths[a][pi]->links()) {
+        link_terms[static_cast<size_t>(l)].emplace_back(
+            xvar[a][pi], aggregates[a].demand_gbps);
+      }
+    }
+  }
+
+  for (size_t l = 0; l < num_links; ++l) {
+    if (!link_used[l]) continue;
+    double cap = g.link(static_cast<LinkId>(l)).capacity_gbps * cap_scale;
+    if (cap <= 0) cap = 1e-9;
+    if (opts.minmax) {
+      // load + fixed <= cap * U
+      auto row = link_terms[l];
+      row.emplace_back(omax_var, -cap);
+      problem.AddRow(lp::RowType::kLe, -fixed_load[l], std::move(row));
+    } else {
+      olvar[l] = problem.AddVariable(1, lp::kInfinity, 1.0);
+      auto row = link_terms[l];
+      row.emplace_back(olvar[l], -cap);
+      problem.AddRow(lp::RowType::kLe, -fixed_load[l], std::move(row));
+      problem.AddRow(lp::RowType::kLe, 0, {{olvar[l], 1}, {omax_var, -1}});
+    }
+  }
+
+  // Every variable aggregate fully routed.
+  for (size_t a : variable) {
+    std::vector<std::pair<int, double>> row;
+    for (int v : xvar[a]) row.emplace_back(v, 1.0);
+    problem.AddRow(lp::RowType::kEq, 1.0, std::move(row));
+  }
+
+  lp::Solution sol = lp::Solve(problem);
+  if (!sol.ok()) {
+    // The LP is always feasible by construction (overload variables are
+    // unbounded above); failure here means a numerical breakdown.
+    result.solved = false;
+    return result;
+  }
+
+  // Extract fractions.
+  result.fractions.resize(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    result.fractions[a].assign(paths[a].size(), 0.0);
+    if (paths[a].empty()) continue;
+    if (paths[a].size() == 1) {
+      result.fractions[a][0] = 1.0;
+      continue;
+    }
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      result.fractions[a][pi] =
+          std::clamp(sol.values[static_cast<size_t>(xvar[a][pi])], 0.0, 1.0);
+    }
+  }
+
+  // Recompute per-link levels from actual loads (more robust than reading
+  // the LP's overload variables).
+  std::vector<double> load(num_links, 0.0);
+  for (size_t l = 0; l < num_links; ++l) load[l] = fixed_load[l];
+  for (size_t a : variable) {
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      double f = result.fractions[a][pi];
+      if (f <= 1e-12) continue;
+      for (LinkId l : paths[a][pi]->links()) {
+        load[static_cast<size_t>(l)] += f * aggregates[a].demand_gbps;
+      }
+    }
+  }
+  // link_level is utilization against headroom-scaled capacity; omax floors
+  // at 1 in LDR mode (an overload factor), at 0 in MinMax mode.
+  result.link_level.assign(num_links, 0.0);
+  result.omax = opts.minmax ? 0.0 : 1.0;
+  for (size_t l = 0; l < num_links; ++l) {
+    double cap = g.link(static_cast<LinkId>(l)).capacity_gbps * cap_scale;
+    if (cap <= 0) continue;
+    double level = load[l] / cap;
+    result.link_level[l] = level;
+    result.omax = std::max(result.omax, level);
+  }
+  result.solved = true;
+  return result;
+}
+
+namespace {
+
+// Appends the next-shortest path for every aggregate that crosses a link in
+// `hot`. Returns how many aggregates grew.
+size_t GrowPathSets(const std::vector<Aggregate>& aggregates,
+                    const std::vector<std::vector<double>>& fractions,
+                    const std::vector<bool>& hot, KspCache* cache,
+                    size_t max_paths,
+                    std::vector<std::vector<const Path*>>* paths) {
+  size_t grown = 0;
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    auto& plist = (*paths)[a];
+    if (plist.empty() || plist.size() >= max_paths) continue;
+    bool crosses = false;
+    for (size_t pi = 0; pi < plist.size() && !crosses; ++pi) {
+      // A single-path aggregate always "uses" its path; otherwise require a
+      // meaningful fraction.
+      double f = plist.size() == 1 ? 1.0 : fractions[a][pi];
+      if (f <= 1e-9) continue;
+      for (LinkId l : plist[pi]->links()) {
+        if (hot[static_cast<size_t>(l)]) {
+          crosses = true;
+          break;
+        }
+      }
+    }
+    if (!crosses) continue;
+    KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
+    const Path* next = gen->Get(plist.size());
+    if (next == nullptr) continue;
+    plist.push_back(next);
+    ++grown;
+  }
+  return grown;
+}
+
+}  // namespace
+
+RoutingOutcome IterativeLpRoute(const Graph& g,
+                                const std::vector<Aggregate>& aggregates,
+                                KspCache* cache,
+                                const IterativeOptions& opts) {
+  double t0 = NowMs();
+  RoutingOutcome outcome;
+  outcome.allocations.resize(aggregates.size());
+
+  std::vector<std::vector<const Path*>> paths(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
+    for (size_t k = 0; k < std::max<size_t>(1, opts.initial_paths); ++k) {
+      const Path* p = gen->Get(k);
+      if (p == nullptr) break;
+      paths[a].push_back(p);
+    }
+  }
+
+  // Weighted total delay of a solution — used to keep the best feasible
+  // placement across polish rounds.
+  auto weighted_delay = [&](const RoutingLpResult& r,
+                            const std::vector<std::vector<const Path*>>& ps) {
+    double acc = 0;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      double cw = 1.0;
+      if (!opts.lp.class_weights.empty()) {
+        size_t c =
+            static_cast<size_t>(std::max(0, aggregates[a].traffic_class));
+        cw = opts.lp.class_weights[std::min(
+            c, opts.lp.class_weights.size() - 1)];
+      }
+      for (size_t pi = 0; pi < ps[a].size(); ++pi) {
+        acc += cw * aggregates[a].flow_count * r.fractions[a][pi] *
+               ps[a][pi]->DelayMs(g);
+      }
+    }
+    return acc;
+  };
+
+  RoutingLpResult res;
+  RoutingLpResult best_res;
+  std::vector<std::vector<const Path*>> best_paths;
+  double best_delay = lp::kInfinity;
+  double best_minmax_omax = lp::kInfinity;
+  int patience_left = opts.patience;
+  // After the first feasible LDR solution, a couple of extra rounds grow
+  // path sets across *saturated* links too: the Fig. 13 stop-at-feasible
+  // rule can miss placements that move one aggregate slightly to free a
+  // full (but not overloaded) shortest path for another.
+  int polish_left = 2;
+  int round = 0;
+  for (; round < opts.max_rounds; ++round) {
+    res = SolveRoutingLp(g, aggregates, paths, opts.lp);
+    if (!res.solved) break;
+
+    bool feasible_now =
+        !opts.lp.minmax && res.omax <= 1.0 + opts.fit_eps;
+    if (feasible_now) {
+      double d = weighted_delay(res, paths);
+      if (d < best_delay - 1e-9) {
+        best_delay = d;
+        best_res = res;
+        best_paths = paths;
+      }
+    }
+    if (!opts.grow) break;
+
+    if (!opts.lp.minmax) {
+      if (feasible_now && polish_left-- <= 0) break;
+    } else {
+      if (res.omax < best_minmax_omax - opts.improve_eps) {
+        best_minmax_omax = res.omax;
+        patience_left = opts.patience;
+      } else {
+        if (--patience_left <= 0) break;
+      }
+    }
+
+    // Hot links: maximally overloaded (LDR, or saturated when polishing) /
+    // maximally utilized (MinMax).
+    std::vector<bool> hot(g.LinkCount(), false);
+    double threshold = res.omax - std::max(1e-9, res.omax * 1e-6);
+    bool any_hot = false;
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      if (res.link_level[l] >= threshold && res.link_level[l] > 0) {
+        hot[l] = true;
+        any_hot = true;
+      }
+    }
+    if (!any_hot) break;
+    size_t grown = GrowPathSets(aggregates, res.fractions, hot, cache,
+                                opts.max_paths_per_aggregate, &paths);
+    if (grown == 0) break;  // exhausted: congestion unavoidable
+  }
+
+  // Prefer the best feasible solution seen (LDR mode); otherwise the last.
+  if (best_delay < lp::kInfinity) {
+    res = best_res;
+    paths = best_paths;
+  }
+
+  outcome.lp_rounds = round + 1;
+  if (res.solved) {
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+        double f = res.fractions[a][pi];
+        if (f <= 1e-9) continue;
+        outcome.allocations[a].push_back({*paths[a][pi], f});
+      }
+    }
+    outcome.max_level = res.omax;
+    outcome.feasible =
+        opts.lp.minmax ? res.omax <= 1.0 + opts.fit_eps
+                       : res.omax <= 1.0 + opts.fit_eps;
+  } else {
+    // Numerical fallback: shortest paths.
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      if (!paths[a].empty()) {
+        outcome.allocations[a].push_back({*paths[a][0], 1.0});
+      }
+    }
+    outcome.feasible = false;
+  }
+  outcome.solve_ms = NowMs() - t0;
+  return outcome;
+}
+
+LatencyOptimalScheme::LatencyOptimalScheme(const Graph* g, KspCache* cache,
+                                           double headroom,
+                                           std::string display_name)
+    : g_(g), cache_(cache) {
+  opts_.lp.headroom = headroom;
+  name_ = display_name.empty()
+              ? (headroom == 0 ? "LatencyOptimal"
+                               : "LDR(h=" + std::to_string(headroom) + ")")
+              : std::move(display_name);
+}
+
+RoutingOutcome LatencyOptimalScheme::Route(
+    const std::vector<Aggregate>& aggregates) {
+  return IterativeLpRoute(*g_, aggregates, cache_, opts_);
+}
+
+MinMaxScheme::MinMaxScheme(const Graph* g, KspCache* cache, size_t k)
+    : g_(g), cache_(cache), k_(k) {
+  name_ = k == 0 ? "MinMax" : "MinMaxK" + std::to_string(k);
+}
+
+RoutingOutcome MinMaxScheme::Route(const std::vector<Aggregate>& aggregates) {
+  IterativeOptions opts;
+  opts.lp.minmax = true;
+  if (k_ > 0) {
+    opts.initial_paths = k_;
+    opts.grow = false;
+  }
+  return IterativeLpRoute(*g_, aggregates, cache_, opts);
+}
+
+double MinMaxUtilization(const Graph& g,
+                         const std::vector<Aggregate>& aggregates,
+                         KspCache* cache) {
+  IterativeOptions opts;
+  opts.lp.minmax = true;
+  RoutingOutcome out = IterativeLpRoute(g, aggregates, cache, opts);
+  return out.max_level;
+}
+
+}  // namespace ldr

@@ -1,0 +1,134 @@
+// The Fig. 12 linear program and the Fig. 13 iterative path-growth loop —
+// the optimization machinery shared by the latency-optimal scheme, LDR, and
+// the MinMax baselines.
+//
+// Fig. 12 (LDR mode):
+//   min  sum_a n_a sum_{p in Pa} x_ap (d_p + d_p M1 / S_a)
+//        + M2 * Omax + sum_l O_l
+//   s.t. sum_a sum_{p ni l} x_ap B_a <= C_l O_l      (per-link overload)
+//        1 <= O_l <= Omax                            (max overload)
+//        sum_p x_ap = 1                              (all traffic routed)
+//
+// MinMax mode replaces the overload variables with a single max-utilization
+// variable U >= 0 minimized first (capacity rows become load <= C_l * U) and
+// keeps the delay term only as a tie-break — the TeXCP/MATE objective.
+//
+// Fig. 13: each aggregate starts with only its shortest path; after each LP
+// solve, aggregates crossing maximally-overloaded (or maximally-utilized)
+// links get their next-shortest path appended, and the LP is re-solved.
+// Aggregates whose list has a single path never enter the LP at all: their
+// placement is forced, so their load is folded into link constants. This is
+// what keeps the LPs small on large path-diverse networks (§5).
+#ifndef LDR_ROUTING_LP_ROUTING_H_
+#define LDR_ROUTING_LP_ROUTING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ksp.h"
+#include "routing/scheme.h"
+#include "tm/traffic_matrix.h"
+
+namespace ldr {
+
+struct RoutingLpOptions {
+  // Fraction of every link's capacity reserved (the §4 headroom dial).
+  double headroom = 0.0;
+  // MinMax mode: minimize max utilization first, delay as tie-break.
+  bool minmax = false;
+  // The RTT-aware tie-break weight (Fig. 12's M1). Small so it only breaks
+  // ties between placements of equal total delay.
+  double m1 = 1e-3;
+  // Congestion-avoidance dominance weight (Fig. 12's M2).
+  double m2 = 1e6;
+  // §8 differentiated classes: multiplier applied to the delay weight of
+  // aggregates in each traffic class (class c uses class_weights[c], or the
+  // last entry when c is out of range). With {10, 1}, class-0 traffic wins
+  // contended short paths over class-1 traffic. Empty = all classes equal.
+  std::vector<double> class_weights;
+};
+
+// Result of one LP solve over explicit path sets.
+struct RoutingLpResult {
+  bool solved = false;
+  // fractions[a][p] for the paths passed in; aggregates with one path get
+  // the implicit fraction 1.
+  std::vector<std::vector<double>> fractions;
+  // LDR mode: max overload (>= 1; > 1 means congestion unavoidable with
+  // these path sets). MinMax mode: max utilization (>= 0).
+  double omax = 0;
+  // Per-link overload/utilization implied by the solution (same scale as
+  // omax), indexed by LinkId.
+  std::vector<double> link_level;
+};
+
+RoutingLpResult SolveRoutingLp(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<const Path*>>& paths,
+    const RoutingLpOptions& opts);
+
+struct IterativeOptions {
+  RoutingLpOptions lp;
+  int max_rounds = 40;
+  size_t max_paths_per_aggregate = 24;
+  // Paths seeded per aggregate before the first solve (MinMaxK10 uses 10).
+  size_t initial_paths = 1;
+  // Disable growth for fixed-path-set schemes (MinMaxK10).
+  bool grow = true;
+  // MinMax mode keeps growing until omax fails to improve by this for
+  // `patience` consecutive rounds.
+  double improve_eps = 1e-6;
+  int patience = 2;
+  // Overload tolerance deciding "the traffic fits".
+  double fit_eps = 1e-4;
+};
+
+// The Fig. 13 loop. Uses (and fills) the KspCache.
+RoutingOutcome IterativeLpRoute(const Graph& g,
+                                const std::vector<Aggregate>& aggregates,
+                                KspCache* cache, const IterativeOptions& opts);
+
+// Latency-optimal routing (paper Fig. 4(a)): LDR-mode iterative LP with a
+// chosen headroom. Exposed as a RoutingScheme.
+class LatencyOptimalScheme : public RoutingScheme {
+ public:
+  LatencyOptimalScheme(const Graph* g, KspCache* cache, double headroom = 0,
+                       std::string display_name = "");
+  std::string name() const override { return name_; }
+  RoutingOutcome Route(const std::vector<Aggregate>& aggregates) override;
+
+  // Tuning access (e.g. §8 class weights, path-growth caps).
+  IterativeOptions& options() { return opts_; }
+
+ private:
+  const Graph* g_;
+  KspCache* cache_;
+  IterativeOptions opts_;
+  std::string name_;
+};
+
+// MinMax (TeXCP/MATE-style). k == 0 grows path sets adaptively ("pure"
+// MinMax); k > 0 uses the fixed k shortest paths (the paper's MinMaxK10).
+class MinMaxScheme : public RoutingScheme {
+ public:
+  MinMaxScheme(const Graph* g, KspCache* cache, size_t k = 0);
+  std::string name() const override { return name_; }
+  RoutingOutcome Route(const std::vector<Aggregate>& aggregates) override;
+
+ private:
+  const Graph* g_;
+  KspCache* cache_;
+  size_t k_;
+  std::string name_;
+};
+
+// Max-utilization of a placement produced by MinMax with unrestricted paths;
+// used to scale traffic matrices to a target load (§3: "the min-cut has 23%
+// headroom") and for the Fig. 17 load sweep.
+double MinMaxUtilization(const Graph& g,
+                         const std::vector<Aggregate>& aggregates,
+                         KspCache* cache);
+
+}  // namespace ldr
+
+#endif  // LDR_ROUTING_LP_ROUTING_H_

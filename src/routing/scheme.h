@@ -1,0 +1,52 @@
+// Common vocabulary for routing / traffic-engineering schemes.
+//
+// A scheme maps a set of traffic aggregates onto paths: the outcome is, per
+// aggregate, a set of (path, fraction) allocations summing to 1. Schemes are
+// constructed per topology (holding the Graph and a shared KspCache, which
+// amortizes Yen's algorithm across schemes and traffic matrices exactly as
+// the paper's LDR caches k-shortest paths).
+#ifndef LDR_ROUTING_SCHEME_H_
+#define LDR_ROUTING_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tm/traffic_matrix.h"
+
+namespace ldr {
+
+struct PathAllocation {
+  Path path;
+  double fraction = 0;  // of the aggregate's demand
+};
+
+struct RoutingOutcome {
+  // Parallel to the input aggregate vector. An empty inner vector means the
+  // scheme could not place the aggregate at all (disconnected pair).
+  std::vector<std::vector<PathAllocation>> allocations;
+  // Scheme's own belief that it fit all traffic within the capacities it was
+  // given (after headroom scaling). Congestion is judged separately against
+  // true capacities by sim::Evaluate.
+  bool feasible = true;
+  int lp_rounds = 0;       // iterative path-growth rounds (LP schemes)
+  double solve_ms = 0;     // wall-clock of the routing computation
+  // LP schemes: final max overload (LDR mode, >= 1) or max utilization
+  // (MinMax mode, >= 0) against headroom-scaled capacities.
+  double max_level = 0;
+};
+
+class RoutingScheme {
+ public:
+  virtual ~RoutingScheme() = default;
+  virtual std::string name() const = 0;
+  virtual RoutingOutcome Route(const std::vector<Aggregate>& aggregates) = 0;
+};
+
+// Per-aggregate mean delay (ms): sum of fraction-weighted path delays.
+double AggregateDelayMs(const Graph& g,
+                        const std::vector<PathAllocation>& allocation);
+
+}  // namespace ldr
+
+#endif  // LDR_ROUTING_SCHEME_H_

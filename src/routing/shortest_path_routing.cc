@@ -1,0 +1,21 @@
+#include "routing/shortest_path_routing.h"
+
+namespace ldr {
+
+RoutingOutcome ShortestPathScheme::Route(
+    const std::vector<Aggregate>& aggregates) {
+  RoutingOutcome out;
+  out.allocations.resize(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const Path* p = cache_->Get(aggregates[a].src, aggregates[a].dst)->Get(0);
+    if (p != nullptr) {
+      out.allocations[a].push_back({*p, 1.0});
+    }
+  }
+  // SP routing is oblivious: it always "succeeds"; congestion is judged by
+  // the evaluator.
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace ldr

@@ -1,0 +1,25 @@
+// Delay-proportional shortest-path routing (OSPF/IS-IS with link costs set
+// to propagation delay) — the paper's §3 baseline for Figs. 3 and 19.
+#ifndef LDR_ROUTING_SHORTEST_PATH_ROUTING_H_
+#define LDR_ROUTING_SHORTEST_PATH_ROUTING_H_
+
+#include "graph/ksp.h"
+#include "routing/scheme.h"
+
+namespace ldr {
+
+class ShortestPathScheme : public RoutingScheme {
+ public:
+  ShortestPathScheme(const Graph* g, KspCache* cache)
+      : g_(g), cache_(cache) {}
+  std::string name() const override { return "SP"; }
+  RoutingOutcome Route(const std::vector<Aggregate>& aggregates) override;
+
+ private:
+  const Graph* g_;
+  KspCache* cache_;
+};
+
+}  // namespace ldr
+
+#endif  // LDR_ROUTING_SHORTEST_PATH_ROUTING_H_

@@ -1,0 +1,110 @@
+#include "sim/corpus_runner.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "graph/shortest_path.h"
+#include "routing/b4.h"
+#include "routing/lp_routing.h"
+#include "routing/shortest_path_routing.h"
+#include "topology/zoo_corpus.h"
+
+namespace ldr {
+
+std::unique_ptr<RoutingScheme> MakeScheme(const std::string& id,
+                                          const Graph* g, KspCache* cache) {
+  if (id == kSchemeSp) {
+    return std::make_unique<ShortestPathScheme>(g, cache);
+  }
+  if (id == kSchemeB4) {
+    return std::make_unique<B4Scheme>(g, cache);
+  }
+  if (id == kSchemeB4Headroom) {
+    B4Options opts;
+    opts.headroom = 0.1;
+    return std::make_unique<B4Scheme>(g, cache, opts);
+  }
+  if (id == kSchemeOptimal) {
+    return std::make_unique<LatencyOptimalScheme>(g, cache, 0.0, "Optimal");
+  }
+  if (id == kSchemeLdr10) {
+    return std::make_unique<LatencyOptimalScheme>(g, cache, 0.10, "LDR10");
+  }
+  if (id == kSchemeMinMax) {
+    return std::make_unique<MinMaxScheme>(g, cache);
+  }
+  if (id == kSchemeMinMaxK10) {
+    return std::make_unique<MinMaxScheme>(g, cache, 10);
+  }
+  return nullptr;
+}
+
+TopologyRun RunTopology(const Topology& topology,
+                        const CorpusRunOptions& opts) {
+  if (topology.graph.NodeCount() > opts.max_nodes) {
+    TopologyRun run;
+    run.topology = topology.name;
+    run.nodes = topology.graph.NodeCount();
+    run.links = topology.graph.LinkCount();
+    return run;
+  }
+  KspCache cache(&topology.graph);
+  return RunTopologyOnWorkloads(
+      topology, MakeScaledWorkloads(topology, &cache, opts.workload), opts);
+}
+
+TopologyRun RunTopologyOnWorkloads(
+    const Topology& topology,
+    const std::vector<std::vector<Aggregate>>& workloads,
+    const CorpusRunOptions& opts) {
+  TopologyRun run;
+  run.topology = topology.name;
+  run.nodes = topology.graph.NodeCount();
+  run.links = topology.graph.LinkCount();
+  if (run.nodes > opts.max_nodes) return run;
+
+  run.llpd = ComputeLlpd(topology.graph, opts.apa);
+  KspCache cache(&topology.graph);
+  std::vector<double> apsp = AllPairsShortestDelay(topology.graph);
+
+  for (const std::string& id : opts.scheme_ids) {
+    std::unique_ptr<RoutingScheme> scheme =
+        MakeScheme(id, &topology.graph, &cache);
+    if (scheme == nullptr) continue;
+    SchemeSeries series;
+    series.scheme = id;
+    for (const auto& aggs : workloads) {
+      RoutingOutcome out = scheme->Route(aggs);
+      EvalResult eval = Evaluate(topology.graph, aggs, out, apsp);
+      series.congested_fraction.push_back(eval.congested_fraction);
+      series.total_stretch.push_back(eval.total_stretch);
+      series.max_stretch.push_back(eval.max_stretch);
+      series.weighted_delay_ms.push_back(eval.weighted_delay_ms);
+      series.feasible.push_back(out.feasible);
+      series.solve_ms.push_back(out.solve_ms);
+    }
+    run.schemes.push_back(std::move(series));
+  }
+  return run;
+}
+
+bool BenchFullScale() {
+  const char* env = std::getenv("LDR_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+std::vector<Topology> BenchCorpus(size_t small_stride) {
+  std::vector<Topology> corpus = ZooCorpus();
+  if (BenchFullScale() || small_stride <= 1) return corpus;
+  std::vector<Topology> out;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    // Always keep the named specials; stride the rest.
+    if (corpus[i].name == "GTS-like" || corpus[i].name == "Cogent-like" ||
+        corpus[i].name == "Globalcenter-like" || i % small_stride == 0) {
+      out.push_back(std::move(corpus[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ldr

@@ -1,0 +1,51 @@
+// Trace replay: validates a routing placement against measured traffic.
+//
+// The LDR controller *predicts* whether aggregates will statistically
+// multiplex on each link (Fig. 14). Replay closes the loop: it pushes the
+// per-aggregate rate series through the placement period by period,
+// accumulates per-link queues wherever arrivals exceed capacity, and
+// reports the realized queueing delays — the quantity the controller's
+// 10 ms budget is about. Tests use it to verify that placements the
+// multiplexing check accepts really do keep transient queues within budget
+// while rejected ones exceed it.
+#ifndef LDR_SIM_REPLAY_H_
+#define LDR_SIM_REPLAY_H_
+
+#include <vector>
+
+#include "routing/scheme.h"
+
+namespace ldr {
+
+struct ReplayOptions {
+  double period_sec = 0.1;  // granularity of the rate series
+};
+
+struct LinkReplayStats {
+  double max_queue_ms = 0;      // worst queueing delay behind this link
+  double mean_utilization = 0;  // time-average load / capacity
+  double peak_utilization = 0;
+  // Fraction of periods with a nonzero queue.
+  double queueing_fraction = 0;
+};
+
+struct ReplayResult {
+  std::vector<LinkReplayStats> links;   // by LinkId
+  double worst_queue_ms = 0;            // max over links
+  size_t links_with_queueing = 0;
+  // Worst propagation+queueing delay experienced by any aggregate, summed
+  // over its (fraction-weighted) paths, in ms.
+  double worst_aggregate_delay_ms = 0;
+};
+
+// `series_gbps[a]` is aggregate a's rate series; shorter series are treated
+// as silent after they end. Fractions come from `outcome`.
+ReplayResult ReplayTraffic(const Graph& g,
+                           const std::vector<Aggregate>& aggregates,
+                           const RoutingOutcome& outcome,
+                           const std::vector<std::vector<double>>& series_gbps,
+                           const ReplayOptions& opts = {});
+
+}  // namespace ldr
+
+#endif  // LDR_SIM_REPLAY_H_

@@ -1,0 +1,46 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "graph/shortest_path.h"
+#include "routing/lp_routing.h"
+
+namespace ldr {
+
+double ScaleToTargetUtilization(const Graph& g,
+                                std::vector<Aggregate>* aggregates,
+                                KspCache* cache, double target_utilization) {
+  if (aggregates->empty()) return 1.0;
+  double u = MinMaxUtilization(g, *aggregates, cache);
+  if (u <= 0) return 1.0;
+  double factor = target_utilization / u;
+  for (Aggregate& a : *aggregates) {
+    a.demand_gbps *= factor;
+    a.flow_count = std::max(1.0, a.flow_count * factor);
+  }
+  return factor;
+}
+
+std::vector<std::vector<Aggregate>> MakeScaledWorkloads(
+    const Topology& topology, KspCache* cache, const WorkloadOptions& opts) {
+  std::vector<std::vector<Aggregate>> out;
+  out.reserve(static_cast<size_t>(opts.num_instances));
+  std::vector<double> apsp = AllPairsShortestDelay(topology.graph);
+  Rng master(opts.seed);
+  for (int i = 0; i < opts.num_instances; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(i + 1));
+    GravityOptions gopts;
+    gopts.zipf_alpha = opts.zipf_alpha;
+    gopts.locality = opts.locality;
+    TrafficMatrix tm = GravityTrafficMatrix(topology.graph, gopts, &rng);
+    ApplyLocality(&tm, apsp, opts.locality);
+    std::vector<Aggregate> aggs =
+        tm.ToAggregates(opts.min_fraction_of_total);
+    ScaleToTargetUtilization(topology.graph, &aggs, cache,
+                             opts.target_utilization);
+    out.push_back(std::move(aggs));
+  }
+  return out;
+}
+
+}  // namespace ldr

@@ -1,0 +1,43 @@
+// Workload construction: the §3 pipeline that turns a topology into scaled
+// traffic-matrix instances.
+//
+// For each instance: draw a gravity/Zipf matrix, apply the locality LP
+// (default locality 1), convert to aggregates, then scale so that MinMax
+// routing's maximum link utilization equals `target_utilization` (the paper
+// loads networks so traffic could still grow 30% => min-cut at 1/1.3 = 0.77
+// utilization; Fig. 8 uses 0.60, Fig. 17 sweeps it).
+#ifndef LDR_SIM_WORKLOAD_H_
+#define LDR_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "graph/ksp.h"
+#include "tm/traffic_matrix.h"
+#include "topology/topology.h"
+
+namespace ldr {
+
+struct WorkloadOptions {
+  int num_instances = 5;
+  double locality = 1.0;
+  double target_utilization = 1.0 / 1.3;
+  double zipf_alpha = 1.0;
+  uint64_t seed = 1;
+  // Aggregates below this fraction of total demand are dropped.
+  double min_fraction_of_total = 1e-4;
+};
+
+// Scaled aggregate sets, one per instance. The KspCache is shared with the
+// routing schemes evaluated afterwards (and is warmed by the scaling step).
+std::vector<std::vector<Aggregate>> MakeScaledWorkloads(
+    const Topology& topology, KspCache* cache, const WorkloadOptions& opts);
+
+// Scales `aggregates` in place so MinMax utilization == target. Returns the
+// scale factor applied.
+double ScaleToTargetUtilization(const Graph& g,
+                                std::vector<Aggregate>* aggregates,
+                                KspCache* cache, double target_utilization);
+
+}  // namespace ldr
+
+#endif  // LDR_SIM_WORKLOAD_H_

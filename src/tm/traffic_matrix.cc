@@ -1,0 +1,148 @@
+#include "tm/traffic_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lp/lp.h"
+
+namespace ldr {
+
+double TrafficMatrix::TotalGbps() const {
+  double s = 0;
+  for (double v : demand_) s += v;
+  return s;
+}
+
+void TrafficMatrix::Scale(double factor) {
+  for (double& v : demand_) v *= factor;
+}
+
+std::vector<double> TrafficMatrix::RowSums() const {
+  std::vector<double> out(n_, 0.0);
+  for (size_t s = 0; s < n_; ++s) {
+    for (size_t d = 0; d < n_; ++d) out[s] += demand_[s * n_ + d];
+  }
+  return out;
+}
+
+std::vector<double> TrafficMatrix::ColSums() const {
+  std::vector<double> out(n_, 0.0);
+  for (size_t s = 0; s < n_; ++s) {
+    for (size_t d = 0; d < n_; ++d) out[d] += demand_[s * n_ + d];
+  }
+  return out;
+}
+
+std::vector<Aggregate> TrafficMatrix::ToAggregates(
+    double min_fraction_of_total, double flows_per_gbps) const {
+  double total = TotalGbps();
+  double cutoff = total * min_fraction_of_total;
+  std::vector<Aggregate> out;
+  for (size_t s = 0; s < n_; ++s) {
+    for (size_t d = 0; d < n_; ++d) {
+      double v = demand_[s * n_ + d];
+      if (s == d || v <= cutoff) continue;
+      Aggregate a;
+      a.src = static_cast<NodeId>(s);
+      a.dst = static_cast<NodeId>(d);
+      a.demand_gbps = v;
+      a.flow_count = std::max(1.0, v * flows_per_gbps);
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<Aggregate> SplitByClass(const std::vector<Aggregate>& aggregates,
+                                    const std::vector<double>& class_shares) {
+  std::vector<Aggregate> out;
+  out.reserve(aggregates.size() * class_shares.size());
+  for (const Aggregate& a : aggregates) {
+    for (size_t c = 0; c < class_shares.size(); ++c) {
+      double share = class_shares[c];
+      if (share <= 0) continue;
+      Aggregate sub = a;
+      sub.traffic_class = static_cast<int>(c);
+      sub.demand_gbps = a.demand_gbps * share;
+      sub.flow_count = std::max(1.0, a.flow_count * share);
+      out.push_back(sub);
+    }
+  }
+  return out;
+}
+
+TrafficMatrix GravityTrafficMatrix(const Graph& g, const GravityOptions& opts,
+                                   Rng* rng) {
+  size_t n = g.NodeCount();
+  TrafficMatrix tm(n);
+  // Random rank assignment; Zipf weight by rank is the PoP's mass.
+  std::vector<size_t> ranks(n);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  rng->Shuffle(&ranks);
+  ZipfSampler zipf(n, opts.zipf_alpha);
+  std::vector<double> mass(n);
+  for (size_t i = 0; i < n; ++i) mass[i] = zipf.Weight(ranks[i]);
+
+  double denom = 0;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t d = 0; d < n; ++d) {
+      if (s != d) denom += mass[s] * mass[d];
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      tm.at(static_cast<NodeId>(s), static_cast<NodeId>(d)) =
+          opts.total_gbps * mass[s] * mass[d] / denom;
+    }
+  }
+  return tm;
+}
+
+void ApplyLocality(TrafficMatrix* tm, const std::vector<double>& sp_delay_ms,
+                   double locality) {
+  if (locality <= 0) return;
+  size_t n = tm->node_count();
+  // LP over off-diagonal, connected, nonzero cells: minimize total
+  // delay-weighted demand subject to preserved marginals and per-cell cap.
+  lp::Problem p;
+  struct Cell {
+    size_t s, d;
+    int var;
+  };
+  std::vector<Cell> cells;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      double orig = tm->at(static_cast<NodeId>(s), static_cast<NodeId>(d));
+      double delay = sp_delay_ms[s * n + d];
+      if (orig <= 0 || !std::isfinite(delay)) continue;
+      int var = p.AddVariable(0, (1.0 + locality) * orig, delay);
+      cells.push_back({s, d, var});
+    }
+  }
+  std::vector<double> rows = tm->RowSums();
+  std::vector<double> cols = tm->ColSums();
+  std::vector<std::vector<std::pair<int, double>>> row_terms(n), col_terms(n);
+  for (const Cell& c : cells) {
+    row_terms[c.s].emplace_back(c.var, 1.0);
+    col_terms[c.d].emplace_back(c.var, 1.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!row_terms[i].empty()) {
+      p.AddRow(lp::RowType::kEq, rows[i], row_terms[i]);
+    }
+    if (!col_terms[i].empty()) {
+      p.AddRow(lp::RowType::kEq, cols[i], col_terms[i]);
+    }
+  }
+  lp::Solution sol = lp::Solve(p);
+  if (!sol.ok()) return;  // keep the original matrix on numerical failure
+  for (const Cell& c : cells) {
+    tm->at(static_cast<NodeId>(c.s), static_cast<NodeId>(c.d)) =
+        std::max(0.0, sol.values[static_cast<size_t>(c.var)]);
+  }
+}
+
+}  // namespace ldr

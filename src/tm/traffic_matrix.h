@@ -1,0 +1,94 @@
+// Traffic matrices and aggregates.
+//
+// §3 of the paper synthesizes, per topology, traffic matrices from a variant
+// of Roughan's gravity model: PoP "masses" follow a Zipf distribution, and a
+// *locality* extension moves load from long-distance aggregates to
+// short-distance ones via a linear program whose constraints (a) preserve
+// each PoP's total ingress/egress volume (the gravity marginals) and (b) let
+// any aggregate grow by at most `locality` times its original demand. With
+// locality = 0 the original matrix is forced; locality = 1 (the paper's
+// default) adds "significant locality".
+#ifndef LDR_TM_TRAFFIC_MATRIX_H_
+#define LDR_TM_TRAFFIC_MATRIX_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace ldr {
+
+// One PoP-to-PoP traffic aggregate — the unit routed by every scheme.
+struct Aggregate {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double demand_gbps = 0;
+  // Number of flows in the aggregate (the paper's n_a weight); we make it
+  // proportional to demand.
+  double flow_count = 1;
+  // Differentiated service class (§8 extension): 0 is the most
+  // latency-sensitive. Classes only matter to LP schemes configured with
+  // per-class weights (RoutingLpOptions::class_weights).
+  int traffic_class = 0;
+};
+
+// Splits each aggregate into per-class sub-aggregates with the given demand
+// shares (which must sum to <= 1; a zero share emits no aggregate). The §8
+// workflow: an ISP that can classify traffic splits aggregates by priority
+// before handing them to the optimizer.
+std::vector<Aggregate> SplitByClass(const std::vector<Aggregate>& aggregates,
+                                    const std::vector<double>& class_shares);
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(size_t node_count)
+      : n_(node_count), demand_(node_count * node_count, 0.0) {}
+
+  double& at(NodeId s, NodeId d) {
+    return demand_[static_cast<size_t>(s) * n_ + static_cast<size_t>(d)];
+  }
+  double at(NodeId s, NodeId d) const {
+    return demand_[static_cast<size_t>(s) * n_ + static_cast<size_t>(d)];
+  }
+
+  size_t node_count() const { return n_; }
+  double TotalGbps() const;
+  void Scale(double factor);
+
+  // Row/column sums (egress/ingress volume per PoP).
+  std::vector<double> RowSums() const;
+  std::vector<double> ColSums() const;
+
+  // Converts to a list of aggregates, dropping those below
+  // `min_fraction_of_total` of total demand (tiny aggregates are noise that
+  // bloats LPs; the paper's tooling does the same). Flow counts are set
+  // proportional to demand with `flows_per_gbps`.
+  std::vector<Aggregate> ToAggregates(double min_fraction_of_total = 1e-4,
+                                      double flows_per_gbps = 10.0) const;
+
+ private:
+  size_t n_;
+  std::vector<double> demand_;
+};
+
+struct GravityOptions {
+  double total_gbps = 100;   // pre-scaling total volume
+  double zipf_alpha = 1.0;   // mass skew across PoPs
+  double locality = 1.0;     // the paper's default
+};
+
+// Draws a gravity-model matrix: node masses are Zipf weights over a random
+// permutation of PoPs, demand(s,d) proportional to mass_s * mass_d.
+TrafficMatrix GravityTrafficMatrix(const Graph& g, const GravityOptions& opts,
+                                   Rng* rng);
+
+// Applies the locality LP in place: minimizes total demand-weighted
+// shortest-path distance subject to preserved marginals and the
+// (1 + locality) per-aggregate growth cap. `sp_delay_ms` is the row-major
+// all-pairs shortest-delay matrix of the topology.
+void ApplyLocality(TrafficMatrix* tm, const std::vector<double>& sp_delay_ms,
+                   double locality);
+
+}  // namespace ldr
+
+#endif  // LDR_TM_TRAFFIC_MATRIX_H_

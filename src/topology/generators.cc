@@ -1,0 +1,235 @@
+#include "topology/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/shortest_path.h"
+
+namespace ldr {
+
+Region EuropeRegion() { return {37.0, 59.0, -8.0, 28.0}; }
+Region CentralEuropeRegion() { return {45.0, 54.0, 8.0, 24.0}; }
+Region UsRegion() { return {26.0, 48.0, -123.0, -68.0}; }
+Region AsiaRegion() { return {2.0, 44.0, 72.0, 140.0}; }
+
+namespace {
+
+GeoPoint RandomPoint(const Region& r, Rng* rng) {
+  return {rng->Uniform(r.lat_lo, r.lat_hi), rng->Uniform(r.lon_lo, r.lon_hi)};
+}
+
+NodeId AddRandomPop(Topology* t, const Region& r, Rng* rng) {
+  GeoPoint p = RandomPoint(r, rng);
+  return t->AddPop("N" + std::to_string(t->graph.NodeCount()), p.lat_deg,
+                   p.lon_deg);
+}
+
+}  // namespace
+
+void EnsureConnected(Topology* t, Rng* rng, double capacity_gbps) {
+  (void)rng;
+  // Union components greedily at the geographically nearest node pair.
+  while (true) {
+    size_t n = t->graph.NodeCount();
+    // Undirected reachability from node 0 (all generators add bidi links, so
+    // weak connectivity == strong connectivity here).
+    std::vector<bool> reach(n, false);
+    std::vector<NodeId> stack{0};
+    reach[0] = true;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (LinkId lid : t->graph.OutLinks(u)) {
+        NodeId v = t->graph.link(lid).dst;
+        if (!reach[static_cast<size_t>(v)]) {
+          reach[static_cast<size_t>(v)] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    NodeId best_in = kInvalidNode, best_out = kInvalidNode;
+    double best_km = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[j]) continue;
+        double km = HaversineKm(t->coords[i], t->coords[j]);
+        if (km < best_km) {
+          best_km = km;
+          best_in = static_cast<NodeId>(i);
+          best_out = static_cast<NodeId>(j);
+        }
+      }
+    }
+    if (best_out == kInvalidNode) return;  // connected
+    t->AddCable(best_in, best_out, capacity_gbps);
+  }
+}
+
+Topology MakeStar(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  GeoPoint center{(region.lat_lo + region.lat_hi) / 2,
+                  (region.lon_lo + region.lon_hi) / 2};
+  NodeId hub = t.AddPop("N0", center.lat_deg, center.lon_deg);
+  for (int i = 1; i < n; ++i) {
+    NodeId leaf = AddRandomPop(&t, region, rng);
+    t.AddCable(hub, leaf, caps.Pick(rng));
+  }
+  return t;
+}
+
+Topology MakeTree(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  AddRandomPop(&t, region, rng);
+  for (int i = 1; i < n; ++i) {
+    NodeId child = AddRandomPop(&t, region, rng);
+    NodeId parent = static_cast<NodeId>(rng->NextIndex(static_cast<uint64_t>(i)));
+    t.AddCable(parent, child, caps.Pick(rng));
+  }
+  return t;
+}
+
+Topology MakeRing(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  double clat = (region.lat_lo + region.lat_hi) / 2;
+  double clon = (region.lon_lo + region.lon_hi) / 2;
+  double rlat = (region.lat_hi - region.lat_lo) / 2;
+  double rlon = (region.lon_hi - region.lon_lo) / 2;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * M_PI * i / n + rng->Uniform(-0.1, 0.1);
+    t.AddPop("N" + std::to_string(i), clat + rlat * std::sin(angle),
+             clon + rlon * std::cos(angle));
+  }
+  for (int i = 0; i < n; ++i) {
+    t.AddCable(i, (i + 1) % n, caps.Pick(rng));
+  }
+  return t;
+}
+
+Topology MakeChordedRing(const std::string& name, int n, int chords,
+                         const Region& region, Rng* rng,
+                         const CapacityPlan& caps) {
+  Topology t = MakeRing(name, n, region, rng, caps);
+  int added = 0;
+  int attempts = 0;
+  while (added < chords && attempts < chords * 20) {
+    ++attempts;
+    NodeId a = static_cast<NodeId>(rng->NextIndex(static_cast<uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng->NextIndex(static_cast<uint64_t>(n)));
+    int gap = std::abs(a - b);
+    gap = std::min(gap, n - gap);
+    if (a == b || gap < 2 || t.graph.HasLink(a, b)) continue;
+    t.AddCable(a, b, caps.Pick(rng));
+    ++added;
+  }
+  return t;
+}
+
+Topology MakeGrid(const std::string& name, int w, int h, double chord_prob,
+                  double drop, const Region& region, Rng* rng,
+                  const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  auto at = [&](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double lat = region.lat_lo +
+                   (region.lat_hi - region.lat_lo) * (y + rng->Uniform(0.1, 0.4)) / h;
+      double lon = region.lon_lo +
+                   (region.lon_hi - region.lon_lo) * (x + rng->Uniform(0.1, 0.4)) / w;
+      t.AddPop("N" + std::to_string(t.graph.NodeCount()), lat, lon);
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w && !rng->Chance(drop)) {
+        t.AddCable(at(x, y), at(x + 1, y), caps.Pick(rng));
+      }
+      if (y + 1 < h && !rng->Chance(drop)) {
+        t.AddCable(at(x, y), at(x, y + 1), caps.Pick(rng));
+      }
+      if (x + 1 < w && y + 1 < h && rng->Chance(chord_prob)) {
+        t.AddCable(at(x, y), at(x + 1, y + 1), caps.Pick(rng));
+      }
+    }
+  }
+  EnsureConnected(&t, rng, caps.base_gbps);
+  return t;
+}
+
+Topology MakeClique(const std::string& name, int n, const Region& region,
+                    Rng* rng, const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  for (int i = 0; i < n; ++i) AddRandomPop(&t, region, rng);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      t.AddCable(i, j, caps.Pick(rng));
+    }
+  }
+  return t;
+}
+
+Topology MakeWaxman(const std::string& name, int n, double alpha, double beta,
+                    const Region& region, Rng* rng, const CapacityPlan& caps) {
+  Topology t;
+  t.name = name;
+  for (int i = 0; i < n; ++i) AddRandomPop(&t, region, rng);
+  // Max distance inside the region for normalization.
+  double max_km = HaversineKm({region.lat_lo, region.lon_lo},
+                              {region.lat_hi, region.lon_hi});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double km = HaversineKm(t.coords[static_cast<size_t>(i)],
+                              t.coords[static_cast<size_t>(j)]);
+      double p = alpha * std::exp(-km / (beta * max_km));
+      if (rng->Chance(p)) t.AddCable(i, j, caps.Pick(rng));
+    }
+  }
+  EnsureConnected(&t, rng, caps.base_gbps);
+  return t;
+}
+
+Topology MakeTwoCluster(const std::string& name, int w1, int h1, int w2,
+                        int h2, int bridges, const Region& r1,
+                        const Region& r2, Rng* rng, const CapacityPlan& caps) {
+  Topology t = MakeGrid(name, w1, h1, 0.15, 0.05, r1, rng, caps);
+  int offset = static_cast<int>(t.graph.NodeCount());
+  Topology c2 = MakeGrid("tmp", w2, h2, 0.15, 0.05, r2, rng, caps);
+  // Splice the second cluster in.
+  for (size_t i = 0; i < c2.graph.NodeCount(); ++i) {
+    t.AddPop("N" + std::to_string(t.graph.NodeCount()), c2.coords[i].lat_deg,
+             c2.coords[i].lon_deg);
+  }
+  std::vector<bool> done(c2.graph.LinkCount(), false);
+  for (LinkId id = 0; id < static_cast<LinkId>(c2.graph.LinkCount()); ++id) {
+    if (done[static_cast<size_t>(id)]) continue;
+    const Link& l = c2.graph.link(id);
+    LinkId rev = c2.graph.ReverseLink(id);
+    if (rev != kInvalidLink) done[static_cast<size_t>(rev)] = true;
+    t.AddCable(l.src + offset, l.dst + offset, l.capacity_gbps, l.delay_ms);
+  }
+  // Long-haul bridges between distinct endpoints on each side.
+  int added = 0;
+  for (int attempts = 0; added < bridges && attempts < bridges * 50;
+       ++attempts) {
+    NodeId a = static_cast<NodeId>(rng->NextIndex(static_cast<uint64_t>(offset)));
+    NodeId z = static_cast<NodeId>(
+        offset + static_cast<int>(rng->NextIndex(c2.graph.NodeCount())));
+    if (t.graph.HasLink(a, z)) continue;
+    t.AddCable(a, z, caps.base_gbps);
+    ++added;
+  }
+  EnsureConnected(&t, rng, caps.base_gbps);
+  return t;
+}
+
+}  // namespace ldr

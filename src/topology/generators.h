@@ -1,0 +1,91 @@
+// Topology family generators.
+//
+// The paper classifies the Topology Zoo's 116 wide-area networks into
+// recognizable structural families, each with a characteristic LLPD regime
+// (§2): tree-like networks (LLPD ≈ 0), wide rings (mid LLPD — path diversity
+// exists but the "wrong way round" is slow), 2-D grid-like meshes such as
+// GTS Central Europe (high LLPD), networks spanning continents with several
+// parallel long-haul paths such as Cogent (high LLPD), and full-mesh
+// overlays such as Globalcenter (clique; an artifact of overlay
+// provisioning). These generators synthesize each family with geographic
+// coordinates, so the corpus in zoo_corpus.h can stand in for the Zoo data.
+#ifndef LDR_TOPOLOGY_GENERATORS_H_
+#define LDR_TOPOLOGY_GENERATORS_H_
+
+#include <string>
+
+#include "topology/topology.h"
+#include "util/random.h"
+
+namespace ldr {
+
+// A lat/lon bounding box nodes are placed in.
+struct Region {
+  double lat_lo, lat_hi;
+  double lon_lo, lon_hi;
+};
+
+Region EuropeRegion();
+Region CentralEuropeRegion();
+Region UsRegion();
+Region AsiaRegion();
+
+// Capacity plan: a base tier with a fraction of thinner access links.
+struct CapacityPlan {
+  double base_gbps = 100;
+  double thin_gbps = 40;
+  double thin_fraction = 0.3;  // probability a link is thin
+
+  double Pick(Rng* rng) const {
+    return rng->Chance(thin_fraction) ? thin_gbps : base_gbps;
+  }
+};
+
+// Hub-and-spoke: one hub, n-1 leaves. Minimal path diversity.
+Topology MakeStar(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps = {});
+
+// Random tree: each new node attaches to a uniformly chosen earlier node.
+Topology MakeTree(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps = {});
+
+// Single ring around the region perimeter. Mid LLPD: an alternate always
+// exists but may be far longer.
+Topology MakeRing(const std::string& name, int n, const Region& region,
+                  Rng* rng, const CapacityPlan& caps = {});
+
+// Ring plus `chords` random cross links ("ladder"-like).
+Topology MakeChordedRing(const std::string& name, int n, int chords,
+                         const Region& region, Rng* rng,
+                         const CapacityPlan& caps = {});
+
+// w x h grid with optional diagonal chords; the GTS-like family. `drop`
+// randomly removes that fraction of grid edges (keeping connectivity).
+Topology MakeGrid(const std::string& name, int w, int h, double chord_prob,
+                  double drop, const Region& region, Rng* rng,
+                  const CapacityPlan& caps = {});
+
+// Full mesh (overlay-style network, e.g. ATM virtual circuits).
+Topology MakeClique(const std::string& name, int n, const Region& region,
+                    Rng* rng, const CapacityPlan& caps = {});
+
+// Waxman-style random geometric graph: connection probability decays with
+// distance; a spanning ring guarantees connectivity.
+Topology MakeWaxman(const std::string& name, int n, double alpha, double beta,
+                    const Region& region, Rng* rng,
+                    const CapacityPlan& caps = {});
+
+// Two regional sub-networks (grids) joined by `bridges` long-haul links —
+// the Cogent-like intercontinental family.
+Topology MakeTwoCluster(const std::string& name, int w1, int h1, int w2,
+                        int h2, int bridges, const Region& r1,
+                        const Region& r2, Rng* rng,
+                        const CapacityPlan& caps = {});
+
+// Guarantees strong connectivity by linking components at their nearest
+// node pair (used internally; exposed for tests and custom generators).
+void EnsureConnected(Topology* t, Rng* rng, double capacity_gbps);
+
+}  // namespace ldr
+
+#endif  // LDR_TOPOLOGY_GENERATORS_H_

@@ -1,0 +1,30 @@
+#include "topology/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldr {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kKmPerMs = 200.0;  // ~2/3 c in fiber
+constexpr double kMinDelayMs = 0.05;
+
+double Rad(double deg) { return deg * M_PI / 180.0; }
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  double dlat = Rad(b.lat_deg - a.lat_deg);
+  double dlon = Rad(b.lon_deg - a.lon_deg);
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(Rad(a.lat_deg)) * std::cos(Rad(b.lat_deg)) *
+                 std::sin(dlon / 2) * std::sin(dlon / 2);
+  h = std::min(1.0, h);
+  return 2 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+double PropagationDelayMs(const GeoPoint& a, const GeoPoint& b) {
+  return std::max(kMinDelayMs, HaversineKm(a, b) / kKmPerMs);
+}
+
+}  // namespace ldr

@@ -1,0 +1,25 @@
+// Geographic helpers: PoP coordinates, great-circle distances and
+// propagation delays. The paper computes link latencies from PoP locations
+// (via the REPETITA dataset); we do the same for the synthetic corpus —
+// delay is distance over the speed of light in fiber (~2/3 c, i.e. 1 ms per
+// 200 km round number used throughout the literature).
+#ifndef LDR_TOPOLOGY_GEO_H_
+#define LDR_TOPOLOGY_GEO_H_
+
+namespace ldr {
+
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+// Great-circle distance in km (haversine, mean earth radius 6371 km).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+// Propagation delay in ms for a fiber following the great circle:
+// 200 km per ms. A small constant floor (0.05 ms) models intra-metro links.
+double PropagationDelayMs(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace ldr
+
+#endif  // LDR_TOPOLOGY_GEO_H_

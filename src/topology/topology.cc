@@ -1,0 +1,131 @@
+#include "topology/topology.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ldr {
+
+NodeId Topology::AddPop(const std::string& pop_name, double lat, double lon) {
+  NodeId id = graph.AddNode(pop_name);
+  coords.push_back({lat, lon});
+  return id;
+}
+
+LinkId Topology::AddCable(NodeId a, NodeId b, double capacity_gbps,
+                          std::optional<double> delay_ms) {
+  double d = delay_ms.has_value()
+                 ? *delay_ms
+                 : PropagationDelayMs(coords[static_cast<size_t>(a)],
+                                      coords[static_cast<size_t>(b)]);
+  return graph.AddBidiLink(a, b, d, capacity_gbps);
+}
+
+std::string SerializeTopology(const Topology& t) {
+  std::ostringstream out;
+  out << "topology " << t.name << "\n";
+  for (size_t i = 0; i < t.graph.NodeCount(); ++i) {
+    out << "node " << t.graph.node_name(static_cast<NodeId>(i)) << " "
+        << t.coords[i].lat_deg << " " << t.coords[i].lon_deg << "\n";
+  }
+  // Emit each bidirectional pair once (forward link has the smaller id by
+  // AddBidiLink construction; emit when src < dst or reverse not yet seen).
+  std::vector<bool> done(t.graph.LinkCount(), false);
+  for (LinkId id = 0; id < static_cast<LinkId>(t.graph.LinkCount()); ++id) {
+    if (done[static_cast<size_t>(id)]) continue;
+    const Link& l = t.graph.link(id);
+    LinkId rev = t.graph.ReverseLink(id);
+    if (rev != kInvalidLink) done[static_cast<size_t>(rev)] = true;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "link %s %s %g %g\n",
+                  t.graph.node_name(l.src).c_str(),
+                  t.graph.node_name(l.dst).c_str(), l.capacity_gbps,
+                  l.delay_ms);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::optional<Topology> ParseTopology(const std::string& text,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Topology> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  Topology t;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+    if (kind == "topology") {
+      if (!(ls >> t.name)) return fail("line " + std::to_string(line_no) +
+                                       ": topology needs a name");
+    } else if (kind == "node") {
+      std::string name;
+      double lat, lon;
+      if (!(ls >> name >> lat >> lon)) {
+        return fail("line " + std::to_string(line_no) +
+                    ": node needs <name> <lat> <lon>");
+      }
+      if (t.graph.FindNode(name) != kInvalidNode) {
+        return fail("line " + std::to_string(line_no) + ": duplicate node " +
+                    name);
+      }
+      t.AddPop(name, lat, lon);
+    } else if (kind == "link") {
+      std::string a, b;
+      double cap;
+      if (!(ls >> a >> b >> cap)) {
+        return fail("line " + std::to_string(line_no) +
+                    ": link needs <a> <b> <capacity> [delay]");
+      }
+      NodeId na = t.graph.FindNode(a);
+      NodeId nb = t.graph.FindNode(b);
+      if (na == kInvalidNode || nb == kInvalidNode) {
+        return fail("line " + std::to_string(line_no) +
+                    ": link references unknown node");
+      }
+      double delay;
+      if (ls >> delay) {
+        t.AddCable(na, nb, cap, delay);
+      } else {
+        t.AddCable(na, nb, cap);
+      }
+    } else {
+      return fail("line " + std::to_string(line_no) + ": unknown keyword " +
+                  kind);
+    }
+  }
+  if (t.graph.NodeCount() == 0) return fail("no nodes");
+  return t;
+}
+
+std::string ToDot(const Topology& t) {
+  std::ostringstream out;
+  out << "graph \"" << t.name << "\" {\n  layout=neato;\n  node [shape=circle];\n";
+  for (size_t i = 0; i < t.graph.NodeCount(); ++i) {
+    out << "  \"" << t.graph.node_name(static_cast<NodeId>(i)) << "\" [pos=\""
+        << t.coords[i].lon_deg * 10 << "," << t.coords[i].lat_deg * 10
+        << "!\"];\n";
+  }
+  std::vector<bool> done(t.graph.LinkCount(), false);
+  for (LinkId id = 0; id < static_cast<LinkId>(t.graph.LinkCount()); ++id) {
+    if (done[static_cast<size_t>(id)]) continue;
+    const Link& l = t.graph.link(id);
+    LinkId rev = t.graph.ReverseLink(id);
+    if (rev != kInvalidLink) done[static_cast<size_t>(rev)] = true;
+    out << "  \"" << t.graph.node_name(l.src) << "\" -- \""
+        << t.graph.node_name(l.dst) << "\" [label=\"" << l.capacity_gbps
+        << "G\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ldr

@@ -1,0 +1,51 @@
+// A Topology is a named Graph plus PoP coordinates — the unit of study in
+// the paper (one Topology Zoo network). Includes a plain-text serialization
+// format so users with real Topology Zoo / REPETITA data can load it, and a
+// Graphviz exporter for inspection (the paper's Fig. 2 is such a rendering).
+#ifndef LDR_TOPOLOGY_TOPOLOGY_H_
+#define LDR_TOPOLOGY_TOPOLOGY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/geo.h"
+
+namespace ldr {
+
+struct Topology {
+  std::string name;
+  Graph graph;
+  std::vector<GeoPoint> coords;  // one per node
+
+  // Adds a node with coordinates; keeps graph and coords in sync.
+  NodeId AddPop(const std::string& pop_name, double lat, double lon);
+
+  // Adds both directions; delay computed from the endpoints' coordinates
+  // unless an explicit delay is supplied.
+  LinkId AddCable(NodeId a, NodeId b, double capacity_gbps,
+                  std::optional<double> delay_ms = std::nullopt);
+};
+
+// --- Plain text format ------------------------------------------------------
+//
+//   # comment
+//   topology <name>
+//   node <name> <lat> <lon>
+//   link <node-a> <node-b> <capacity-gbps> [delay-ms]
+//
+// `link` is bidirectional; omitted delay is computed from coordinates.
+
+std::string SerializeTopology(const Topology& t);
+
+// Returns nullopt and fills *error on malformed input.
+std::optional<Topology> ParseTopology(const std::string& text,
+                                      std::string* error = nullptr);
+
+// Graphviz (neato-friendly: coordinates become pos attributes).
+std::string ToDot(const Topology& t);
+
+}  // namespace ldr
+
+#endif  // LDR_TOPOLOGY_TOPOLOGY_H_

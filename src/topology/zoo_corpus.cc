@@ -1,0 +1,193 @@
+#include "topology/zoo_corpus.h"
+
+#include <string>
+
+namespace ldr {
+
+namespace {
+
+// Every generator call below forks a child RNG from a fixed master seed, so
+// corpus entry i is a pure function of this constant.
+constexpr uint64_t kCorpusSeed = 0x1d0c0de5;
+
+}  // namespace
+
+Topology GtsLike() {
+  Rng rng(7001);
+  // A 5x5 grid over Central Europe with diagonal chords and a couple of
+  // dropped edges: the structure of GTS's network in the paper's Fig. 2.
+  Topology t = MakeGrid("GTS-like", 5, 5, 0.25, 0.06, CentralEuropeRegion(),
+                        &rng, {100, 40, 0.25});
+  // Give a few nodes the city names used in the paper's Fig. 5 narrative.
+  // (Names are cosmetic; positions stay as generated.)
+  return t;
+}
+
+Topology CogentLike() {
+  Rng rng(7002);
+  return MakeTwoCluster("Cogent-like", 4, 3, 4, 3, 4, UsRegion(),
+                        EuropeRegion(), &rng, {100, 40, 0.2});
+}
+
+Topology GlobalcenterLike() {
+  Rng rng(7003);
+  return MakeClique("Globalcenter-like", 9, UsRegion(), &rng, {40, 40, 0.0});
+}
+
+Topology GoogleLike() {
+  Rng rng(7004);
+  // Three continental grids, densely chorded, with >= 3 long-haul links
+  // between each continent pair: an enterprise WAN built for dynamic
+  // latency-minimizing routing (paper §8, LLPD 0.875).
+  Topology t = MakeGrid("Google-like", 4, 3, 0.5, 0.0, UsRegion(), &rng,
+                        {100, 100, 0.0});
+  auto splice = [&](const Region& region) {
+    int offset = static_cast<int>(t.graph.NodeCount());
+    Topology c = MakeGrid("tmp", 4, 3, 0.5, 0.0, region, &rng, {100, 100, 0.0});
+    for (size_t i = 0; i < c.graph.NodeCount(); ++i) {
+      t.AddPop("N" + std::to_string(t.graph.NodeCount()),
+               c.coords[i].lat_deg, c.coords[i].lon_deg);
+    }
+    std::vector<bool> done(c.graph.LinkCount(), false);
+    for (LinkId id = 0; id < static_cast<LinkId>(c.graph.LinkCount()); ++id) {
+      if (done[static_cast<size_t>(id)]) continue;
+      const Link& l = c.graph.link(id);
+      LinkId rev = c.graph.ReverseLink(id);
+      if (rev != kInvalidLink) done[static_cast<size_t>(rev)] = true;
+      t.AddCable(l.src + offset, l.dst + offset, l.capacity_gbps, l.delay_ms);
+    }
+    return offset;
+  };
+  int eu = splice(EuropeRegion());
+  int asia = splice(AsiaRegion());
+  int per_cluster = 12;
+  auto bridge = [&](int off_a, int off_b, int count) {
+    for (int i = 0; i < count; ++i) {
+      NodeId a = static_cast<NodeId>(
+          off_a + static_cast<int>(rng.NextIndex(per_cluster)));
+      NodeId b = static_cast<NodeId>(
+          off_b + static_cast<int>(rng.NextIndex(per_cluster)));
+      if (!t.graph.HasLink(a, b)) t.AddCable(a, b, 100);
+    }
+  };
+  bridge(0, eu, 4);
+  bridge(eu, asia, 4);
+  bridge(0, asia, 4);
+  EnsureConnected(&t, &rng, 100);
+  return t;
+}
+
+std::vector<Topology> ZooCorpus() {
+  std::vector<Topology> corpus;
+  corpus.reserve(116);
+  Rng master(kCorpusSeed);
+  int idx = 0;
+  auto name = [&](const char* family) {
+    return std::string(family) + "-" + std::to_string(idx++);
+  };
+  auto region_for = [&](Rng* rng) {
+    switch (rng->NextIndex(3)) {
+      case 0:
+        return EuropeRegion();
+      case 1:
+        return UsRegion();
+      default:
+        return AsiaRegion();
+    }
+  };
+
+  // 10 stars.
+  for (int i = 0; i < 10; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(1000 + i));
+    Region r = region_for(&rng);
+    corpus.push_back(
+        MakeStar(name("Star"), 8 + static_cast<int>(rng.NextIndex(20)), r,
+                 &rng, {100, 40, 0.3}));
+  }
+  // 18 trees.
+  for (int i = 0; i < 18; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(2000 + i));
+    Region r = region_for(&rng);
+    corpus.push_back(
+        MakeTree(name("Tree"), 10 + static_cast<int>(rng.NextIndex(25)), r,
+                 &rng, {100, 40, 0.3}));
+  }
+  // 16 plain rings.
+  for (int i = 0; i < 16; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(3000 + i));
+    Region r = region_for(&rng);
+    corpus.push_back(
+        MakeRing(name("Ring"), 8 + static_cast<int>(rng.NextIndex(20)), r,
+                 &rng, {100, 40, 0.2}));
+  }
+  // 12 chorded rings ("ladders").
+  for (int i = 0; i < 12; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(4000 + i));
+    Region r = region_for(&rng);
+    int n = 10 + static_cast<int>(rng.NextIndex(18));
+    corpus.push_back(MakeChordedRing(name("ChordRing"), n, 2 + n / 6, r, &rng,
+                                     {100, 40, 0.2}));
+  }
+  // 20 grids (one is the named GTS-like).
+  corpus.push_back(GtsLike());
+  ++idx;
+  for (int i = 0; i < 19; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(5000 + i));
+    Region r = region_for(&rng);
+    int w = 3 + static_cast<int>(rng.NextIndex(4));
+    int h = 3 + static_cast<int>(rng.NextIndex(3));
+    corpus.push_back(MakeGrid(name("Grid"), w, h, rng.Uniform(0.1, 0.4),
+                              rng.Uniform(0.0, 0.1), r, &rng, {100, 40, 0.25}));
+  }
+  // 14 Waxman random geometric graphs.
+  for (int i = 0; i < 14; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(6000 + i));
+    Region r = region_for(&rng);
+    corpus.push_back(MakeWaxman(name("Waxman"),
+                                12 + static_cast<int>(rng.NextIndex(20)),
+                                rng.Uniform(0.4, 0.9), rng.Uniform(0.15, 0.4),
+                                r, &rng, {100, 40, 0.3}));
+  }
+  // 14 two-cluster intercontinental networks (one is Cogent-like).
+  corpus.push_back(CogentLike());
+  ++idx;
+  for (int i = 0; i < 13; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(7000 + i));
+    int w1 = 3 + static_cast<int>(rng.NextIndex(2));
+    int w2 = 3 + static_cast<int>(rng.NextIndex(2));
+    Region a = rng.Chance(0.5) ? UsRegion() : AsiaRegion();
+    corpus.push_back(MakeTwoCluster(name("TwoCluster"), w1, 3, w2, 2,
+                                    2 + static_cast<int>(rng.NextIndex(3)), a,
+                                    EuropeRegion(), &rng, {100, 40, 0.2}));
+  }
+  // 6 cliques (one is Globalcenter-like).
+  corpus.push_back(GlobalcenterLike());
+  ++idx;
+  for (int i = 0; i < 5; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(8000 + i));
+    Region r = region_for(&rng);
+    corpus.push_back(MakeClique(name("Clique"),
+                                6 + static_cast<int>(rng.NextIndex(6)), r,
+                                &rng, {40, 40, 0.0}));
+  }
+  // 6 hybrids: a grid core with tree tails (common real-world shape).
+  for (int i = 0; i < 6; ++i) {
+    Rng rng = master.Fork(static_cast<uint64_t>(9000 + i));
+    Region r = region_for(&rng);
+    Topology t = MakeGrid(name("Hybrid"), 3, 3, 0.2, 0.0, r, &rng,
+                          {100, 40, 0.25});
+    int tails = 4 + static_cast<int>(rng.NextIndex(6));
+    for (int k = 0; k < tails; ++k) {
+      GeoPoint p{rng.Uniform(r.lat_lo, r.lat_hi),
+                 rng.Uniform(r.lon_lo, r.lon_hi)};
+      NodeId leaf = t.AddPop("N" + std::to_string(t.graph.NodeCount()),
+                             p.lat_deg, p.lon_deg);
+      NodeId attach = static_cast<NodeId>(rng.NextIndex(9));
+      t.AddCable(attach, leaf, 40);
+    }
+    corpus.push_back(std::move(t));
+  }
+  return corpus;
+}
+
+}  // namespace ldr

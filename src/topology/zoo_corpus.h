@@ -1,0 +1,37 @@
+// The synthetic stand-in for the Internet Topology Zoo.
+//
+// The paper evaluates 116 real wide-area networks (diameter > 10 ms) from
+// the Topology Zoo, whose data files are not available offline. ZooCorpus()
+// deterministically generates 116 synthetic networks spanning the same
+// structural families and LLPD range (see DESIGN.md §2 for the substitution
+// argument). Four named topologies mirror networks the paper calls out:
+//
+//   GtsLike()           — grid over Central Europe, high LLPD (paper Fig. 2)
+//   CogentLike()        — two continental grids + transatlantic bridges
+//   GlobalcenterLike()  — full mesh (an overlay; clique artifact in Fig. 1)
+//   GoogleLike()        — three-continent enterprise mesh, highest LLPD
+//                         (paper Fig. 19, LLPD = 0.875)
+#ifndef LDR_TOPOLOGY_ZOO_CORPUS_H_
+#define LDR_TOPOLOGY_ZOO_CORPUS_H_
+
+#include <vector>
+
+#include "topology/generators.h"
+#include "topology/topology.h"
+
+namespace ldr {
+
+// All 116 networks; index i is always the same network for a given library
+// version. The named specials below are members of the corpus.
+std::vector<Topology> ZooCorpus();
+
+Topology GtsLike();
+Topology CogentLike();
+Topology GlobalcenterLike();
+
+// Not part of ZooCorpus(): the enterprise-WAN datapoint added in Fig. 19.
+Topology GoogleLike();
+
+}  // namespace ldr
+
+#endif  // LDR_TOPOLOGY_ZOO_CORPUS_H_

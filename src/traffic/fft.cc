@@ -1,0 +1,92 @@
+#include "traffic/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldr {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>* data, bool invert) {
+  auto& a = *data;
+  size_t n = a.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2 * M_PI / static_cast<double>(len) * (invert ? -1 : 1);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (invert) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> ConvolvePmfs(
+    const std::vector<std::vector<double>>& pmfs) {
+  if (pmfs.empty()) return {};
+  size_t out_len = 1;
+  for (const auto& p : pmfs) {
+    if (p.empty()) return {};
+    out_len += p.size() - 1;
+  }
+  size_t fft_len = NextPowerOfTwo(out_len);
+  std::vector<std::complex<double>> acc(fft_len, 0.0);
+  acc[0] = 1.0;  // identity PMF (all mass at 0)
+  Fft(&acc, false);
+  std::vector<std::complex<double>> cur(fft_len);
+  for (const auto& p : pmfs) {
+    std::fill(cur.begin(), cur.end(), std::complex<double>(0));
+    for (size_t i = 0; i < p.size(); ++i) cur[i] = p[i];
+    Fft(&cur, false);
+    for (size_t i = 0; i < fft_len; ++i) acc[i] *= cur[i];
+  }
+  Fft(&acc, true);
+  std::vector<double> out(out_len);
+  for (size_t i = 0; i < out_len; ++i) out[i] = std::max(0.0, acc[i].real());
+  return out;
+}
+
+std::vector<double> QuantizeToPmf(const std::vector<double>& samples_gbps,
+                                  double bin_gbps) {
+  std::vector<double> pmf;
+  if (samples_gbps.empty() || bin_gbps <= 0) return pmf;
+  for (double v : samples_gbps) {
+    size_t bin = static_cast<size_t>(std::max(0.0, v) / bin_gbps);
+    if (pmf.size() <= bin) pmf.resize(bin + 1, 0.0);
+    pmf[bin] += 1.0;
+  }
+  double inv = 1.0 / static_cast<double>(samples_gbps.size());
+  for (double& p : pmf) p *= inv;
+  return pmf;
+}
+
+double TailProbability(const std::vector<double>& pmf, double bin_gbps,
+                       double threshold_gbps) {
+  double tail = 0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    if (static_cast<double>(i) * bin_gbps >= threshold_gbps) tail += pmf[i];
+  }
+  return tail;
+}
+
+}  // namespace ldr

@@ -1,0 +1,37 @@
+// Iterative radix-2 FFT and PMF convolution — the §5 machinery for checking
+// uncorrelated statistical multiplexing: each aggregate's 100 ms rate
+// measurements form a probability mass function; the distribution of the sum
+// of independent aggregates is the convolution of their PMFs, computed in
+// O(N log N) by multiplying in the frequency domain.
+#ifndef LDR_TRAFFIC_FFT_H_
+#define LDR_TRAFFIC_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ldr {
+
+// In-place iterative Cooley-Tukey; size must be a power of two.
+void Fft(std::vector<std::complex<double>>* a, bool invert);
+
+size_t NextPowerOfTwo(size_t n);
+
+// Convolution of real non-negative sequences (PMFs over a shared bin
+// width). Result length = sum of lengths - (count - 1); tiny negative
+// numerical residues are clamped to zero.
+std::vector<double> ConvolvePmfs(const std::vector<std::vector<double>>& pmfs);
+
+// Quantizes rate samples (Gbps) into a PMF over bins of `bin_gbps`, bin i
+// covering [i*bin, (i+1)*bin). Values are probabilities summing to 1.
+std::vector<double> QuantizeToPmf(const std::vector<double>& samples_gbps,
+                                  double bin_gbps);
+
+// P(sum > threshold) for a PMF over the given bin width: total mass of bins
+// whose *lower edge* is at or above the threshold (conservative).
+double TailProbability(const std::vector<double>& pmf, double bin_gbps,
+                       double threshold_gbps);
+
+}  // namespace ldr
+
+#endif  // LDR_TRAFFIC_FFT_H_

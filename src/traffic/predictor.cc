@@ -1,0 +1,36 @@
+#include "traffic/predictor.h"
+
+#include <algorithm>
+
+namespace ldr {
+
+double MeanRatePredictor::Update(double measured_mean) {
+  double scaled_est = measured_mean * hedge_;
+  if (!primed_) {
+    prediction_ = scaled_est;
+    primed_ = true;
+    return prediction_;
+  }
+  if (scaled_est > prediction_) {
+    prediction_ = scaled_est;
+  } else {
+    prediction_ = std::max(prediction_ * decay_, scaled_est);
+  }
+  return prediction_;
+}
+
+std::vector<double> PredictionRatios(const std::vector<double>& minute_means,
+                                     double decay_multiplier,
+                                     double fixed_hedge) {
+  std::vector<double> ratios;
+  MeanRatePredictor pred(decay_multiplier, fixed_hedge);
+  for (size_t i = 0; i + 1 < minute_means.size(); ++i) {
+    double predicted = pred.Update(minute_means[i]);
+    if (predicted > 0) {
+      ratios.push_back(minute_means[i + 1] / predicted);
+    }
+  }
+  return ratios;
+}
+
+}  // namespace ldr

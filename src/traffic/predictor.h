@@ -1,0 +1,43 @@
+// Algorithm 1 from the paper: predicting the next minute's mean traffic
+// level. A deliberately simple conservative estimator — rises immediately
+// with measured traffic (with a 10% hedge against growth) and decays slowly
+// (2% per minute) when traffic drops, so aggregates can grow by 10% before
+// exceeding the predicted level.
+#ifndef LDR_TRAFFIC_PREDICTOR_H_
+#define LDR_TRAFFIC_PREDICTOR_H_
+
+#include <vector>
+
+namespace ldr {
+
+class MeanRatePredictor {
+ public:
+  explicit MeanRatePredictor(double decay_multiplier = 0.98,
+                             double fixed_hedge = 1.1)
+      : decay_(decay_multiplier), hedge_(fixed_hedge) {}
+
+  // Feeds the value measured over the last minute; returns (and stores) the
+  // prediction for the next minute. The first call simply hedges the first
+  // measurement.
+  double Update(double measured_mean);
+
+  double prediction() const { return prediction_; }
+  bool primed() const { return primed_; }
+
+ private:
+  double decay_;
+  double hedge_;
+  double prediction_ = 0;
+  bool primed_ = false;
+};
+
+// Runs the predictor over a series of per-minute means; returns, for each
+// minute i >= 1, the ratio measured[i] / predicted[i] — the quantity whose
+// CDF is the paper's Fig. 9.
+std::vector<double> PredictionRatios(const std::vector<double>& minute_means,
+                                     double decay_multiplier = 0.98,
+                                     double fixed_hedge = 1.1);
+
+}  // namespace ldr
+
+#endif  // LDR_TRAFFIC_PREDICTOR_H_

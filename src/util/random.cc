@@ -1,0 +1,46 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldr {
+
+double Rng::Gaussian() noexcept {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double mean) noexcept {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) {
+  weights_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    weights_[k] = 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    total += weights_[k];
+  }
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    weights_[k] /= total;
+    acc += weights_[k];
+    cdf_[k] = acc;
+  }
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace ldr

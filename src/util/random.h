@@ -1,0 +1,96 @@
+// Deterministic random number utilities.
+//
+// All stochastic pieces of the library (topology corpus, traffic matrices,
+// trace synthesis) draw from this PRNG so that every experiment in the paper
+// reproduction is exactly repeatable from a seed.
+#ifndef LDR_UTIL_RANDOM_H_
+#define LDR_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ldr {
+
+// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Used instead of
+// std::mt19937 so streams are stable across standard library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) noexcept : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t NextU64() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextIndex(uint64_t n) noexcept { return NextU64() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) noexcept {
+    return lo + static_cast<int64_t>(NextIndex(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller (one value per call; cached pair unused to
+  // keep the stream position deterministic and simple to reason about).
+  double Gaussian() noexcept;
+
+  // Exponential with the given mean.
+  double Exponential(double mean) noexcept;
+
+  // Bernoulli trial.
+  bool Chance(double p) noexcept { return NextDouble() < p; }
+
+  // Derive an independent child generator; stable function of (seed, salt).
+  Rng Fork(uint64_t salt) noexcept { return Rng(state_ ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)); }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) noexcept {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextIndex(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Samples ranks from a Zipf distribution with exponent `alpha` over `n`
+// items (rank 0 is the most popular). Used by the gravity traffic-matrix
+// model: the paper notes real-world PoP traffic aggregates follow Zipf.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha);
+
+  // Weight of rank k (normalized so all weights sum to 1).
+  double Weight(size_t rank) const { return weights_[rank]; }
+
+  // Sample a rank using the provided RNG (inverse-CDF lookup, O(log n)).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;  // normalized probabilities by rank
+  std::vector<double> cdf_;      // cumulative
+};
+
+}  // namespace ldr
+
+#endif  // LDR_UTIL_RANDOM_H_

@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ldr {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double idx = (p / 100.0) * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double s = 0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  double m = Mean(values);
+  double s = 0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size() - 1));
+}
+
+double MaxOf(const std::vector<double>& values) {
+  double m = -1e300;
+  for (double v : values) m = std::max(m, v);
+  return values.empty() ? 0 : m;
+}
+
+double MinOf(const std::vector<double>& values) {
+  double m = 1e300;
+  for (double v : values) m = std::min(m, v);
+  return values.empty() ? 0 : m;
+}
+
+double Sum(const std::vector<double>& values) {
+  double s = 0;
+  for (double v : values) s += v;
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {
+  EnsureSorted();
+}
+
+void EmpiricalCdf::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::FractionAtOrBelow(double x) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::ValueAt(double q) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::PlotPoints(
+    size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  EnsureSorted();
+  size_t n = samples_.size();
+  size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != samples_.back()) {
+    out.emplace_back(samples_.back(), 1.0);
+  }
+  return out;
+}
+
+void PrintSeriesRow(const std::string& series, double x, double y) {
+  std::printf("%s\t%.6g\t%.6g\n", series.c_str(), x, y);
+}
+
+void PrintCdf(const std::string& series, const EmpiricalCdf& cdf,
+              size_t max_points) {
+  for (const auto& [x, y] : cdf.PlotPoints(max_points)) {
+    PrintSeriesRow(series, x, y);
+  }
+}
+
+}  // namespace ldr

@@ -1,0 +1,69 @@
+// Small statistics helpers used throughout the evaluation harness: empirical
+// CDFs, percentiles, means/stddevs, and a fixed-bin histogram. All functions
+// are value-semantic and allocation-light per the C++ Core Guidelines.
+#ifndef LDR_UTIL_STATS_H_
+#define LDR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldr {
+
+// Percentile of `values` with linear interpolation, p in [0, 100].
+// Does not require the input to be sorted. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+// Median shorthand.
+inline double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+double MaxOf(const std::vector<double>& values);
+double MinOf(const std::vector<double>& values);
+double Sum(const std::vector<double>& values);
+
+// An empirical CDF: the sorted sample plus helpers to evaluate and print it.
+// This is the workhorse for every figure in the paper that plots a CDF
+// (Figs. 1, 7, 9, 15, 16).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void Add(double v);
+
+  // Fraction of samples <= x.
+  double FractionAtOrBelow(double x) const;
+
+  // Value at cumulative fraction q in [0, 1].
+  double ValueAt(double q) const;
+
+  size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Evenly spaced (x, F(x)) points suitable for plotting; at most
+  // `max_points` rows (downsampled for large samples).
+  std::vector<std::pair<double, double>> PlotPoints(size_t max_points = 100) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Prints "series<TAB>x<TAB>y" rows — the common output format of every
+// figure bench, so the paper's plots can be regenerated with any plotting
+// tool directly from bench stdout.
+void PrintSeriesRow(const std::string& series, double x, double y);
+
+// Prints a CDF as series rows.
+void PrintCdf(const std::string& series, const EmpiricalCdf& cdf,
+              size_t max_points = 100);
+
+}  // namespace ldr
+
+#endif  // LDR_UTIL_STATS_H_

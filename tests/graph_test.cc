@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/graph.h"
+#include "graph/ksp.h"
+#include "graph/max_flow.h"
+#include "graph/shortest_path.h"
+#include "util/random.h"
+
+namespace ldr {
+namespace {
+
+// A small diamond: A->B->D (cheap), A->C->D (expensive), plus A->D direct
+// (most expensive single hop).
+Graph Diamond() {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C"),
+         d = g.AddNode("D");
+  g.AddBidiLink(a, b, 1, 10);
+  g.AddBidiLink(b, d, 1, 10);
+  g.AddBidiLink(a, c, 2, 10);
+  g.AddBidiLink(c, d, 2, 10);
+  g.AddBidiLink(a, d, 10, 10);
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.NodeCount(), 4u);
+  EXPECT_EQ(g.LinkCount(), 10u);  // 5 bidi
+  EXPECT_EQ(g.FindNode("C"), 2);
+  EXPECT_EQ(g.FindNode("nope"), kInvalidNode);
+  EXPECT_TRUE(g.HasLink(0, 1));
+  EXPECT_FALSE(g.HasLink(1, 2));
+}
+
+TEST(Graph, ReverseLink) {
+  Graph g = Diamond();
+  LinkId fwd = 0;  // A->B
+  LinkId rev = g.ReverseLink(fwd);
+  ASSERT_NE(rev, kInvalidLink);
+  EXPECT_EQ(g.link(rev).src, g.link(fwd).dst);
+  EXPECT_EQ(g.link(rev).dst, g.link(fwd).src);
+}
+
+TEST(Path, DelayBottleneckNodes) {
+  Graph g = Diamond();
+  auto sp = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 2.0);  // A->B->D
+  EXPECT_DOUBLE_EQ(sp->BottleneckGbps(g), 10.0);
+  auto nodes = sp->Nodes(g);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes.front(), 0);
+  EXPECT_EQ(nodes.back(), 3);
+  EXPECT_EQ(sp->ToString(g), "A->B->D");
+}
+
+TEST(ShortestPath, RespectsLinkExclusion) {
+  Graph g = Diamond();
+  ExclusionSet excl;
+  excl.links.assign(g.LinkCount(), false);
+  // Kill A->B (link 0).
+  excl.links[0] = true;
+  auto sp = ShortestPath(g, 0, 3, excl);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 4.0);  // A->C->D
+}
+
+TEST(ShortestPath, RespectsNodeExclusion) {
+  Graph g = Diamond();
+  ExclusionSet excl;
+  excl.nodes.assign(g.NodeCount(), false);
+  excl.nodes[1] = true;  // exclude B
+  excl.nodes[2] = true;  // exclude C
+  auto sp = ShortestPath(g, 0, 3, excl);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 10.0);  // direct A->D
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  EXPECT_FALSE(ShortestPath(g, 0, 1).has_value());
+}
+
+TEST(ShortestPath, SelfPathIsEmpty) {
+  Graph g = Diamond();
+  auto sp = ShortestPath(g, 2, 2);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_TRUE(sp->empty());
+}
+
+TEST(AllPairs, MatchesPointQueries) {
+  Graph g = Diamond();
+  auto apsp = AllPairsShortestDelay(g);
+  size_t n = g.NodeCount();
+  for (NodeId s = 0; s < static_cast<NodeId>(n); ++s) {
+    for (NodeId d = 0; d < static_cast<NodeId>(n); ++d) {
+      if (s == d) continue;
+      auto sp = ShortestPath(g, s, d);
+      ASSERT_TRUE(sp.has_value());
+      EXPECT_DOUBLE_EQ(apsp[static_cast<size_t>(s) * n + static_cast<size_t>(d)],
+                       sp->DelayMs(g));
+    }
+  }
+}
+
+TEST(Connectivity, DetectsDisconnected) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  g.AddBidiLink(a, b, 1, 1);
+  EXPECT_FALSE(IsStronglyConnected(g));
+  g.AddBidiLink(b, c, 1, 1);
+  EXPECT_TRUE(IsStronglyConnected(g));
+}
+
+TEST(Connectivity, DirectedOneWayIsNotStrong) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  g.AddLink(a, b, 1, 1);
+  EXPECT_FALSE(IsStronglyConnected(g));
+}
+
+TEST(Diameter, Diamond) {
+  Graph g = Diamond();
+  // Farthest pair: B<->C via A (3ms).
+  EXPECT_DOUBLE_EQ(DiameterMs(g), 3.0);
+}
+
+TEST(Ksp, ProducesPathsInDelayOrder) {
+  Graph g = Diamond();
+  KspGenerator gen(&g, 0, 3);
+  std::vector<double> delays;
+  for (size_t k = 0; k < 10; ++k) {
+    const Path* p = gen.Get(k);
+    if (p == nullptr) break;
+    delays.push_back(p->DelayMs(g));
+  }
+  ASSERT_GE(delays.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(delays.begin(), delays.end()));
+  EXPECT_DOUBLE_EQ(delays[0], 2.0);   // A-B-D
+  EXPECT_DOUBLE_EQ(delays[1], 4.0);   // A-C-D
+  EXPECT_DOUBLE_EQ(delays[2], 10.0);  // A-D
+}
+
+TEST(Ksp, PathsAreSimpleAndDistinct) {
+  Graph g = Diamond();
+  KspGenerator gen(&g, 0, 3);
+  std::set<std::vector<LinkId>> seen;
+  for (size_t k = 0;; ++k) {
+    const Path* p = gen.Get(k);
+    if (p == nullptr) break;
+    EXPECT_TRUE(seen.insert(p->links()).second) << "duplicate path";
+    // Simple: no repeated nodes.
+    auto nodes = p->Nodes(g);
+    std::set<NodeId> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), nodes.size());
+  }
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(Ksp, PointersStableAcrossGrowth) {
+  Graph g = Diamond();
+  KspGenerator gen(&g, 0, 3);
+  const Path* first = gen.Get(0);
+  for (size_t k = 1; k < 6; ++k) gen.Get(k);
+  EXPECT_EQ(first, gen.Get(0));
+  EXPECT_DOUBLE_EQ(first->DelayMs(g), 2.0);
+}
+
+TEST(Ksp, ExhaustsFiniteGraph) {
+  // Two nodes, one bidi link: exactly one simple path each way.
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  g.AddBidiLink(a, b, 1, 1);
+  KspGenerator gen(&g, a, b);
+  EXPECT_NE(gen.Get(0), nullptr);
+  EXPECT_EQ(gen.Get(1), nullptr);
+}
+
+TEST(Ksp, NoPathAtAll) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  KspGenerator gen(&g, 0, 1);
+  EXPECT_EQ(gen.Get(0), nullptr);
+}
+
+TEST(Ksp, HonorsBaseExclusion) {
+  Graph g = Diamond();
+  ExclusionSet excl;
+  excl.links.assign(g.LinkCount(), false);
+  excl.links[0] = true;  // A->B gone
+  KspGenerator gen(&g, 0, 3, excl);
+  for (size_t k = 0;; ++k) {
+    const Path* p = gen.Get(k);
+    if (p == nullptr) break;
+    EXPECT_FALSE(p->ContainsLink(0));
+  }
+}
+
+TEST(Ksp, CacheReturnsSameGenerator) {
+  Graph g = Diamond();
+  KspCache cache(&g);
+  KspGenerator* g1 = cache.Get(0, 3);
+  KspGenerator* g2 = cache.Get(0, 3);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Get(1, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Property test: on random graphs, KSP yields distinct simple paths in
+// non-decreasing delay order, and the first equals Dijkstra's path delay.
+class KspRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KspRandomTest, OrderAndSimplicity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Graph g;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) g.AddNode("n" + std::to_string(i));
+  // Random connected-ish graph: ring + random chords.
+  for (int i = 0; i < n; ++i) {
+    g.AddBidiLink(i, (i + 1) % n, rng.Uniform(1, 10), 10);
+  }
+  for (int i = 0; i < n; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u != v && !g.HasLink(u, v)) {
+      g.AddBidiLink(u, v, rng.Uniform(1, 10), 10);
+    }
+  }
+  NodeId src = 0, dst = n / 2;
+  KspGenerator gen(&g, src, dst);
+  auto sp = ShortestPath(g, src, dst);
+  ASSERT_TRUE(sp.has_value());
+  ASSERT_NE(gen.Get(0), nullptr);
+  EXPECT_DOUBLE_EQ(gen.Get(0)->DelayMs(g), sp->DelayMs(g));
+  double prev = 0;
+  std::set<std::vector<LinkId>> seen;
+  for (size_t k = 0; k < 25; ++k) {
+    const Path* p = gen.Get(k);
+    if (p == nullptr) break;
+    double d = p->DelayMs(g);
+    EXPECT_GE(d, prev - 1e-12);
+    prev = d;
+    EXPECT_TRUE(seen.insert(p->links()).second);
+    auto nodes = p->Nodes(g);
+    std::set<NodeId> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), nodes.size());
+    EXPECT_EQ(nodes.front(), src);
+    EXPECT_EQ(nodes.back(), dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KspRandomTest, ::testing::Range(1, 9));
+
+TEST(MaxFlow, SingleLink) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  g.AddLink(a, b, 1, 7.5);
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, a, b), 7.5);
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, b, a), 0.0);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  Graph g = Diamond();
+  // A->D: via B (10), via C (10), direct (10).
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, 0, 3), 30.0);
+}
+
+TEST(MaxFlow, BottleneckLimits) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  g.AddLink(a, b, 1, 100);
+  g.AddLink(b, c, 1, 3);
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, a, c), 3.0);
+}
+
+TEST(MaxFlow, RestrictedToAllowedLinks) {
+  Graph g = Diamond();
+  // Allow only the A->C->D path's links.
+  auto p = ShortestPath(g, 0, 3, [] {
+    ExclusionSet e;
+    return e;
+  }());
+  ASSERT_TRUE(p.has_value());
+  std::vector<LinkId> allowed = p->links();
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, 0, 3, {}, allowed), 10.0);
+}
+
+TEST(MaxFlow, DuplicateAllowedLinksCountOnce) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  LinkId l = g.AddLink(a, b, 1, 4);
+  std::vector<LinkId> allowed{l, l, l};
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, a, b, {}, allowed), 4.0);
+}
+
+TEST(MaxFlow, ExclusionRemovesCapacity) {
+  Graph g = Diamond();
+  ExclusionSet excl;
+  excl.links.assign(g.LinkCount(), false);
+  excl.links[8] = true;  // direct A->D
+  EXPECT_DOUBLE_EQ(MaxFlowGbps(g, 0, 3, excl), 20.0);
+}
+
+// Property: max-flow <= total out-capacity of source and <= total
+// in-capacity of destination; also symmetric on our bidi random graphs.
+class MaxFlowRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowRandomTest, CutBounds) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  Graph g;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) g.AddNode("n" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    g.AddBidiLink(i, (i + 1) % n, 1, rng.Uniform(1, 10));
+  }
+  for (int i = 0; i < 8; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u != v && !g.HasLink(u, v)) g.AddBidiLink(u, v, 1, rng.Uniform(1, 10));
+  }
+  NodeId s = 0, t = 5;
+  double flow = MaxFlowGbps(g, s, t);
+  double out_cap = 0, in_cap = 0;
+  for (LinkId id = 0; id < static_cast<LinkId>(g.LinkCount()); ++id) {
+    if (g.link(id).src == s) out_cap += g.link(id).capacity_gbps;
+    if (g.link(id).dst == t) in_cap += g.link(id).capacity_gbps;
+  }
+  EXPECT_LE(flow, out_cap + 1e-9);
+  EXPECT_LE(flow, in_cap + 1e-9);
+  EXPECT_GT(flow, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowRandomTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ldr

@@ -1,0 +1,170 @@
+// End-to-end tests reproducing the paper's qualitative claims on the
+// synthetic corpus — each of these is a sentence from the paper turned into
+// an assertion.
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+#include "metrics/llpd.h"
+#include "routing/link_based.h"
+#include "routing/lp_routing.h"
+#include "sim/corpus_runner.h"
+#include "sim/growth.h"
+#include "sim/workload.h"
+#include "topology/zoo_corpus.h"
+#include "util/stats.h"
+
+namespace ldr {
+namespace {
+
+Topology Named(const std::string& name) {
+  for (Topology& t : ZooCorpus()) {
+    if (t.name == name) return std::move(t);
+  }
+  ADD_FAILURE() << "missing corpus topology " << name;
+  return Topology{};
+}
+
+CorpusRunOptions FastOpts(std::vector<std::string> schemes) {
+  CorpusRunOptions opts;
+  opts.scheme_ids = std::move(schemes);
+  opts.workload.num_instances = 2;
+  return opts;
+}
+
+// §3, Fig. 3: "under moderate load shortest-path routing tends to
+// concentrate traffic in networks with multiple low-latency paths".
+TEST(EndToEnd, SpCongestsHighLlpdNotTrees) {
+  Topology gts = Named("GTS-like");
+  TopologyRun grun = RunTopology(gts, FastOpts({kSchemeSp}));
+  EXPECT_GT(grun.llpd, 0.4);
+  EXPECT_GT(Median(grun.schemes[0].congested_fraction), 0.0);
+
+  // A tree cannot concentrate traffic away from anything: SP is the only
+  // choice and the scaling step sizes traffic to fit MinMax == SP on trees.
+  Topology tree = Named("Tree-10");
+  TopologyRun trun = RunTopology(tree, FastOpts({kSchemeSp}));
+  EXPECT_LT(trun.llpd, 0.1);
+  EXPECT_DOUBLE_EQ(Median(trun.schemes[0].congested_fraction), 0.0);
+}
+
+// §3, Fig. 4(a): optimal routing fits all traffic with low stretch.
+TEST(EndToEnd, OptimalFitsEverythingWithLowStretch) {
+  for (const char* name : {"GTS-like", "Cogent-like"}) {
+    Topology t = Named(name);
+    TopologyRun run = RunTopology(t, FastOpts({kSchemeOptimal}));
+    const SchemeSeries& s = run.schemes[0];
+    for (size_t i = 0; i < s.feasible.size(); ++i) {
+      EXPECT_TRUE(s.feasible[i]) << name;
+      EXPECT_DOUBLE_EQ(s.congested_fraction[i], 0.0) << name;
+      EXPECT_LT(s.total_stretch[i], 1.15) << name;
+    }
+  }
+}
+
+// §3, Fig. 4(c)/(d): MinMax never congests but stretches more than
+// optimal; MinMaxK10 cannot always avoid congestion on diverse networks
+// but MinMax proper can.
+TEST(EndToEnd, MinMaxNeverCongestsButStretches) {
+  Topology t = Named("GTS-like");
+  TopologyRun run =
+      RunTopology(t, FastOpts({kSchemeOptimal, kSchemeMinMax}));
+  const SchemeSeries& opt = run.schemes[0];
+  const SchemeSeries& mm = run.schemes[1];
+  for (size_t i = 0; i < mm.feasible.size(); ++i) {
+    EXPECT_TRUE(mm.feasible[i]);
+    EXPECT_DOUBLE_EQ(mm.congested_fraction[i], 0.0);
+  }
+  EXPECT_GE(Median(mm.total_stretch), Median(opt.total_stretch) - 1e-6);
+}
+
+// §4, Fig. 7: under latency-optimal routing the busiest link runs near
+// 100%; under MinMax it keeps the scaled-down target (~77%) free slack.
+TEST(EndToEnd, HeadroomDialEndpoints) {
+  Topology t = Named("GTS-like");
+  KspCache cache(&t.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  auto aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+  std::vector<double> apsp = AllPairsShortestDelay(t.graph);
+  LatencyOptimalScheme opt(&t.graph, &cache);
+  MinMaxScheme mm(&t.graph, &cache);
+  EvalResult opt_eval = Evaluate(t.graph, aggs, opt.Route(aggs), apsp);
+  EvalResult mm_eval = Evaluate(t.graph, aggs, mm.Route(aggs), apsp);
+  EXPECT_GT(MaxOf(opt_eval.link_utilization), 0.97);
+  EXPECT_LT(MaxOf(mm_eval.link_utilization), 0.85);
+  // "most links are lightly loaded and exhibit similar utilization":
+  // mean utilizations are close.
+  EXPECT_NEAR(Mean(opt_eval.link_utilization),
+              Mean(mm_eval.link_utilization), 0.1);
+}
+
+// §5, Fig. 15's companion claim: the path-based iterative approach beats
+// the link-based formulation by a wide runtime margin on a diverse network.
+TEST(EndToEnd, PathBasedBeatsLinkBasedRuntime) {
+  Topology t = Named("GTS-like");
+  KspCache cache(&t.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  auto aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+  IterativeOptions iopts;
+  RoutingOutcome path_out = IterativeLpRoute(t.graph, aggs, &cache, iopts);
+  LinkBasedResult link_out = SolveLinkBased(t.graph, aggs);
+  ASSERT_TRUE(path_out.feasible);
+  ASSERT_TRUE(link_out.solved);
+  EXPECT_LT(path_out.solve_ms * 3, link_out.solve_ms)
+      << "path-based " << path_out.solve_ms << " ms vs link-based "
+      << link_out.solve_ms << " ms";
+}
+
+// §8, Fig. 19: the Google-like enterprise WAN has the highest LLPD, can't
+// be routed by SP, but B4 does well on it (it was designed for such a
+// network).
+TEST(EndToEnd, GoogleLikeWan) {
+  Topology google = GoogleLike();
+  CorpusRunOptions opts = FastOpts({kSchemeSp, kSchemeB4});
+  opts.max_nodes = 128;
+  TopologyRun run = RunTopology(google, opts);
+  EXPECT_GT(run.llpd, 0.6);
+  EXPECT_GT(Median(run.schemes[0].congested_fraction), 0.0);  // SP fails
+  EXPECT_DOUBLE_EQ(Median(run.schemes[1].congested_fraction), 0.0);  // B4 ok
+  EXPECT_LT(Median(run.schemes[1].total_stretch), 1.1);
+}
+
+// §8, Fig. 20 mechanics: greedy LLPD augmentation increases LLPD and the
+// same traffic is routed with no more absolute delay by the optimal scheme.
+TEST(EndToEnd, GrowthImprovesLlpdAndOptimalDelay) {
+  Rng rng(6060);
+  Topology ring = MakeChordedRing("ring", 12, 1, EuropeRegion(), &rng,
+                                  {100, 100, 0.0});
+  CorpusRunOptions opts = FastOpts({kSchemeOptimal});
+  opts.workload.target_utilization = 0.9;
+  KspCache cache(&ring.graph);
+  auto workloads = MakeScaledWorkloads(ring, &cache, opts.workload);
+  TopologyRun before = RunTopologyOnWorkloads(ring, workloads, opts);
+  GrowthOptions gopts;
+  gopts.link_fraction = 0.12;
+  std::vector<GrowthStep> steps = GreedyLlpdAugment(&ring, gopts, &rng);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_GT(steps.back().llpd_after, steps.front().llpd_before);
+  TopologyRun after = RunTopologyOnWorkloads(ring, workloads, opts);
+  EXPECT_LE(Median(after.schemes[0].weighted_delay_ms),
+            Median(before.schemes[0].weighted_delay_ms) * 1.02);
+}
+
+// Determinism: the whole pipeline is reproducible end to end.
+TEST(EndToEnd, DeterministicPipeline) {
+  Topology t = Named("GTS-like");
+  TopologyRun a = RunTopology(t, FastOpts({kSchemeB4}));
+  TopologyRun b = RunTopology(t, FastOpts({kSchemeB4}));
+  ASSERT_EQ(a.schemes[0].total_stretch.size(),
+            b.schemes[0].total_stretch.size());
+  for (size_t i = 0; i < a.schemes[0].total_stretch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.schemes[0].total_stretch[i],
+                     b.schemes[0].total_stretch[i]);
+    EXPECT_DOUBLE_EQ(a.schemes[0].congested_fraction[i],
+                     b.schemes[0].congested_fraction[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ldr

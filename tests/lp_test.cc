@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/lp.h"
+#include "util/random.h"
+
+namespace ldr::lp {
+namespace {
+
+TEST(Lp, TrivialBoundsOnly) {
+  Problem p;
+  int x = p.AddVariable(2, 5, 1.0);   // wants its lower bound
+  int y = p.AddVariable(-1, 3, -2.0);  // wants its upper bound
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.values[static_cast<size_t>(x)], 2);
+  EXPECT_DOUBLE_EQ(s.values[static_cast<size_t>(y)], 3);
+  EXPECT_DOUBLE_EQ(s.objective, 2 - 6);
+}
+
+TEST(Lp, SimpleTwoVariable) {
+  // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2, x,y >= 0.
+  // Optimum: y=2, x=2, obj=-6.
+  Problem p;
+  int x = p.AddVariable(0, 3, -1);
+  int y = p.AddVariable(0, 2, -2);
+  p.AddRow(RowType::kLe, 4, {{x, 1}, {y, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -6, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 2, 1e-7);
+}
+
+TEST(Lp, EqualityRow) {
+  // min x + y  s.t. x + y = 3, x in [0,2], y in [0,2]. obj = 3.
+  Problem p;
+  int x = p.AddVariable(0, 2, 1);
+  int y = p.AddVariable(0, 2, 1);
+  p.AddRow(RowType::kEq, 3, {{x, 1}, {y, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 3, 1e-7);
+  EXPECT_NEAR(s.values[0] + s.values[1], 3, 1e-7);
+}
+
+TEST(Lp, GeRow) {
+  // min x  s.t. x >= 7 expressed as row. x in [0, 100].
+  Problem p;
+  int x = p.AddVariable(0, 100, 1);
+  p.AddRow(RowType::kGe, 7, {{x, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.values[0], 7, 1e-7);
+}
+
+TEST(Lp, InfeasibleDetected) {
+  Problem p;
+  int x = p.AddVariable(0, 1, 1);
+  p.AddRow(RowType::kGe, 5, {{x, 1}});
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kInfeasible);
+}
+
+TEST(Lp, InfeasibleConflictingRows) {
+  Problem p;
+  int x = p.AddVariable(-kInfinity, kInfinity, 0);
+  p.AddRow(RowType::kLe, 1, {{x, 1}});
+  p.AddRow(RowType::kGe, 2, {{x, 1}});
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kInfeasible);
+}
+
+TEST(Lp, InconsistentBoundsInfeasible) {
+  Problem p;
+  p.AddVariable(3, 2, 1);
+  int y = p.AddVariable(0, 1, 1);
+  p.AddRow(RowType::kLe, 1, {{y, 1}});
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kInfeasible);
+}
+
+TEST(Lp, UnboundedDetected) {
+  // min -x with x >= 0 unbounded above, one slack row to force simplex path.
+  Problem p;
+  int x = p.AddVariable(0, kInfinity, -1);
+  int y = p.AddVariable(0, 1, 0);
+  p.AddRow(RowType::kLe, 10, {{y, 1}});
+  (void)x;
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kUnbounded);
+}
+
+TEST(Lp, FreeVariable) {
+  // min x^2-like proxy: min x s.t. x >= -5 via row; x free.
+  Problem p;
+  int x = p.AddVariable(-kInfinity, kInfinity, 1);
+  p.AddRow(RowType::kGe, -5, {{x, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.values[0], -5, 1e-7);
+}
+
+TEST(Lp, NegativeLowerBounds) {
+  // min x + y, x in [-3, 0], y in [-2, 2], x + y >= -4.
+  Problem p;
+  int x = p.AddVariable(-3, 0, 1);
+  int y = p.AddVariable(-2, 2, 1);
+  p.AddRow(RowType::kGe, -4, {{x, 1}, {y, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -4, 1e-7);
+}
+
+TEST(Lp, FixedVariable) {
+  // A variable with lo == hi participates as a constant.
+  Problem p;
+  int x = p.AddVariable(2, 2, 5);
+  int y = p.AddVariable(0, 10, 1);
+  p.AddRow(RowType::kGe, 6, {{x, 1}, {y, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.values[static_cast<size_t>(x)], 2);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 4, 1e-7);
+}
+
+TEST(Lp, DuplicateCoefficientsAreSummed) {
+  Problem p;
+  int x = p.AddVariable(0, 10, 1);
+  p.AddRow(RowType::kGe, 6, {{x, 1}, {x, 2}});  // 3x >= 6
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.values[0], 2, 1e-7);
+}
+
+TEST(Lp, DegenerateVertexTerminates) {
+  // Multiple redundant constraints through the optimum.
+  Problem p;
+  int x = p.AddVariable(0, kInfinity, -1);
+  int y = p.AddVariable(0, kInfinity, -1);
+  p.AddRow(RowType::kLe, 2, {{x, 1}, {y, 1}});
+  p.AddRow(RowType::kLe, 2, {{x, 1}, {y, 1}});
+  p.AddRow(RowType::kLe, 4, {{x, 2}, {y, 2}});
+  p.AddRow(RowType::kLe, 1, {{x, 1}});
+  p.AddRow(RowType::kLe, 1, {{y, 1}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -2, 1e-7);
+}
+
+TEST(Lp, ClassicDantzigExample) {
+  // max 3x + 2y + z  (min of negation) s.t.
+  //   2x + y + z <= 10, x + 3y + 2z <= 15, x <= 4. All >= 0.
+  Problem p;
+  int x = p.AddVariable(0, 4, -3);
+  int y = p.AddVariable(0, kInfinity, -2);
+  int z = p.AddVariable(0, kInfinity, -1);
+  p.AddRow(RowType::kLe, 10, {{x, 2}, {y, 1}, {z, 1}});
+  p.AddRow(RowType::kLe, 15, {{x, 1}, {y, 3}, {z, 2}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  // Optimum: x=3, y=4, z=0 -> 3*3+2*4 = 17? Check: 2*3+4=10 ok, 3+12=15 ok.
+  EXPECT_NEAR(-s.objective, 17, 1e-6);
+}
+
+TEST(Lp, TransportationProblem) {
+  // 2 suppliers (cap 20, 30), 3 consumers (demand 10, 25, 15), unit costs.
+  double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  Problem p;
+  int v[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      v[i][j] = p.AddVariable(0, kInfinity, cost[i][j]);
+    }
+  }
+  double supply[2] = {20, 30};
+  double demand[3] = {10, 25, 15};
+  for (int i = 0; i < 2; ++i) {
+    p.AddRow(RowType::kLe, supply[i],
+             {{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}});
+  }
+  for (int j = 0; j < 3; ++j) {
+    p.AddRow(RowType::kEq, demand[j], {{v[0][j], 1}, {v[1][j], 1}});
+  }
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  // Optimum: s2 serves c2 (25 @ cost 1) and c1 (5 @ cost 3); s1 serves the
+  // rest of c1 (5 @ cost 2) and all of c3 (15 @ cost 5):
+  // 25 + 15 + 10 + 75 = 125.
+  EXPECT_NEAR(s.objective, 125, 1e-6);
+}
+
+TEST(Lp, MultipleGeRows) {
+  // Covering problem: min 3a + 2b, a + b >= 4, a + 3b >= 6, a,b >= 0.
+  // Vertices: (4,0): 12, (3,1): 11, (0,4): 8 (binding row is a+b>=4).
+  Problem p;
+  int a = p.AddVariable(0, kInfinity, 3);
+  int b = p.AddVariable(0, kInfinity, 2);
+  p.AddRow(RowType::kGe, 4, {{a, 1}, {b, 1}});
+  p.AddRow(RowType::kGe, 6, {{a, 1}, {b, 3}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 8, 1e-6);
+}
+
+// Brute-force reference solver for tiny LPs: enumerate all basic solutions
+// formed by choosing active constraints/bounds; n=2 only, grid-free exact.
+struct Tiny2D {
+  // min c0 x + c1 y over constraints ax + by <= c (after normalization).
+  double c0, c1;
+  struct C {
+    double a, b, rhs;  // a x + b y <= rhs
+  };
+  std::vector<C> cs;
+
+  // Returns optimum by enumerating pairwise intersections + checking.
+  double Optimum() const {
+    double best = kInfinity;
+    auto feasible = [&](double x, double y) {
+      for (const C& c : cs) {
+        if (c.a * x + c.b * y > c.rhs + 1e-7) return false;
+      }
+      return true;
+    };
+    for (size_t i = 0; i < cs.size(); ++i) {
+      for (size_t j = i + 1; j < cs.size(); ++j) {
+        double det = cs[i].a * cs[j].b - cs[j].a * cs[i].b;
+        if (std::abs(det) < 1e-12) continue;
+        double x = (cs[i].rhs * cs[j].b - cs[j].rhs * cs[i].b) / det;
+        double y = (cs[i].a * cs[j].rhs - cs[j].a * cs[i].rhs) / det;
+        if (feasible(x, y)) best = std::min(best, c0 * x + c1 * y);
+      }
+    }
+    return best;
+  }
+};
+
+// Property test: random bounded 2-variable LPs agree with the enumeration
+// reference.
+class LpRandom2DTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRandom2DTest, MatchesVertexEnumeration) {
+  Rng rng(static_cast<uint64_t>(1000 + GetParam()));
+  Tiny2D ref;
+  ref.c0 = rng.Uniform(-5, 5);
+  ref.c1 = rng.Uniform(-5, 5);
+  Problem p;
+  int x = p.AddVariable(-10, 10, ref.c0);
+  int y = p.AddVariable(-10, 10, ref.c1);
+  // Bounds as constraints for the reference.
+  ref.cs.push_back({1, 0, 10});
+  ref.cs.push_back({-1, 0, 10});
+  ref.cs.push_back({0, 1, 10});
+  ref.cs.push_back({0, -1, 10});
+  int rows = static_cast<int>(2 + rng.NextIndex(4));
+  for (int r = 0; r < rows; ++r) {
+    double a = rng.Uniform(-3, 3), b = rng.Uniform(-3, 3);
+    double rhs = rng.Uniform(0.5, 8);  // keeps origin feasible
+    p.AddRow(RowType::kLe, rhs, {{x, a}, {y, b}});
+    ref.cs.push_back({a, b, rhs});
+  }
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok()) << ToString(s.status);
+  EXPECT_NEAR(s.objective, ref.Optimum(), 1e-5);
+  // Returned point satisfies all rows.
+  for (const auto& c : ref.cs) {
+    EXPECT_LE(c.a * s.values[0] + c.b * s.values[1], c.rhs + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandom2DTest, ::testing::Range(1, 33));
+
+// Property test: random feasible LPs with a known feasible point; solver
+// objective must be <= that point's objective and the solution must satisfy
+// every row.
+class LpRandomFeasibleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRandomFeasibleTest, OptimumBeatsKnownPointAndIsFeasible) {
+  Rng rng(static_cast<uint64_t>(2000 + GetParam()));
+  const int n = 8;
+  const int m = 6;
+  Problem p;
+  std::vector<double> known(n);
+  std::vector<int> vars(n);
+  std::vector<double> costs(n);
+  for (int j = 0; j < n; ++j) {
+    known[j] = rng.Uniform(0, 2);
+    costs[j] = rng.Uniform(-2, 2);
+    vars[j] = p.AddVariable(0, 5, costs[j]);
+  }
+  std::vector<std::vector<double>> a(m, std::vector<double>(n));
+  std::vector<double> rhs(m);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) {
+      a[i][j] = rng.Uniform(-1, 2);
+      lhs += a[i][j] * known[j];
+      coeffs.emplace_back(vars[j], a[i][j]);
+    }
+    rhs[i] = lhs + rng.Uniform(0, 1);  // known point strictly feasible
+    p.AddRow(RowType::kLe, rhs[i], coeffs);
+  }
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok()) << ToString(s.status);
+  double known_obj = 0;
+  for (int j = 0; j < n; ++j) known_obj += costs[j] * known[j];
+  EXPECT_LE(s.objective, known_obj + 1e-6);
+  for (int i = 0; i < m; ++i) {
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) lhs += a[i][j] * s.values[static_cast<size_t>(j)];
+    EXPECT_LE(lhs, rhs[i] + 1e-6);
+  }
+  for (int j = 0; j < n; ++j) {
+    EXPECT_GE(s.values[static_cast<size_t>(j)], -1e-9);
+    EXPECT_LE(s.values[static_cast<size_t>(j)], 5 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomFeasibleTest, ::testing::Range(1, 33));
+
+// Equality-constrained random LPs (the routing LP uses sum(x_ap) = 1 rows).
+class LpRandomEqualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRandomEqualityTest, SplitVariablesSumToOne) {
+  Rng rng(static_cast<uint64_t>(3000 + GetParam()));
+  // k groups of 3 "path fractions" summing to 1, shared capacity rows.
+  const int groups = 4;
+  Problem p;
+  std::vector<std::vector<int>> gv(groups);
+  for (int a = 0; a < groups; ++a) {
+    std::vector<std::pair<int, double>> sum_row;
+    for (int q = 0; q < 3; ++q) {
+      int v = p.AddVariable(0, 1, rng.Uniform(1, 10));
+      gv[a].push_back(v);
+      sum_row.emplace_back(v, 1.0);
+    }
+    p.AddRow(RowType::kEq, 1.0, sum_row);
+  }
+  // A couple of coupling capacity rows.
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int a = 0; a < groups; ++a) {
+      row.emplace_back(gv[a][static_cast<size_t>(rng.NextIndex(3))],
+                       rng.Uniform(0.5, 2));
+    }
+    p.AddRow(RowType::kLe, rng.Uniform(2.0, 4.0), row);
+  }
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok()) << ToString(s.status);
+  for (int a = 0; a < groups; ++a) {
+    double sum = 0;
+    for (int v : gv[a]) sum += s.values[static_cast<size_t>(v)];
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomEqualityTest, ::testing::Range(1, 17));
+
+TEST(Lp, ModerateSizePerformance) {
+  // A ~100x300 LP should solve quickly and correctly: min sum x_j subject to
+  // random cover rows; optimum well-defined and feasible.
+  Rng rng(99);
+  Problem p;
+  const int n = 300, m = 100;
+  std::vector<int> vars(n);
+  for (int j = 0; j < n; ++j) vars[j] = p.AddVariable(0, 1, 1);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int t = 0; t < 10; ++t) {
+      row.emplace_back(vars[static_cast<size_t>(rng.NextIndex(n))], 1.0);
+    }
+    p.AddRow(RowType::kGe, 1.0, row);
+  }
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s.objective, 0);
+  EXPECT_LE(s.objective, static_cast<double>(m) + 1e-6);
+}
+
+}  // namespace
+}  // namespace ldr::lp

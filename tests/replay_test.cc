@@ -1,0 +1,145 @@
+// Replay-simulator tests, including the end-to-end validation of the
+// Fig. 14 multiplexing check: placements the controller accepts keep
+// realized transient queues within the 10 ms budget.
+#include <gtest/gtest.h>
+
+#include "graph/ksp.h"
+#include "routing/ldr_controller.h"
+#include "sim/replay.h"
+#include "traffic/trace.h"
+#include "util/random.h"
+
+namespace ldr {
+namespace {
+
+Aggregate MakeAgg(NodeId s, NodeId d, double gbps) {
+  Aggregate a;
+  a.src = s;
+  a.dst = d;
+  a.demand_gbps = gbps;
+  a.flow_count = std::max(1.0, gbps * 10);
+  return a;
+}
+
+Graph OneLink(double cap) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  g.AddBidiLink(a, b, 1, cap);
+  return g;
+}
+
+RoutingOutcome DirectOutcome(const Graph& g, size_t n_aggs) {
+  RoutingOutcome out;
+  out.allocations.resize(n_aggs);
+  Path direct(std::vector<LinkId>{0});
+  for (size_t a = 0; a < n_aggs; ++a) {
+    out.allocations[a].push_back({direct, 1.0});
+  }
+  return out;
+}
+
+TEST(Replay, NoQueueUnderCapacity) {
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 5)};
+  std::vector<std::vector<double>> series{std::vector<double>(100, 5.0)};
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  EXPECT_DOUBLE_EQ(r.worst_queue_ms, 0);
+  EXPECT_EQ(r.links_with_queueing, 0u);
+  EXPECT_NEAR(r.links[0].mean_utilization, 0.5, 1e-9);
+  EXPECT_NEAR(r.links[0].peak_utilization, 0.5, 1e-9);
+}
+
+TEST(Replay, QueueBuildsAndDrains) {
+  // 1 period at 20 Gbps into a 10 Gbps link: 1 Gbit backlog = 100 ms.
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
+  std::vector<double> s(30, 5.0);
+  s[10] = 20.0;
+  std::vector<std::vector<double>> series{s};
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  EXPECT_NEAR(r.worst_queue_ms, (20.0 - 10.0) * 0.1 / 10.0 * 1000, 1e-9);
+  EXPECT_EQ(r.links_with_queueing, 1u);
+  // Queue persists while draining at 5 Gbps arrivals vs 10 Gbps service:
+  // 1 Gbit drains in 2 periods.
+  EXPECT_NEAR(r.links[0].queueing_fraction, 2.0 / 30.0, 1e-9);
+}
+
+TEST(Replay, FractionsWeightContributions) {
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 40)};
+  RoutingOutcome out;
+  out.allocations.resize(1);
+  out.allocations[0].push_back({Path(std::vector<LinkId>{0}), 0.25});
+  std::vector<std::vector<double>> series{std::vector<double>(50, 40.0)};
+  ReplayResult r = ReplayTraffic(g, aggs, out, series);
+  // Only 10 of 40 Gbps on this link: exactly at capacity, no queue.
+  EXPECT_NEAR(r.links[0].peak_utilization, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.worst_queue_ms, 0);
+}
+
+TEST(Replay, ShortSeriesGoSilent) {
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 8), MakeAgg(0, 1, 8)};
+  std::vector<std::vector<double>> series{std::vector<double>(10, 8.0),
+                                          std::vector<double>(5, 8.0)};
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 2), series);
+  // First 5 periods 16 Gbps (queueing), then 8 Gbps (draining).
+  EXPECT_GT(r.worst_queue_ms, 0);
+  EXPECT_NEAR(r.links[0].peak_utilization, 1.6, 1e-9);
+}
+
+TEST(Replay, AggregateDelayIncludesQueueing) {
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 12)};
+  std::vector<std::vector<double>> series{std::vector<double>(20, 12.0)};
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  // Propagation 1 ms plus the worst queue on the link.
+  EXPECT_NEAR(r.worst_aggregate_delay_ms, 1.0 + r.links[0].max_queue_ms,
+              1e-9);
+  EXPECT_GT(r.links[0].max_queue_ms, 0);
+}
+
+// End-to-end: a controller-accepted placement keeps realized queues within
+// the 10 ms budget when replaying the same measured traffic.
+TEST(Replay, ControllerAcceptedPlacementStaysWithinQueueBudget) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  g.AddBidiLink(a, b, 1, 10);
+  g.AddBidiLink(a, c, 2, 10);
+  g.AddBidiLink(c, b, 2, 10);
+  KspCache cache(&g);
+  Rng rng(515);
+  std::vector<Aggregate> aggs{MakeAgg(a, b, 0), MakeAgg(a, b, 0),
+                              MakeAgg(a, b, 0)};
+  std::vector<std::vector<double>> history;
+  for (int i = 0; i < 3; ++i) {
+    TraceOptions topts;
+    topts.minutes = 2;
+    topts.mean_gbps = 2.5;
+    topts.burst_amplitude = 0.3;
+    Rng trng = rng.Fork(static_cast<uint64_t>(i + 1));
+    history.push_back(SynthesizeTraceGbps(topts, &trng));
+  }
+  LdrControllerResult ctrl = RunLdrController(g, aggs, history, &cache);
+  ASSERT_TRUE(ctrl.multiplex_ok);
+  ReplayResult replay = ReplayTraffic(g, aggs, ctrl.outcome, history);
+  EXPECT_LE(replay.worst_queue_ms, 10.0 + 1e-9);
+}
+
+// ...and a placement that crams correlated bursts onto one link exceeds it.
+TEST(Replay, OverloadedPlacementExceedsBudget) {
+  Graph g = OneLink(10);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 6), MakeAgg(0, 1, 6)};
+  std::vector<double> bursty(1200, 5.0);
+  for (size_t i = 0; i < bursty.size(); i += 60) {
+    for (size_t j = i; j < std::min(bursty.size(), i + 6); ++j) {
+      bursty[j] = 9.0;
+    }
+  }
+  std::vector<std::vector<double>> series{bursty, bursty};
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 2), series);
+  EXPECT_GT(r.worst_queue_ms, 10.0);
+}
+
+}  // namespace
+}  // namespace ldr

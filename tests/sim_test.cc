@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+#include "routing/lp_routing.h"
+#include "sim/evaluate.h"
+#include "sim/workload.h"
+#include "topology/generators.h"
+
+namespace ldr {
+namespace {
+
+Aggregate MakeAgg(NodeId s, NodeId d, double gbps) {
+  Aggregate a;
+  a.src = s;
+  a.dst = d;
+  a.demand_gbps = gbps;
+  a.flow_count = std::max(1.0, gbps * 10);
+  return a;
+}
+
+Graph TwoPath() {
+  // A -> B: direct (1 ms, 10G) or via C (3 ms, 10G).
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  g.AddBidiLink(a, b, 1, 10);
+  g.AddBidiLink(a, c, 1, 10);
+  g.AddBidiLink(c, b, 2, 10);
+  return g;
+}
+
+TEST(Evaluate, NoCongestionCleanStretch) {
+  Graph g = TwoPath();
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 5)};
+  RoutingOutcome out;
+  out.allocations.resize(1);
+  auto sp = ShortestPath(g, 0, 1);
+  out.allocations[0].push_back({*sp, 1.0});
+  auto apsp = AllPairsShortestDelay(g);
+  EvalResult r = Evaluate(g, aggs, out, apsp);
+  EXPECT_DOUBLE_EQ(r.congested_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_stretch, 1.0);
+  EXPECT_EQ(r.overloaded_links, 0u);
+}
+
+TEST(Evaluate, DetectsOverload) {
+  Graph g = TwoPath();
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 15)};  // 15 > 10 on direct
+  RoutingOutcome out;
+  out.allocations.resize(1);
+  auto sp = ShortestPath(g, 0, 1);
+  out.allocations[0].push_back({*sp, 1.0});
+  auto apsp = AllPairsShortestDelay(g);
+  EvalResult r = Evaluate(g, aggs, out, apsp);
+  EXPECT_DOUBLE_EQ(r.congested_fraction, 1.0);
+  EXPECT_EQ(r.overloaded_links, 1u);
+  EXPECT_NEAR(r.link_utilization[0], 1.5, 1e-9);
+}
+
+TEST(Evaluate, StretchAccountsForSplit) {
+  Graph g = TwoPath();
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
+  RoutingOutcome out;
+  out.allocations.resize(1);
+  auto direct = ShortestPath(g, 0, 1);
+  ExclusionSet excl;
+  excl.links.assign(g.LinkCount(), false);
+  excl.links[0] = true;
+  excl.links[1] = true;
+  auto detour = ShortestPath(g, 0, 1, excl);
+  ASSERT_TRUE(detour.has_value());
+  out.allocations[0].push_back({*direct, 0.5});
+  out.allocations[0].push_back({*detour, 0.5});
+  auto apsp = AllPairsShortestDelay(g);
+  EvalResult r = Evaluate(g, aggs, out, apsp);
+  // Mean delay = 0.5*1 + 0.5*3 = 2; stretch 2.
+  EXPECT_NEAR(r.total_stretch, 2.0, 1e-9);
+  EXPECT_NEAR(r.max_stretch, 2.0, 1e-9);
+}
+
+TEST(Evaluate, MultipleAggregatesCongestedFraction) {
+  Graph g = TwoPath();
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 15), MakeAgg(0, 2, 1)};
+  RoutingOutcome out;
+  out.allocations.resize(2);
+  out.allocations[0].push_back({*ShortestPath(g, 0, 1), 1.0});
+  out.allocations[1].push_back({*ShortestPath(g, 0, 2), 1.0});
+  auto apsp = AllPairsShortestDelay(g);
+  EvalResult r = Evaluate(g, aggs, out, apsp);
+  EXPECT_NEAR(r.congested_fraction, 0.5, 1e-9);
+}
+
+TEST(Evaluate, LinkLoadsSumAllocations) {
+  Graph g = TwoPath();
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 8), MakeAgg(0, 1, 4)};
+  RoutingOutcome out;
+  out.allocations.resize(2);
+  auto sp = ShortestPath(g, 0, 1);
+  out.allocations[0].push_back({*sp, 1.0});
+  out.allocations[1].push_back({*sp, 0.5});
+  auto loads = LinkLoads(g, aggs, out);
+  EXPECT_NEAR(loads[0], 8 + 2, 1e-9);
+}
+
+TEST(Workload, ScalingHitsTargetUtilization) {
+  Rng rng(3);
+  Topology t = MakeGrid("g", 3, 3, 0.2, 0.0, EuropeRegion(), &rng,
+                        {100, 100, 0.0});
+  KspCache cache(&t.graph);
+  WorkloadOptions opts;
+  opts.num_instances = 2;
+  opts.target_utilization = 0.77;
+  auto workloads = MakeScaledWorkloads(t, &cache, opts);
+  ASSERT_EQ(workloads.size(), 2u);
+  for (const auto& aggs : workloads) {
+    ASSERT_FALSE(aggs.empty());
+    double u = MinMaxUtilization(t.graph, aggs, &cache);
+    EXPECT_NEAR(u, 0.77, 0.02);
+  }
+}
+
+TEST(Workload, DifferentInstancesDiffer) {
+  Rng rng(4);
+  Topology t = MakeGrid("g", 3, 3, 0.2, 0.0, EuropeRegion(), &rng,
+                        {100, 100, 0.0});
+  KspCache cache(&t.graph);
+  WorkloadOptions opts;
+  opts.num_instances = 2;
+  auto w = MakeScaledWorkloads(t, &cache, opts);
+  ASSERT_EQ(w.size(), 2u);
+  // Total demand can coincide after scaling, but the per-aggregate pattern
+  // must differ.
+  bool any_diff = w[0].size() != w[1].size();
+  for (size_t i = 0; !any_diff && i < w[0].size(); ++i) {
+    if (std::abs(w[0][i].demand_gbps - w[1][i].demand_gbps) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  Rng rng(5);
+  Topology t = MakeGrid("g", 3, 3, 0.2, 0.0, EuropeRegion(), &rng,
+                        {100, 100, 0.0});
+  KspCache c1(&t.graph), c2(&t.graph);
+  WorkloadOptions opts;
+  opts.num_instances = 1;
+  opts.seed = 42;
+  auto w1 = MakeScaledWorkloads(t, &c1, opts);
+  auto w2 = MakeScaledWorkloads(t, &c2, opts);
+  ASSERT_EQ(w1[0].size(), w2[0].size());
+  for (size_t i = 0; i < w1[0].size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1[0][i].demand_gbps, w2[0][i].demand_gbps);
+  }
+}
+
+TEST(Workload, ScaleToTargetHandlesEmpty) {
+  Graph g = TwoPath();
+  KspCache cache(&g);
+  std::vector<Aggregate> empty;
+  EXPECT_DOUBLE_EQ(ScaleToTargetUtilization(g, &empty, &cache, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace ldr

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+#include "tm/traffic_matrix.h"
+#include "topology/generators.h"
+#include "util/random.h"
+
+namespace ldr {
+namespace {
+
+Topology TestNet(uint64_t seed = 5) {
+  Rng rng(seed);
+  return MakeGrid("g", 3, 3, 0.2, 0.0, EuropeRegion(), &rng, {100, 100, 0.0});
+}
+
+TEST(Gravity, TotalMatchesRequest) {
+  Topology t = TestNet();
+  Rng rng(1);
+  GravityOptions opts;
+  opts.total_gbps = 123;
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, opts, &rng);
+  EXPECT_NEAR(tm.TotalGbps(), 123, 1e-6);
+}
+
+TEST(Gravity, DiagonalIsZero) {
+  Topology t = TestNet();
+  Rng rng(2);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  for (size_t i = 0; i < tm.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(tm.at(static_cast<NodeId>(i), static_cast<NodeId>(i)), 0);
+  }
+}
+
+TEST(Gravity, ProductForm) {
+  // Gravity matrices satisfy T(s,d) proportional to mass_s * mass_d, so
+  // T(a,b)*T(c,d) == T(a,d)*T(c,b) for distinct a,b,c,d.
+  Topology t = TestNet();
+  Rng rng(3);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  double lhs = tm.at(0, 1) * tm.at(2, 3);
+  double rhs = tm.at(0, 3) * tm.at(2, 1);
+  EXPECT_NEAR(lhs, rhs, 1e-12 + lhs * 1e-9);
+}
+
+TEST(Gravity, ZipfSkewsVolume) {
+  // With a strong Zipf exponent, the busiest PoP should carry much more
+  // than the quietest.
+  Topology t = TestNet();
+  Rng rng(4);
+  GravityOptions opts;
+  opts.zipf_alpha = 1.2;
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, opts, &rng);
+  auto rows = tm.RowSums();
+  double mx = *std::max_element(rows.begin(), rows.end());
+  double mn = *std::min_element(rows.begin(), rows.end());
+  EXPECT_GT(mx, 5 * mn);
+}
+
+TEST(Locality, ZeroIsIdentity) {
+  Topology t = TestNet();
+  Rng rng(5);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  TrafficMatrix orig = tm;
+  auto apsp = AllPairsShortestDelay(t.graph);
+  ApplyLocality(&tm, apsp, 0.0);
+  for (size_t s = 0; s < tm.node_count(); ++s) {
+    for (size_t d = 0; d < tm.node_count(); ++d) {
+      EXPECT_DOUBLE_EQ(tm.at(static_cast<NodeId>(s), static_cast<NodeId>(d)),
+                       orig.at(static_cast<NodeId>(s), static_cast<NodeId>(d)));
+    }
+  }
+}
+
+TEST(Locality, PreservesMarginals) {
+  Topology t = TestNet();
+  Rng rng(6);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  auto rows_before = tm.RowSums();
+  auto cols_before = tm.ColSums();
+  auto apsp = AllPairsShortestDelay(t.graph);
+  ApplyLocality(&tm, apsp, 1.0);
+  auto rows_after = tm.RowSums();
+  auto cols_after = tm.ColSums();
+  for (size_t i = 0; i < rows_before.size(); ++i) {
+    EXPECT_NEAR(rows_after[i], rows_before[i], 1e-6 + rows_before[i] * 1e-6);
+    EXPECT_NEAR(cols_after[i], cols_before[i], 1e-6 + cols_before[i] * 1e-6);
+  }
+}
+
+TEST(Locality, ReducesMeanDistance) {
+  Topology t = TestNet();
+  Rng rng(7);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  auto apsp = AllPairsShortestDelay(t.graph);
+  size_t n = tm.node_count();
+  auto weighted_distance = [&](const TrafficMatrix& m) {
+    double acc = 0;
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t d = 0; d < n; ++d) {
+        if (s == d) continue;
+        acc += m.at(static_cast<NodeId>(s), static_cast<NodeId>(d)) *
+               apsp[s * n + d];
+      }
+    }
+    return acc;
+  };
+  double before = weighted_distance(tm);
+  ApplyLocality(&tm, apsp, 1.0);
+  double after = weighted_distance(tm);
+  EXPECT_LT(after, before - 1e-9);
+}
+
+TEST(Locality, RespectsGrowthCap) {
+  Topology t = TestNet();
+  Rng rng(8);
+  TrafficMatrix tm = GravityTrafficMatrix(t.graph, {}, &rng);
+  TrafficMatrix orig = tm;
+  auto apsp = AllPairsShortestDelay(t.graph);
+  double locality = 0.5;
+  ApplyLocality(&tm, apsp, locality);
+  for (size_t s = 0; s < tm.node_count(); ++s) {
+    for (size_t d = 0; d < tm.node_count(); ++d) {
+      double o = orig.at(static_cast<NodeId>(s), static_cast<NodeId>(d));
+      double v = tm.at(static_cast<NodeId>(s), static_cast<NodeId>(d));
+      EXPECT_LE(v, (1 + locality) * o + 1e-9);
+    }
+  }
+}
+
+TEST(Locality, HigherLocalityShiftsMoreLoad) {
+  Topology t = TestNet();
+  auto apsp = AllPairsShortestDelay(t.graph);
+  size_t n = t.graph.NodeCount();
+  auto weighted = [&](const TrafficMatrix& m) {
+    double acc = 0;
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t d = 0; d < n; ++d) {
+        if (s != d) {
+          acc += m.at(static_cast<NodeId>(s), static_cast<NodeId>(d)) *
+                 apsp[s * n + d];
+        }
+      }
+    }
+    return acc;
+  };
+  Rng rng1(9), rng2(9);
+  TrafficMatrix a = GravityTrafficMatrix(t.graph, {}, &rng1);
+  TrafficMatrix b = GravityTrafficMatrix(t.graph, {}, &rng2);
+  ApplyLocality(&a, apsp, 0.5);
+  ApplyLocality(&b, apsp, 2.0);
+  EXPECT_LE(weighted(b), weighted(a) + 1e-9);
+}
+
+TEST(Aggregates, DropTinyAndSetFlows) {
+  TrafficMatrix tm(3);
+  tm.at(0, 1) = 10;
+  tm.at(1, 2) = 0.0001;  // 1e-5 of total, below default threshold
+  tm.at(2, 0) = 5;
+  auto aggs = tm.ToAggregates(1e-4, 10.0);
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_DOUBLE_EQ(aggs[0].demand_gbps, 10);
+  EXPECT_DOUBLE_EQ(aggs[0].flow_count, 100);
+  EXPECT_DOUBLE_EQ(aggs[1].demand_gbps, 5);
+}
+
+TEST(Aggregates, FlowCountAtLeastOne) {
+  TrafficMatrix tm(2);
+  tm.at(0, 1) = 0.01;
+  auto aggs = tm.ToAggregates(0.0, 10.0);
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_DOUBLE_EQ(aggs[0].flow_count, 1.0);
+}
+
+TEST(TrafficMatrixOps, ScaleAndSums) {
+  TrafficMatrix tm(2);
+  tm.at(0, 1) = 4;
+  tm.at(1, 0) = 6;
+  tm.Scale(0.5);
+  EXPECT_DOUBLE_EQ(tm.TotalGbps(), 5);
+  EXPECT_DOUBLE_EQ(tm.RowSums()[0], 2);
+  EXPECT_DOUBLE_EQ(tm.ColSums()[0], 3);
+}
+
+}  // namespace
+}  // namespace ldr

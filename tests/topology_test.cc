@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/shortest_path.h"
+#include "topology/generators.h"
+#include "topology/geo.h"
+#include "topology/topology.h"
+#include "topology/zoo_corpus.h"
+
+namespace ldr {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+  GeoPoint london{51.5, -0.12};
+  GeoPoint paris{48.85, 2.35};
+  double km = HaversineKm(london, paris);
+  EXPECT_NEAR(km, 344, 10);  // ~344 km
+  GeoPoint ny{40.7, -74.0};
+  EXPECT_NEAR(HaversineKm(london, ny), 5570, 60);
+}
+
+TEST(Geo, DelayProportionalToDistance) {
+  GeoPoint a{0, 0}, b{0, 10};  // ~1113 km on the equator
+  double ms = PropagationDelayMs(a, b);
+  EXPECT_NEAR(ms, 1113.0 / 200.0, 0.1);
+}
+
+TEST(Geo, DelayFloorForColocatedPops) {
+  GeoPoint a{10, 10};
+  EXPECT_GT(PropagationDelayMs(a, a), 0);
+}
+
+TEST(Topology, AddPopAndCableComputesDelay) {
+  Topology t;
+  t.name = "t";
+  NodeId a = t.AddPop("A", 0, 0);
+  NodeId b = t.AddPop("B", 0, 10);
+  LinkId l = t.AddCable(a, b, 100);
+  EXPECT_NEAR(t.graph.link(l).delay_ms, 5.56, 0.1);
+  EXPECT_DOUBLE_EQ(t.graph.link(l).capacity_gbps, 100);
+  // Reverse direction exists with same parameters.
+  LinkId rev = t.graph.ReverseLink(l);
+  ASSERT_NE(rev, kInvalidLink);
+  EXPECT_DOUBLE_EQ(t.graph.link(rev).delay_ms, t.graph.link(l).delay_ms);
+}
+
+TEST(Topology, ExplicitDelayOverridesGeo) {
+  Topology t;
+  NodeId a = t.AddPop("A", 0, 0);
+  NodeId b = t.AddPop("B", 0, 10);
+  LinkId l = t.AddCable(a, b, 100, 42.0);
+  EXPECT_DOUBLE_EQ(t.graph.link(l).delay_ms, 42.0);
+}
+
+TEST(TopologyFormat, RoundTrip) {
+  Topology t;
+  t.name = "roundtrip";
+  NodeId a = t.AddPop("Alpha", 10.5, -3.25);
+  NodeId b = t.AddPop("Beta", 20, 4);
+  NodeId c = t.AddPop("Gamma", 30, 8);
+  t.AddCable(a, b, 100);
+  t.AddCable(b, c, 40, 7.5);
+  std::string text = SerializeTopology(t);
+  std::string err;
+  auto parsed = ParseTopology(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->name, "roundtrip");
+  EXPECT_EQ(parsed->graph.NodeCount(), 3u);
+  EXPECT_EQ(parsed->graph.LinkCount(), 4u);
+  NodeId pb = parsed->graph.FindNode("Beta");
+  NodeId pc = parsed->graph.FindNode("Gamma");
+  ASSERT_NE(pb, kInvalidNode);
+  ASSERT_NE(pc, kInvalidNode);
+  // Explicit delay survived.
+  bool found = false;
+  for (const Link& l : parsed->graph.links()) {
+    if (l.src == pb && l.dst == pc) {
+      EXPECT_DOUBLE_EQ(l.delay_ms, 7.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TopologyFormat, CommentsAndBlankLines) {
+  std::string text =
+      "# a comment\n"
+      "topology demo\n"
+      "\n"
+      "node A 1 2  # trailing comment\n"
+      "node B 3 4\n"
+      "link A B 10\n";
+  auto parsed = ParseTopology(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->graph.NodeCount(), 2u);
+}
+
+TEST(TopologyFormat, Errors) {
+  std::string err;
+  EXPECT_FALSE(ParseTopology("", &err).has_value());
+  EXPECT_FALSE(ParseTopology("node A 1\n", &err).has_value());
+  EXPECT_FALSE(
+      ParseTopology("node A 1 2\nlink A Missing 10\n", &err).has_value());
+  EXPECT_FALSE(ParseTopology("frobnicate\n", &err).has_value());
+  EXPECT_FALSE(
+      ParseTopology("node A 1 2\nnode A 3 4\n", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TopologyFormat, DotExportMentionsAllNodes) {
+  Topology t;
+  t.name = "dot";
+  NodeId a = t.AddPop("X1", 0, 0);
+  NodeId b = t.AddPop("X2", 1, 1);
+  t.AddCable(a, b, 10);
+  std::string dot = ToDot(t);
+  EXPECT_NE(dot.find("X1"), std::string::npos);
+  EXPECT_NE(dot.find("X2"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+TEST(Generators, StarShape) {
+  Rng rng(1);
+  Topology t = MakeStar("s", 10, EuropeRegion(), &rng);
+  EXPECT_EQ(t.graph.NodeCount(), 10u);
+  EXPECT_EQ(t.graph.LinkCount(), 18u);  // 9 bidi spokes
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+}
+
+TEST(Generators, TreeIsConnectedAcyclic) {
+  Rng rng(2);
+  Topology t = MakeTree("t", 20, UsRegion(), &rng);
+  EXPECT_EQ(t.graph.NodeCount(), 20u);
+  EXPECT_EQ(t.graph.LinkCount(), 38u);  // n-1 bidi links
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+}
+
+TEST(Generators, RingShape) {
+  Rng rng(3);
+  Topology t = MakeRing("r", 12, EuropeRegion(), &rng);
+  EXPECT_EQ(t.graph.LinkCount(), 24u);
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+  // Every node has exactly two undirected neighbors.
+  for (size_t i = 0; i < t.graph.NodeCount(); ++i) {
+    EXPECT_EQ(t.graph.OutLinks(static_cast<NodeId>(i)).size(), 2u);
+  }
+}
+
+TEST(Generators, ChordedRingAddsChords) {
+  Rng rng(4);
+  Topology t = MakeChordedRing("cr", 16, 4, EuropeRegion(), &rng);
+  EXPECT_GT(t.graph.LinkCount(), 32u);
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+}
+
+TEST(Generators, GridConnected) {
+  Rng rng(5);
+  Topology t = MakeGrid("g", 4, 4, 0.2, 0.1, EuropeRegion(), &rng);
+  EXPECT_EQ(t.graph.NodeCount(), 16u);
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+}
+
+TEST(Generators, CliqueComplete) {
+  Rng rng(6);
+  Topology t = MakeClique("c", 7, UsRegion(), &rng);
+  EXPECT_EQ(t.graph.LinkCount(), 7u * 6u);  // directed
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 7; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(t.graph.HasLink(static_cast<NodeId>(i),
+                                    static_cast<NodeId>(j)));
+      }
+    }
+  }
+}
+
+TEST(Generators, WaxmanConnected) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Topology t = MakeWaxman("w", 15, 0.6, 0.3, AsiaRegion(), &rng);
+    EXPECT_TRUE(IsStronglyConnected(t.graph)) << "seed " << seed;
+  }
+}
+
+TEST(Generators, TwoClusterSpansRegions) {
+  Rng rng(7);
+  Topology t = MakeTwoCluster("tc", 3, 3, 3, 2, 3, UsRegion(), EuropeRegion(),
+                              &rng);
+  EXPECT_EQ(t.graph.NodeCount(), 15u);
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+  // Diameter must reflect the transatlantic span (>= 25 ms).
+  EXPECT_GT(DiameterMs(t.graph), 25.0);
+}
+
+TEST(Generators, EnsureConnectedRepairs) {
+  Topology t;
+  t.AddPop("A", 0, 0);
+  t.AddPop("B", 0, 1);
+  t.AddPop("C", 50, 50);
+  Rng rng(8);
+  EXPECT_FALSE(IsStronglyConnected(t.graph));
+  EnsureConnected(&t, &rng, 10);
+  EXPECT_TRUE(IsStronglyConnected(t.graph));
+}
+
+TEST(ZooCorpus, Has116Networks) {
+  std::vector<Topology> corpus = ZooCorpus();
+  EXPECT_EQ(corpus.size(), 116u);
+}
+
+TEST(ZooCorpus, Deterministic) {
+  std::vector<Topology> a = ZooCorpus();
+  std::vector<Topology> b = ZooCorpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].graph.NodeCount(), b[i].graph.NodeCount());
+    EXPECT_EQ(a[i].graph.LinkCount(), b[i].graph.LinkCount());
+    if (a[i].graph.LinkCount() > 0) {
+      EXPECT_DOUBLE_EQ(a[i].graph.link(0).delay_ms, b[i].graph.link(0).delay_ms);
+    }
+  }
+}
+
+TEST(ZooCorpus, AllConnectedAndNamed) {
+  std::set<std::string> names;
+  for (const Topology& t : ZooCorpus()) {
+    EXPECT_TRUE(IsStronglyConnected(t.graph)) << t.name;
+    EXPECT_TRUE(names.insert(t.name).second) << "duplicate " << t.name;
+    EXPECT_GE(t.graph.NodeCount(), 6u) << t.name;
+    EXPECT_EQ(t.coords.size(), t.graph.NodeCount()) << t.name;
+  }
+  EXPECT_TRUE(names.count("GTS-like") == 1);
+  EXPECT_TRUE(names.count("Cogent-like") == 1);
+  EXPECT_TRUE(names.count("Globalcenter-like") == 1);
+}
+
+TEST(ZooCorpus, PositiveDelaysAndCapacities) {
+  for (const Topology& t : ZooCorpus()) {
+    for (const Link& l : t.graph.links()) {
+      EXPECT_GT(l.delay_ms, 0) << t.name;
+      EXPECT_GT(l.capacity_gbps, 0) << t.name;
+    }
+  }
+}
+
+TEST(ZooCorpus, GoogleLikeIsLargeDenseGlobal) {
+  Topology g = GoogleLike();
+  EXPECT_GE(g.graph.NodeCount(), 30u);
+  EXPECT_TRUE(IsStronglyConnected(g.graph));
+  EXPECT_GT(DiameterMs(g.graph), 30.0);  // spans continents
+  // Mesh-like: average undirected degree >= 3.
+  double degree = static_cast<double>(g.graph.LinkCount()) /
+                  static_cast<double>(g.graph.NodeCount());
+  EXPECT_GE(degree, 3.0);
+}
+
+TEST(ZooCorpus, MostNetworksHaveWanScaleDiameter) {
+  // The paper filters for diameter > 10 ms; our corpus should be dominated
+  // by such networks.
+  size_t wan_scale = 0;
+  std::vector<Topology> corpus = ZooCorpus();
+  for (const Topology& t : corpus) {
+    if (DiameterMs(t.graph) > 10.0) ++wan_scale;
+  }
+  EXPECT_GT(wan_scale, corpus.size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace ldr

@@ -1,0 +1,142 @@
+// Tests for the §8 differentiated-traffic-classes extension: aggregates are
+// split per class and the LP gives contended low-latency paths to the
+// classes with larger delay weights.
+#include <gtest/gtest.h>
+
+#include "graph/ksp.h"
+#include "routing/lp_routing.h"
+#include "tm/traffic_matrix.h"
+
+namespace ldr {
+namespace {
+
+Aggregate MakeAgg(NodeId s, NodeId d, double gbps, int cls = 0) {
+  Aggregate a;
+  a.src = s;
+  a.dst = d;
+  a.demand_gbps = gbps;
+  a.flow_count = std::max(1.0, gbps * 10);
+  a.traffic_class = cls;
+  return a;
+}
+
+TEST(SplitByClass, SharesAndClasses) {
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
+  auto split = SplitByClass(aggs, {0.25, 0.75});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].traffic_class, 0);
+  EXPECT_DOUBLE_EQ(split[0].demand_gbps, 2.5);
+  EXPECT_EQ(split[1].traffic_class, 1);
+  EXPECT_DOUBLE_EQ(split[1].demand_gbps, 7.5);
+}
+
+TEST(SplitByClass, ZeroShareSkipped) {
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
+  auto split = SplitByClass(aggs, {1.0, 0.0});
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0].traffic_class, 0);
+}
+
+TEST(SplitByClass, PreservesEndpoints) {
+  std::vector<Aggregate> aggs{MakeAgg(3, 7, 4), MakeAgg(1, 2, 2)};
+  auto split = SplitByClass(aggs, {0.5, 0.5});
+  ASSERT_EQ(split.size(), 4u);
+  EXPECT_EQ(split[0].src, 3);
+  EXPECT_EQ(split[0].dst, 7);
+  EXPECT_EQ(split[2].src, 1);
+}
+
+// Two same-endpoint classes contend for a bottleneck that fits only one;
+// the high-weight class must keep the short path.
+TEST(ClassWeights, PriorityClassKeepsShortPath) {
+  Graph g;
+  NodeId s = g.AddNode("s"), m = g.AddNode("m"), t = g.AddNode("t"),
+         x = g.AddNode("x");
+  g.AddBidiLink(s, m, 1, 10);
+  g.AddBidiLink(m, t, 1, 10);   // short route s-m-t: 2 ms, 10 Gbps
+  g.AddBidiLink(s, x, 5, 100);
+  g.AddBidiLink(x, t, 5, 100);  // detour: 10 ms
+  KspCache cache(&g);
+  std::vector<Aggregate> aggs{MakeAgg(s, t, 8, /*cls=*/0),
+                              MakeAgg(s, t, 8, /*cls=*/1)};
+
+  IterativeOptions opts;
+  opts.lp.class_weights = {100.0, 1.0};
+  RoutingOutcome out = IterativeLpRoute(g, aggs, &cache, opts);
+  ASSERT_TRUE(out.feasible);
+  // Class 0 entirely on the 2 ms route.
+  double class0_short = 0, class1_short = 0;
+  for (const PathAllocation& pa : out.allocations[0]) {
+    if (pa.path.DelayMs(g) == 2) class0_short += pa.fraction;
+  }
+  for (const PathAllocation& pa : out.allocations[1]) {
+    if (pa.path.DelayMs(g) == 2) class1_short += pa.fraction;
+  }
+  EXPECT_NEAR(class0_short, 1.0, 1e-6);
+  EXPECT_NEAR(class1_short, 0.25, 1e-4);  // only the 2 Gbps that fit remain
+}
+
+// Reversing the weights must reverse the outcome.
+TEST(ClassWeights, WeightsDecideNotOrder) {
+  Graph g;
+  NodeId s = g.AddNode("s"), m = g.AddNode("m"), t = g.AddNode("t"),
+         x = g.AddNode("x");
+  g.AddBidiLink(s, m, 1, 10);
+  g.AddBidiLink(m, t, 1, 10);
+  g.AddBidiLink(s, x, 5, 100);
+  g.AddBidiLink(x, t, 5, 100);
+  KspCache cache(&g);
+  std::vector<Aggregate> aggs{MakeAgg(s, t, 8, 0), MakeAgg(s, t, 8, 1)};
+  IterativeOptions opts;
+  opts.lp.class_weights = {1.0, 100.0};  // class 1 is now premium
+  RoutingOutcome out = IterativeLpRoute(g, aggs, &cache, opts);
+  ASSERT_TRUE(out.feasible);
+  double class1_short = 0;
+  for (const PathAllocation& pa : out.allocations[1]) {
+    if (pa.path.DelayMs(g) == 2) class1_short += pa.fraction;
+  }
+  EXPECT_NEAR(class1_short, 1.0, 1e-6);
+}
+
+// Without class weights, classes are ignored entirely.
+TEST(ClassWeights, NoWeightsMeansNoEffect) {
+  Graph g;
+  NodeId s = g.AddNode("s"), m = g.AddNode("m"), t = g.AddNode("t"),
+         x = g.AddNode("x");
+  g.AddBidiLink(s, m, 1, 10);
+  g.AddBidiLink(m, t, 1, 10);
+  g.AddBidiLink(s, x, 5, 100);
+  g.AddBidiLink(x, t, 5, 100);
+  KspCache cache(&g);
+  std::vector<Aggregate> a1{MakeAgg(s, t, 8, 0), MakeAgg(s, t, 8, 1)};
+  std::vector<Aggregate> a2{MakeAgg(s, t, 8, 5), MakeAgg(s, t, 8, 2)};
+  IterativeOptions opts;
+  RoutingOutcome o1 = IterativeLpRoute(g, a1, &cache, opts);
+  RoutingOutcome o2 = IterativeLpRoute(g, a2, &cache, opts);
+  ASSERT_EQ(o1.allocations.size(), o2.allocations.size());
+  for (size_t a = 0; a < o1.allocations.size(); ++a) {
+    ASSERT_EQ(o1.allocations[a].size(), o2.allocations[a].size());
+    for (size_t p = 0; p < o1.allocations[a].size(); ++p) {
+      EXPECT_NEAR(o1.allocations[a][p].fraction,
+                  o2.allocations[a][p].fraction, 1e-9);
+    }
+  }
+}
+
+// Out-of-range class index clamps to the last weight instead of crashing.
+TEST(ClassWeights, OutOfRangeClassClamps) {
+  Graph g;
+  NodeId s = g.AddNode("s"), t = g.AddNode("t"), x = g.AddNode("x");
+  g.AddBidiLink(s, t, 1, 10);
+  g.AddBidiLink(s, x, 2, 10);
+  g.AddBidiLink(x, t, 2, 10);
+  KspCache cache(&g);
+  std::vector<Aggregate> aggs{MakeAgg(s, t, 15, /*cls=*/7)};
+  IterativeOptions opts;
+  opts.lp.class_weights = {2.0, 1.0};
+  RoutingOutcome out = IterativeLpRoute(g, aggs, &cache, opts);
+  EXPECT_TRUE(out.feasible);
+}
+
+}  // namespace
+}  // namespace ldr

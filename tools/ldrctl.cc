@@ -1,0 +1,217 @@
+// ldrctl — command-line front end to the library.
+//
+//   ldrctl llpd <topology-file>            LLPD + APA summary
+//   ldrctl dot <topology-file>             Graphviz to stdout
+//   ldrctl route <topology-file> [opts]    synthesize traffic and route it
+//       --scheme sp|b4|minmax|minmaxk10|ldr   (default ldr)
+//       --headroom <frac>                     (default 0)
+//       --load <minmax-util>                  (default 0.77)
+//       --locality <l>                        (default 1.0)
+//       --seed <n>                            (default 1)
+//       --classes <w0,w1,...>   §8 class weights; splits each aggregate
+//                               evenly across classes with these delay
+//                               weights (ldr scheme only)
+//   ldrctl corpus                          list the built-in synthetic zoo
+//
+// Topology files may be the native text format or Topology Zoo GraphML
+// (detected by a leading '<').
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "graph/ksp.h"
+#include "graph/shortest_path.h"
+#include "metrics/llpd.h"
+#include "routing/b4.h"
+#include "routing/lp_routing.h"
+#include "routing/shortest_path_routing.h"
+#include "sim/evaluate.h"
+#include "sim/workload.h"
+#include "topology/graphml.h"
+#include "topology/topology.h"
+#include "topology/zoo_corpus.h"
+#include "util/stats.h"
+
+using namespace ldr;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ldrctl llpd|dot|route <topology-file> [options]\n"
+               "       ldrctl corpus\n"
+               "see the header of tools/ldrctl.cc for options\n");
+  return 2;
+}
+
+std::optional<Topology> LoadTopology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ldrctl: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  std::string error;
+  // GraphML or native text format?
+  size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '<') {
+    auto parsed = ParseGraphml(text, {}, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "ldrctl: graphml parse error: %s\n",
+                   error.c_str());
+      return std::nullopt;
+    }
+    if (parsed->nodes_without_coords > 0) {
+      std::fprintf(stderr,
+                   "ldrctl: warning: %zu node(s) without coordinates\n",
+                   parsed->nodes_without_coords);
+    }
+    return std::move(parsed->topology);
+  }
+  auto parsed = ParseTopology(text, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "ldrctl: parse error: %s\n", error.c_str());
+  }
+  return parsed;
+}
+
+int CmdLlpd(const Topology& t) {
+  ApaOptions opts;
+  std::vector<PairApa> apa = ComputeApa(t.graph, opts);
+  std::printf("network:  %s\n", t.name.c_str());
+  std::printf("nodes:    %zu\n", t.graph.NodeCount());
+  std::printf("links:    %zu (directed)\n", t.graph.LinkCount());
+  std::printf("diameter: %.1f ms\n", DiameterMs(t.graph));
+  std::printf("LLPD:     %.3f\n", LlpdFromApa(apa, opts.apa_threshold));
+  std::vector<double> vals;
+  for (const PairApa& p : apa) vals.push_back(p.apa);
+  std::printf("APA:      median %.2f  p10 %.2f  p90 %.2f\n", Median(vals),
+              Percentile(vals, 10), Percentile(vals, 90));
+  return 0;
+}
+
+int CmdRoute(const Topology& t, int argc, char** argv) {
+  std::string scheme_name = "ldr";
+  double headroom = 0, load = 0.77, locality = 1.0;
+  uint64_t seed = 1;
+  std::vector<double> class_weights;
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scheme")) scheme_name = argv[i + 1];
+    if (!std::strcmp(argv[i], "--headroom")) headroom = std::atof(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--load")) load = std::atof(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--locality")) locality = std::atof(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--seed"))
+      seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    if (!std::strcmp(argv[i], "--classes")) {
+      std::stringstream ss(argv[i + 1]);
+      std::string w;
+      while (std::getline(ss, w, ',')) class_weights.push_back(std::atof(w.c_str()));
+    }
+  }
+
+  KspCache cache(&t.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  wopts.locality = locality;
+  wopts.target_utilization = load;
+  wopts.seed = seed;
+  std::fprintf(stderr, "synthesizing traffic (load %.2f, locality %.1f)...\n",
+               load, locality);
+  std::vector<Aggregate> aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+  if (!class_weights.empty()) {
+    std::vector<double> shares(class_weights.size(),
+                               1.0 / static_cast<double>(class_weights.size()));
+    aggs = SplitByClass(aggs, shares);
+  }
+
+  std::unique_ptr<RoutingScheme> scheme;
+  if (scheme_name == "sp") {
+    scheme = std::make_unique<ShortestPathScheme>(&t.graph, &cache);
+  } else if (scheme_name == "b4") {
+    B4Options b4o;
+    b4o.headroom = headroom;
+    scheme = std::make_unique<B4Scheme>(&t.graph, &cache, b4o);
+  } else if (scheme_name == "minmax") {
+    scheme = std::make_unique<MinMaxScheme>(&t.graph, &cache);
+  } else if (scheme_name == "minmaxk10") {
+    scheme = std::make_unique<MinMaxScheme>(&t.graph, &cache, 10);
+  } else if (scheme_name == "ldr") {
+    auto ldr_scheme =
+        std::make_unique<LatencyOptimalScheme>(&t.graph, &cache, headroom);
+    if (!class_weights.empty()) {
+      ldr_scheme->options().lp.class_weights = class_weights;
+    }
+    scheme = std::move(ldr_scheme);
+  } else {
+    std::fprintf(stderr, "ldrctl: unknown scheme %s\n", scheme_name.c_str());
+    return 2;
+  }
+
+  RoutingOutcome out = scheme->Route(aggs);
+  std::vector<double> apsp = AllPairsShortestDelay(t.graph);
+  EvalResult eval = Evaluate(t.graph, aggs, out, apsp);
+  std::printf("scheme:           %s\n", scheme->name().c_str());
+  std::printf("aggregates:       %zu\n", aggs.size());
+  std::printf("fits traffic:     %s\n", out.feasible ? "yes" : "NO");
+  std::printf("congested pairs:  %.1f%%\n", eval.congested_fraction * 100);
+  std::printf("total stretch:    %.4f\n", eval.total_stretch);
+  std::printf("max stretch:      %.3f\n", eval.max_stretch);
+  std::printf("busiest link:     %.1f%% utilized\n",
+              MaxOf(eval.link_utilization) * 100);
+  std::printf("solve time:       %.1f ms\n", out.solve_ms);
+
+  // Top-5 multi-path aggregates, as a sample of the placement.
+  std::printf("\nsample placements (largest split aggregates):\n");
+  std::vector<std::pair<double, size_t>> split;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (out.allocations[a].size() > 1) {
+      split.emplace_back(aggs[a].demand_gbps, a);
+    }
+  }
+  std::sort(split.rbegin(), split.rend());
+  for (size_t i = 0; i < std::min<size_t>(5, split.size()); ++i) {
+    size_t a = split[i].second;
+    std::printf("  %s -> %s (%.2f Gbps, class %d)\n",
+                t.graph.node_name(aggs[a].src).c_str(),
+                t.graph.node_name(aggs[a].dst).c_str(), aggs[a].demand_gbps,
+                aggs[a].traffic_class);
+    for (const PathAllocation& pa : out.allocations[a]) {
+      std::printf("    %5.1f%%  %.2f ms  %s\n", pa.fraction * 100,
+                  pa.path.DelayMs(t.graph),
+                  pa.path.ToString(t.graph).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdCorpus() {
+  for (const Topology& t : ZooCorpus()) {
+    std::printf("%-18s %4zu nodes %5zu links\n", t.name.c_str(),
+                t.graph.NodeCount(), t.graph.LinkCount() / 2);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "corpus") return CmdCorpus();
+  if (argc < 3) return Usage();
+  auto topology = LoadTopology(argv[2]);
+  if (!topology.has_value()) return 1;
+  if (cmd == "llpd") return CmdLlpd(*topology);
+  if (cmd == "dot") {
+    std::fputs(ToDot(*topology).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "route") return CmdRoute(*topology, argc - 3, argv + 3);
+  return Usage();
+}
