@@ -2,24 +2,46 @@
 // tab-separated rows: "<series>\t<x>\t<y>" (plus free-form "# ..." comment
 // lines), so each paper figure can be re-plotted straight from stdout.
 //
-// Scale: benches default to a reduced corpus / instance count so the whole
-// suite runs in minutes with the from-scratch simplex; set
-// LDR_BENCH_SCALE=full for the full 116-network corpus.
+// Environment knobs honored across the bench suite:
+//
+//   LDR_BENCH_SCALE   "small" (default) runs a reduced corpus / instance
+//                     count so the whole suite finishes in minutes with the
+//                     from-scratch simplex; "full" runs the complete
+//                     116-network corpus at paper-scale instance counts.
+//   LDR_THREADS       worker count for the parallel corpus runner (default:
+//                     hardware concurrency). Instances and topologies fan
+//                     out across this many threads with per-task KspCaches;
+//                     results are identical for every value, so it is purely
+//                     a wall-clock dial. LDR_THREADS=1 forces the serial
+//                     path (one shared KspCache, minimum total CPU).
+//
+// The micro_* benches (google-benchmark) ignore both knobs; their runtime is
+// set with --benchmark_min_time and friends. tools/bench_to_json runs a
+// fixed subset of all of the above and emits BENCH_lp.json for the perf
+// trajectory.
 #ifndef LDR_BENCH_BENCH_UTIL_H_
 #define LDR_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 
 namespace ldr::bench {
 
-// Progress notes go to stderr so stdout stays machine-readable.
+// Progress notes go to stderr so stdout stays machine-readable. The line is
+// emitted with a single fputs so notes from parallel corpus workers cannot
+// interleave mid-line.
 inline void Note(const char* fmt, ...) {
+  char buf[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  int len = std::vsnprintf(buf, sizeof(buf) - 1, fmt, args);
   va_end(args);
-  std::fprintf(stderr, "\n");
+  if (len < 0) return;
+  size_t end = std::min(static_cast<size_t>(len), sizeof(buf) - 2);
+  buf[end] = '\n';
+  buf[end + 1] = '\0';
+  std::fputs(buf, stderr);
 }
 
 }  // namespace ldr::bench

@@ -2,6 +2,8 @@
 // delay-proportional shortest-path routing, vs the network's LLPD. Median
 // and 90th percentile across traffic-matrix instances (load 0.77 min-cut,
 // locality 1). High-LLPD networks concentrate traffic under SP.
+#include <atomic>
+
 #include "bench/bench_util.h"
 #include "sim/corpus_runner.h"
 #include "util/stats.h"
@@ -14,10 +16,13 @@ int main() {
   CorpusRunOptions opts;
   opts.scheme_ids = {kSchemeSp};
   opts.workload.num_instances = BenchFullScale() ? 10 : 3;
-  int idx = 0;
-  for (const Topology& t : corpus) {
-    bench::Note("fig03: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
-    TopologyRun run = RunTopology(t, opts);
+  std::atomic<size_t> done{0};
+  std::vector<TopologyRun> runs =
+      RunCorpus(corpus, opts, [&](size_t i) {
+        bench::Note("fig03: %s done (%zu/%zu)", corpus[i].name.c_str(),
+                    done.fetch_add(1) + 1, corpus.size());
+      });
+  for (const TopologyRun& run : runs) {
     if (run.schemes.empty()) continue;
     const SchemeSeries& sp = run.schemes[0];
     PrintSeriesRow("median", run.llpd, Median(sp.congested_fraction));

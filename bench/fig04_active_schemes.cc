@@ -4,6 +4,8 @@
 // The paper's headlines: the optimal scheme fits everything with low
 // stretch; B4 congests precisely on the high-LLPD networks; MinMax never
 // congests but stretches; MinMaxK10 recovers some latency but can congest.
+#include <atomic>
+
 #include "bench/bench_util.h"
 #include "sim/corpus_runner.h"
 #include "util/stats.h"
@@ -19,10 +21,13 @@ int main() {
   opts.scheme_ids = {kSchemeOptimal, kSchemeB4, kSchemeMinMax,
                      kSchemeMinMaxK10};
   opts.workload.num_instances = BenchFullScale() ? 10 : 3;
-  int idx = 0;
-  for (const Topology& t : corpus) {
-    bench::Note("fig04: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
-    TopologyRun run = RunTopology(t, opts);
+  std::atomic<size_t> done{0};
+  std::vector<TopologyRun> runs =
+      RunCorpus(corpus, opts, [&](size_t i) {
+        bench::Note("fig04: %s done (%zu/%zu)", corpus[i].name.c_str(),
+                    done.fetch_add(1) + 1, corpus.size());
+      });
+  for (const TopologyRun& run : runs) {
     for (const SchemeSeries& s : run.schemes) {
       PrintSeriesRow("cong-median:" + s.scheme, run.llpd,
                      Median(s.congested_fraction));

@@ -3,6 +3,7 @@
 // solver cost that dominates LDR's per-iteration work.
 #include <benchmark/benchmark.h>
 
+#include "bench/lp_shapes.h"
 #include "lp/lp.h"
 #include "util/random.h"
 
@@ -70,6 +71,45 @@ void BM_LpRoutingShape(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LpRoutingShape)->Arg(50)->Arg(150)->Arg(400);
+
+// --- warm vs cold re-solve --------------------------------------------------
+// The Fig. 13 loop's inner operation: a solved routing LP gains one round of
+// path columns and is re-solved. Warm keeps the Solver (and its optimal
+// basis) alive and appends through AddColumn; cold rebuilds the grown
+// problem from scratch and solves it from the slack basis. Same LP content
+// both ways (see bench/lp_shapes.h); the ratio is the payoff of the
+// incremental core.
+
+void BM_LpResolveWarm(benchmark::State& state) {
+  int aggregates = static_cast<int>(state.range(0));
+  int links = aggregates / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto spec = ldr::bench::RoutingLpSpec::Random(7, aggregates, links);
+    ldr::bench::WarmLp warm = ldr::bench::BuildSolverBase(spec);
+    Solution base = warm.solver.Solve();  // untimed: basis the round inherits
+    state.ResumeTiming();
+    ldr::bench::AppendGrowth(spec, &warm);
+    Solution s = warm.solver.Solve();
+    benchmark::DoNotOptimize(s.objective);
+    benchmark::DoNotOptimize(base.objective);
+  }
+}
+BENCHMARK(BM_LpResolveWarm)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_LpResolveCold(benchmark::State& state) {
+  int aggregates = static_cast<int>(state.range(0));
+  int links = aggregates / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto spec = ldr::bench::RoutingLpSpec::Random(7, aggregates, links);
+    state.ResumeTiming();
+    Problem p = ldr::bench::BuildProblem(spec, /*with_growth=*/true);
+    Solution s = Solve(p);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_LpResolveCold)->Arg(50)->Arg(150)->Arg(400);
 
 }  // namespace
 

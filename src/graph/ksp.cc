@@ -96,7 +96,7 @@ bool KspGenerator::ProduceNext() {
 }
 
 KspGenerator* KspCache::Get(NodeId src, NodeId dst) {
-  auto key = std::make_pair(src, dst);
+  uint64_t key = Key(src, dst);
   auto it = generators_.find(key);
   if (it == generators_.end()) {
     it = generators_

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -68,7 +68,10 @@ class KspGenerator {
 
 // Cache of generators per (src, dst) pair over one graph. Used by LDR so
 // repeated optimizations on the same topology pay the Yen cost only once
-// (the "LDR" vs "LDR (cold cache)" distinction of Fig. 15).
+// (the "LDR" vs "LDR (cold cache)" distinction of Fig. 15). The cache sits
+// on the controller hot path — one lookup per aggregate per path-growth
+// round — so pairs are packed into a single hashed 64-bit key rather than
+// tree-ordered.
 class KspCache {
  public:
   explicit KspCache(const Graph* g) : g_(g) {}
@@ -79,8 +82,24 @@ class KspCache {
   size_t size() const { return generators_.size(); }
 
  private:
+  static uint64_t Key(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  // Finalizer of SplitMix64: NodeIds are small and dense, so identity
+  // hashing of the packed key would collide entire src blocks into the same
+  // few buckets modulo a power of two.
+  struct KeyHash {
+    size_t operator()(uint64_t z) const noexcept {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+
   const Graph* g_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<KspGenerator>>
+  std::unordered_map<uint64_t, std::unique_ptr<KspGenerator>, KeyHash>
       generators_;
 };
 

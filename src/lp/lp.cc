@@ -41,83 +41,183 @@ namespace {
 
 enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
 
-// Dense simplex working state. Columns: structural variables first, then one
-// slack per row. The tableau row-major matrix T always equals B^-1 * A.
-class Simplex {
+// Sums duplicate indices in a sparse (index, coefficient) list, in place.
+void SumDuplicates(std::vector<std::pair<int, double>>* coeffs) {
+  if (coeffs->size() < 2) return;
+  std::sort(coeffs->begin(), coeffs->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t w = 0;
+  for (size_t i = 1; i < coeffs->size(); ++i) {
+    if ((*coeffs)[i].first == (*coeffs)[w].first) {
+      (*coeffs)[w].second += (*coeffs)[i].second;
+    } else {
+      (*coeffs)[++w] = (*coeffs)[i];
+    }
+  }
+  coeffs->resize(w + 1);
+}
+
+}  // namespace
+
+// Column refs: a variable is identified by an int ref — structural j as j,
+// the slack of row k as ~k (= -k-1). The working tableau T = B^-1 * A is
+// stored column-major: tcol_[j] for structural columns, bcol_[k] for slack
+// columns. Since the slack block of A is the identity, bcol_ IS the explicit
+// basis inverse — which is what lets the incremental mutations price new
+// columns (B^-1 a) and new rows without touching the rest of the tableau.
+class Solver::Impl {
  public:
-  Simplex(const Problem& p, const SolveOptions& opt) : opt_(opt) {
-    m_ = p.RowCount();
-    size_t n_struct = p.VariableCount();
-    n_ = n_struct + m_;  // + slacks
+  explicit Impl(const SolveOptions& opt) : opt_(opt) {}
 
-    lo_ = p.lower_bounds();
-    hi_ = p.upper_bounds();
-    cost_.assign(n_, 0.0);
-    for (size_t j = 0; j < n_struct; ++j) cost_[j] = p.objective()[j];
+  int AddVariable(double lo, double hi, double obj) {
+    return AddColumn(lo, hi, obj, {});
+  }
 
-    // Slack bounds encode the row type: ax + s = b.
-    for (const Row& row : p.rows()) {
-      switch (row.type) {
-        case RowType::kLe:
-          lo_.push_back(0);
-          hi_.push_back(kInfinity);
-          break;
-        case RowType::kGe:
-          lo_.push_back(-kInfinity);
-          hi_.push_back(0);
-          break;
-        case RowType::kEq:
-          lo_.push_back(0);
-          hi_.push_back(0);
-          break;
+  int AddColumn(double lo, double hi, double obj,
+                const std::vector<std::pair<int, double>>& row_coeffs) {
+    int j = static_cast<int>(n_);
+    ++n_;
+    acol_.emplace_back(row_coeffs);
+    SumDuplicates(&acol_.back());
+    lo_.push_back(lo);
+    hi_.push_back(hi);
+    cost_.push_back(obj);
+    vrow_.push_back(-1);
+
+    // The new column rests nonbasic at its bound nearest zero (or 0 if
+    // free) — the previous basis stays a basis, and stays primal feasible
+    // whenever that resting value is 0.
+    VarState st;
+    double v;
+    if (std::isfinite(lo) && (!std::isfinite(hi) || std::abs(lo) <= std::abs(hi))) {
+      st = VarState::kAtLower;
+      v = lo;
+    } else if (std::isfinite(hi)) {
+      st = VarState::kAtUpper;
+      v = hi;
+    } else {
+      st = VarState::kFree;
+      v = 0.0;
+    }
+    vstate_.push_back(st);
+    value_.push_back(v);
+
+    tcol_.emplace_back();
+    if (factor_valid_) {
+      std::vector<double>& col = tcol_.back();
+      col.assign(m_, 0.0);
+      for (const auto& [r, c] : acol_.back()) {
+        const double* b = bcol_[static_cast<size_t>(r)].data();
+        for (size_t i = 0; i < m_; ++i) col[i] += c * b[i];
+      }
+      if (v != 0.0) {
+        for (size_t i = 0; i < m_; ++i) xb_[i] -= col[i] * v;
       }
     }
+    return j;
+  }
 
-    // Dense tableau.
-    t_.assign(m_ * n_, 0.0);
-    rhs_.assign(m_, 0.0);
+  int AddRow(RowType type, double rhs,
+             const std::vector<std::pair<int, double>>& coeffs) {
+    int r = static_cast<int>(m_);
+    ++m_;
+    row_type_.push_back(type);
+    rhs_.push_back(rhs);
+    std::vector<std::pair<int, double>> summed = coeffs;
+    SumDuplicates(&summed);
+    for (const auto& [var, c] : summed) {
+      AppendToSparse(&acol_[static_cast<size_t>(var)], r, c);
+    }
+
+    if (factor_valid_) {
+      // New basis row: with the new slack joining the basis, the extended
+      // B^-1 is [[B^-1, 0], [-w^T B^-1, 1]] where w_i is the new row's
+      // coefficient on the variable basic in row i. New tableau entries:
+      // T[r][j] = a_rj - sum_i w_i T[i][j].
+      std::vector<std::pair<size_t, double>> w;
+      for (const auto& [var, c] : summed) {
+        int br = vrow_[static_cast<size_t>(var)];
+        if (br >= 0) w.emplace_back(static_cast<size_t>(br), c);
+      }
+      for (size_t j = 0; j < n_; ++j) {
+        double e = 0.0;
+        for (const auto& [i, wc] : w) e -= wc * tcol_[j][i];
+        tcol_[j].push_back(e);
+      }
+      for (const auto& [var, c] : summed) {
+        tcol_[static_cast<size_t>(var)][static_cast<size_t>(r)] += c;
+      }
+      for (size_t k = 0; k + 1 < m_; ++k) {
+        double e = 0.0;
+        for (const auto& [i, wc] : w) e -= wc * bcol_[k][i];
+        bcol_[k].push_back(e);
+      }
+      bcol_.emplace_back(m_, 0.0);
+      bcol_.back()[static_cast<size_t>(r)] = 1.0;
+
+      // The slack's basic value is the row's residual at the current point.
+      double residual = rhs;
+      for (const auto& [var, c] : summed) {
+        size_t v = static_cast<size_t>(var);
+        double x = vrow_[v] >= 0 ? xb_[static_cast<size_t>(vrow_[v])] : value_[v];
+        residual -= c * x;
+      }
+      xb_.push_back(residual);
+    } else {
+      bcol_.emplace_back();
+      xb_.push_back(0.0);
+    }
+
+    basis_.push_back(~r);
+    sstate_.push_back(VarState::kBasic);
+    srow_.push_back(r);
+    return r;
+  }
+
+  void AddToRow(int row, int var, double delta) {
+    if (delta == 0) return;
+    size_t v = static_cast<size_t>(var);
+    AppendToSparse(&acol_[v], row, delta);
+    if (!factor_valid_) return;
+    if (vrow_[v] >= 0) {
+      // Touching a basic column changes B itself; refactorize lazily.
+      factor_valid_ = false;
+      return;
+    }
+    const double* b = bcol_[static_cast<size_t>(row)].data();
+    double* col = tcol_[v].data();
+    double val = value_[v];
     for (size_t i = 0; i < m_; ++i) {
-      const Row& row = p.rows()[i];
-      for (const auto& [var, coeff] : row.coeffs) {
-        t_[i * n_ + static_cast<size_t>(var)] += coeff;
-      }
-      t_[i * n_ + n_struct + i] = 1.0;  // slack
-      rhs_[i] = row.rhs;
-    }
-
-    // Initial point: nonbasic structural variables rest at their bound
-    // nearest zero (or 0 if free); slacks form the basis.
-    state_.assign(n_, VarState::kAtLower);
-    value_.assign(n_, 0.0);
-    for (size_t j = 0; j < n_; ++j) {
-      if (std::isfinite(lo_[j]) &&
-          (!std::isfinite(hi_[j]) || std::abs(lo_[j]) <= std::abs(hi_[j]))) {
-        state_[j] = VarState::kAtLower;
-        value_[j] = lo_[j];
-      } else if (std::isfinite(hi_[j])) {
-        state_[j] = VarState::kAtUpper;
-        value_[j] = hi_[j];
-      } else {
-        state_[j] = VarState::kFree;
-        value_[j] = 0.0;
-      }
-    }
-    basis_.resize(m_);
-    xb_.assign(m_, 0.0);
-    for (size_t i = 0; i < m_; ++i) {
-      size_t sj = n_struct + i;
-      basis_[i] = static_cast<int>(sj);
-      state_[sj] = VarState::kBasic;
-      double v = rhs_[i];
-      for (const auto& [var, coeff] : p.rows()[i].coeffs) {
-        v -= coeff * value_[static_cast<size_t>(var)];
-      }
-      xb_[i] = v;
+      double d = delta * b[i];
+      col[i] += d;
+      if (val != 0.0) xb_[i] -= d * val;
     }
   }
 
-  Solution Run(const Problem& p) {
+  void SetRhs(int row, double rhs) {
+    size_t r = static_cast<size_t>(row);
+    double delta = rhs - rhs_[r];
+    if (delta == 0) return;
+    rhs_[r] = rhs;
+    if (!factor_valid_) return;
+    const double* b = bcol_[r].data();
+    for (size_t i = 0; i < m_; ++i) xb_[i] += b[i] * delta;
+  }
+
+  double rhs(int row) const { return rhs_[static_cast<size_t>(row)]; }
+
+  void AddToObjective(int var, double delta) {
+    cost_[static_cast<size_t>(var)] += delta;
+  }
+
+  size_t VariableCount() const { return n_; }
+  size_t RowCount() const { return m_; }
+
+  void Invalidate() { factor_valid_ = false; }
+
+  Solution Solve() {
     Solution sol;
+    iter_ = 0;
     int limit = opt_.max_iters > 0
                     ? opt_.max_iters
                     : 200 + 40 * static_cast<int>(m_ + n_);
@@ -130,7 +230,18 @@ class Simplex {
       }
     }
 
-    // Phase 1: drive bound violations of basic variables to zero.
+    if (!factor_valid_) Refactorize();
+    if (refactor_singular_) {
+      // The recorded basis could not be re-established; any result would be
+      // computed against a broken tableau. Report a numerical failure —
+      // callers rebuild from scratch on !ok().
+      sol.status = Status::kIterLimit;
+      return sol;
+    }
+
+    // Phase 1: drive bound violations of basic variables to zero. A warm
+    // basis that is still primal feasible (the AddColumn path) skips this
+    // loop entirely.
     int degenerate_run = 0;
     while (iter_ < limit) {
       if (!HasInfeasibleBasic()) break;
@@ -151,8 +262,9 @@ class Simplex {
     degenerate_run = 0;
     while (iter_ < limit) {
       ComputePhase2Costs();
-      int entering = ChooseEntering(degenerate_run >= kBlandThreshold);
-      if (entering < 0) {
+      int entering = 0;
+      bool found = ChooseEntering(degenerate_run >= kBlandThreshold, &entering);
+      if (!found) {
         sol.status = Status::kOptimal;
         break;
       }
@@ -181,22 +293,13 @@ class Simplex {
       return sol;
     }
 
-    // Extract solution for structural variables.
-    size_t n_struct = p.VariableCount();
-    sol.values.assign(n_struct, 0.0);
+    sol.values.assign(n_, 0.0);
     for (size_t j = 0; j < n_; ++j) {
-      if (state_[j] != VarState::kBasic && j < n_struct) {
-        sol.values[j] = value_[j];
-      }
-    }
-    for (size_t i = 0; i < m_; ++i) {
-      size_t b = static_cast<size_t>(basis_[i]);
-      if (b < n_struct) sol.values[b] = xb_[i];
+      sol.values[j] =
+          vrow_[j] >= 0 ? xb_[static_cast<size_t>(vrow_[j])] : value_[j];
     }
     sol.objective = 0;
-    for (size_t j = 0; j < n_struct; ++j) {
-      sol.objective += p.objective()[j] * sol.values[j];
-    }
+    for (size_t j = 0; j < n_; ++j) sol.objective += cost_[j] * sol.values[j];
     sol.iterations = iter_;
     return sol;
   }
@@ -206,13 +309,74 @@ class Simplex {
 
   enum class StepResult { kPivoted, kBoundFlip, kUnbounded, kStuck };
 
+  static void AppendToSparse(std::vector<std::pair<int, double>>* col, int row,
+                             double delta) {
+    for (auto& [r, c] : *col) {
+      if (r == row) {
+        c += delta;
+        return;
+      }
+    }
+    col->emplace_back(row, delta);
+  }
+
+  std::vector<double>& Col(int ref) {
+    return ref >= 0 ? tcol_[static_cast<size_t>(ref)]
+                    : bcol_[static_cast<size_t>(~ref)];
+  }
+  double LoOf(int ref) const {
+    if (ref >= 0) return lo_[static_cast<size_t>(ref)];
+    switch (row_type_[static_cast<size_t>(~ref)]) {
+      case RowType::kLe:
+        return 0;
+      case RowType::kGe:
+        return -kInfinity;
+      case RowType::kEq:
+        return 0;
+    }
+    return 0;
+  }
+  double HiOf(int ref) const {
+    if (ref >= 0) return hi_[static_cast<size_t>(ref)];
+    switch (row_type_[static_cast<size_t>(~ref)]) {
+      case RowType::kLe:
+        return kInfinity;
+      case RowType::kGe:
+        return 0;
+      case RowType::kEq:
+        return 0;
+    }
+    return 0;
+  }
+  double CostOf(int ref) const {
+    return ref >= 0 ? cost_[static_cast<size_t>(ref)] : 0.0;
+  }
+  // Nonbasic slacks always rest at 0: each slack has exactly one finite
+  // bound (two only for kEq, where both are 0), and that bound is 0.
+  double ValueOf(int ref) const {
+    return ref >= 0 ? value_[static_cast<size_t>(ref)] : 0.0;
+  }
+  VarState& StateOf(int ref) {
+    return ref >= 0 ? vstate_[static_cast<size_t>(ref)]
+                    : sstate_[static_cast<size_t>(~ref)];
+  }
+  int& BasicRowOf(int ref) {
+    return ref >= 0 ? vrow_[static_cast<size_t>(ref)]
+                    : srow_[static_cast<size_t>(~ref)];
+  }
+  double DualSignedCost(int ref) const {
+    return ref >= 0 ? d_[static_cast<size_t>(ref)]
+                    : ds_[static_cast<size_t>(~ref)];
+  }
+
   // A basic variable counts as infeasible when it violates a bound by more
   // than a relative tolerance. The same predicate drives the phase-1 loop
   // condition and the phase-1 gradient, so the two can never disagree.
   bool BasicViolated(size_t row) const {
-    size_t b = static_cast<size_t>(basis_[row]);
+    int b = basis_[row];
+    double lo = LoOf(b), hi = HiOf(b);
     double t = opt_.tol * (1.0 + std::abs(xb_[row]));
-    return xb_[row] < lo_[b] - t || xb_[row] > hi_[b] + t;
+    return xb_[row] < lo - t || xb_[row] > hi + t;
   }
 
   bool HasInfeasibleBasic() const {
@@ -227,74 +391,144 @@ class Simplex {
   // variable improves infeasibility if moving up with d_j < 0 (at lower /
   // free) or moving down with d_j > 0 (at upper / free).
   void ComputePhase1Costs() {
-    d_.assign(n_, 0.0);
+    grad_rows_.clear();
     for (size_t i = 0; i < m_; ++i) {
       if (!BasicViolated(i)) continue;
-      size_t b = static_cast<size_t>(basis_[i]);
-      double grad = xb_[i] < lo_[b] ? -1 : 1;
-      const double* row = &t_[i * n_];
-      for (size_t j = 0; j < n_; ++j) d_[j] -= grad * row[j];
+      grad_rows_.emplace_back(i, xb_[i] < LoOf(basis_[i]) ? -1.0 : 1.0);
     }
-    // Basic columns must price at zero (numerical noise otherwise).
-    for (size_t i = 0; i < m_; ++i) d_[static_cast<size_t>(basis_[i])] = 0;
+    d_.assign(n_, 0.0);
+    ds_.assign(m_, 0.0);
+    for (size_t j = 0; j < n_; ++j) {
+      if (vrow_[j] >= 0) continue;
+      double acc = 0;
+      const double* col = tcol_[j].data();
+      for (const auto& [i, g] : grad_rows_) acc -= g * col[i];
+      d_[j] = acc;
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      if (srow_[k] >= 0) continue;
+      double acc = 0;
+      const double* col = bcol_[k].data();
+      for (const auto& [i, g] : grad_rows_) acc -= g * col[i];
+      ds_[k] = acc;
+    }
   }
 
-  // Phase-2 reduced costs: d_j = c_j - c_B^T B^-1 A_j.
+  // Phase-2 reduced costs: d_j = c_j - c_B^T B^-1 A_j, computed as column
+  // dot products against the (usually sparse) basic-cost vector.
   void ComputePhase2Costs() {
-    d_ = cost_;
+    grad_rows_.clear();
     for (size_t i = 0; i < m_; ++i) {
-      double cb = cost_[static_cast<size_t>(basis_[i])];
-      if (cb == 0) continue;
-      const double* row = &t_[i * n_];
-      for (size_t j = 0; j < n_; ++j) d_[j] -= cb * row[j];
+      double cb = CostOf(basis_[i]);
+      if (cb != 0) grad_rows_.emplace_back(i, cb);
     }
-    for (size_t i = 0; i < m_; ++i) d_[static_cast<size_t>(basis_[i])] = 0;
+    d_.assign(n_, 0.0);
+    ds_.assign(m_, 0.0);
+    for (size_t j = 0; j < n_; ++j) {
+      if (vrow_[j] >= 0) continue;
+      double acc = cost_[j];
+      const double* col = tcol_[j].data();
+      for (const auto& [i, cb] : grad_rows_) acc -= cb * col[i];
+      d_[j] = acc;
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      if (srow_[k] >= 0) continue;
+      double acc = 0;
+      const double* col = bcol_[k].data();
+      for (const auto& [i, cb] : grad_rows_) acc -= cb * col[i];
+      ds_[k] = acc;
+    }
   }
 
-  // Picks an entering variable by Dantzig pricing (or Bland when asked).
-  // Returns -1 if no improving variable exists.
-  int ChooseEntering(bool bland) const {
-    int best = -1;
+  // Scores one nonbasic ref for entering; returns 0 if ineligible.
+  double EnteringScore(int ref) const {
+    double lo = LoOf(ref), hi = HiOf(ref);
+    if (lo == hi) return 0;  // fixed variable can never move
+    double d = DualSignedCost(ref);
+    VarState st = ref >= 0 ? vstate_[static_cast<size_t>(ref)]
+                           : sstate_[static_cast<size_t>(~ref)];
+    switch (st) {
+      case VarState::kAtLower:
+        return -d;
+      case VarState::kAtUpper:
+        return d;
+      case VarState::kFree:
+        return std::abs(d);
+      default:
+        return 0;
+    }
+  }
+
+  // Picks an entering variable by Dantzig pricing (or Bland when asked:
+  // first eligible ref in the fixed structural-then-slack order). Returns
+  // false if no improving variable exists.
+  bool ChooseEntering(bool bland, int* entering) const {
+    bool found = false;
     double best_score = opt_.tol;
     for (size_t j = 0; j < n_; ++j) {
-      if (state_[j] == VarState::kBasic) continue;
-      if (lo_[j] == hi_[j]) continue;  // fixed variable can never move
-      double score = 0;
-      switch (state_[j]) {
-        case VarState::kAtLower:
-          score = -d_[j];
-          break;
-        case VarState::kAtUpper:
-          score = d_[j];
-          break;
-        case VarState::kFree:
-          score = std::abs(d_[j]);
-          break;
-        default:
-          break;
-      }
+      if (vrow_[j] >= 0) continue;
+      double score = EnteringScore(static_cast<int>(j));
       if (score > best_score) {
-        best = static_cast<int>(j);
+        *entering = static_cast<int>(j);
         best_score = score;
-        if (bland) return best;  // first eligible index
+        found = true;
+        if (bland) return true;
       }
     }
-    return best;
+    for (size_t k = 0; k < m_; ++k) {
+      if (srow_[k] >= 0) continue;
+      double score = EnteringScore(~static_cast<int>(k));
+      if (score > best_score) {
+        *entering = ~static_cast<int>(k);
+        best_score = score;
+        found = true;
+        if (bland) return true;
+      }
+    }
+    return found;
   }
 
   bool Iterate(bool phase1, int* degenerate_run) {
-    int entering = ChooseEntering(*degenerate_run >= kBlandThreshold);
-    if (entering < 0) return false;  // stuck while still infeasible
+    int entering = 0;
+    if (!ChooseEntering(*degenerate_run >= kBlandThreshold, &entering)) {
+      return false;  // stuck while still infeasible
+    }
     StepResult r = Step(entering, phase1, degenerate_run);
     if (r == StepResult::kUnbounded || r == StepResult::kStuck) return false;
     return true;
   }
 
+  // Column-major pivot: makes Col(enter_ref) equal e_r. Row operations
+  // become, per column c: c[i] -= (c[r]/pivot) * old_entering[i], then
+  // c[r] = c[r]/pivot — columns with c[r] == 0 are untouched, which is the
+  // sparsity win over the old dense row-major sweep.
+  void RawPivot(size_t r, int enter_ref) {
+    std::vector<double>& ecol = Col(enter_ref);
+    double pivot = ecol[r];
+    assert(std::abs(pivot) > 1e-12);
+    pivot_copy_ = ecol;
+    double inv = 1.0 / pivot;
+    const double* pc = pivot_copy_.data();
+    auto update = [&](std::vector<double>& c) {
+      if (&c == &ecol) return;
+      double crj = c[r];
+      if (crj == 0) return;
+      double f = crj * inv;
+      double* cd = c.data();
+      for (size_t i = 0; i < m_; ++i) cd[i] -= f * pc[i];
+      cd[r] = f;
+    };
+    for (auto& c : tcol_) update(c);
+    for (auto& c : bcol_) update(c);
+    std::fill(ecol.begin(), ecol.end(), 0.0);
+    ecol[r] = 1.0;
+  }
+
   StepResult Step(int entering, bool phase1, int* degenerate_run) {
     ++iter_;
-    size_t q = static_cast<size_t>(entering);
+    VarState est = StateOf(entering);
     double dir;
-    switch (state_[q]) {
+    switch (est) {
       case VarState::kAtLower:
         dir = 1;
         break;
@@ -302,11 +536,14 @@ class Simplex {
         dir = -1;
         break;
       case VarState::kFree:
-        dir = d_[q] < 0 ? 1 : -1;
+        dir = DualSignedCost(entering) < 0 ? 1 : -1;
         break;
       default:
         return StepResult::kStuck;
     }
+
+    const std::vector<double>& ecol = Col(entering);
+    double elo = LoOf(entering), ehi = HiOf(entering);
 
     // Ratio test: how far can the entering variable move?
     double t_max = kInfinity;
@@ -315,38 +552,38 @@ class Simplex {
     double best_pivot = 0;
     // Entering variable's own opposite bound.
     double own_range =
-        (std::isfinite(lo_[q]) && std::isfinite(hi_[q])) ? hi_[q] - lo_[q]
-                                                         : kInfinity;
+        (std::isfinite(elo) && std::isfinite(ehi)) ? ehi - elo : kInfinity;
     if (own_range < t_max) t_max = own_range;
 
     for (size_t i = 0; i < m_; ++i) {
-      double alpha = t_[i * n_ + q];
+      double alpha = ecol[i];
       if (std::abs(alpha) < 1e-10) continue;
       double delta = -dir * alpha;  // basic value moves at this rate
-      size_t b = static_cast<size_t>(basis_[i]);
+      int b = basis_[i];
+      double blo = LoOf(b), bhi = HiOf(b);
       double t_block = kInfinity;
       double bound = 0;
       bool violated = phase1 && BasicViolated(i);
-      bool below = violated && xb_[i] < lo_[b];
-      bool above = violated && xb_[i] > hi_[b];
+      bool below = violated && xb_[i] < blo;
+      bool above = violated && xb_[i] > bhi;
       if (below) {
         // Infeasible-below basic blocks only when rising to its lower bound.
         if (delta > 0) {
-          t_block = (lo_[b] - xb_[i]) / delta;
-          bound = lo_[b];
+          t_block = (blo - xb_[i]) / delta;
+          bound = blo;
         }
       } else if (above) {
         if (delta < 0) {
-          t_block = (hi_[b] - xb_[i]) / delta;
-          bound = hi_[b];
+          t_block = (bhi - xb_[i]) / delta;
+          bound = bhi;
         }
       } else {
-        if (delta < 0 && std::isfinite(lo_[b])) {
-          t_block = (lo_[b] - xb_[i]) / delta;
-          bound = lo_[b];
-        } else if (delta > 0 && std::isfinite(hi_[b])) {
-          t_block = (hi_[b] - xb_[i]) / delta;
-          bound = hi_[b];
+        if (delta < 0 && std::isfinite(blo)) {
+          t_block = (blo - xb_[i]) / delta;
+          bound = blo;
+        } else if (delta > 0 && std::isfinite(bhi)) {
+          t_block = (bhi - xb_[i]) / delta;
+          bound = bhi;
         }
       }
       if (t_block == kInfinity) continue;
@@ -376,103 +613,276 @@ class Simplex {
 
     // Apply the move to all basic values.
     for (size_t i = 0; i < m_; ++i) {
-      double alpha = t_[i * n_ + q];
+      double alpha = ecol[i];
       if (alpha == 0) continue;
       xb_[i] += -dir * alpha * t_max;
     }
-    double new_q_value = value_[q] + dir * t_max;
+    double new_q_value = ValueOf(entering) + dir * t_max;
 
     if (leave_row < 0) {
       // Bound flip: the entering variable traverses to its opposite bound.
-      value_[q] = new_q_value;
-      state_[q] = (dir > 0) ? VarState::kAtUpper : VarState::kAtLower;
+      // Only structural variables have two finite bounds, so `entering` is
+      // guaranteed structural here.
+      value_[static_cast<size_t>(entering)] = new_q_value;
+      StateOf(entering) = (dir > 0) ? VarState::kAtUpper : VarState::kAtLower;
       return StepResult::kBoundFlip;
     }
 
     // Pivot: entering becomes basic in leave_row; leaving variable goes to
     // the bound it hit.
     size_t r = static_cast<size_t>(leave_row);
-    size_t leaving = static_cast<size_t>(basis_[r]);
-    double pivot = t_[r * n_ + q];
-    assert(std::abs(pivot) > 1e-12);
+    int leaving = basis_[r];
+    RawPivot(r, entering);
 
-    double* prow = &t_[r * n_];
-    double inv = 1.0 / pivot;
-    for (size_t j = 0; j < n_; ++j) prow[j] *= inv;
-    for (size_t i = 0; i < m_; ++i) {
-      if (i == r) continue;
-      double factor = t_[i * n_ + q];
-      if (factor == 0) continue;
-      double* row = &t_[i * n_];
-      for (size_t j = 0; j < n_; ++j) row[j] -= factor * prow[j];
-      t_[i * n_ + q] = 0;  // exact zero, kill residue
-    }
-
-    state_[leaving] = (leave_bound == lo_[leaving]) ? VarState::kAtLower
-                                                    : VarState::kAtUpper;
-    if (lo_[leaving] == hi_[leaving]) state_[leaving] = VarState::kAtLower;
-    value_[leaving] = leave_bound;
+    StateOf(leaving) = (leave_bound == LoOf(leaving)) ? VarState::kAtLower
+                                                      : VarState::kAtUpper;
+    if (LoOf(leaving) == HiOf(leaving)) StateOf(leaving) = VarState::kAtLower;
+    if (leaving >= 0) value_[static_cast<size_t>(leaving)] = leave_bound;
+    BasicRowOf(leaving) = -1;
     xb_[r] = new_q_value;
     basis_[r] = entering;
-    state_[q] = VarState::kBasic;
+    StateOf(entering) = VarState::kBasic;
+    BasicRowOf(entering) = static_cast<int>(r);
     return StepResult::kPivoted;
+  }
+
+  // Rebuilds the tableau from the sparse columns and re-establishes the
+  // recorded basis by Gaussian elimination, falling back to a row's own
+  // slack (or any usable column) where the recorded basic column has gone
+  // numerically singular.
+  void Refactorize() {
+    refactor_singular_ = false;
+    for (size_t j = 0; j < n_; ++j) {
+      tcol_[j].assign(m_, 0.0);
+      for (const auto& [r, c] : acol_[j]) {
+        tcol_[j][static_cast<size_t>(r)] += c;
+      }
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      bcol_[k].assign(m_, 0.0);
+      bcol_[k][k] = 1.0;
+    }
+
+    std::vector<int> desired = basis_;
+    vrow_.assign(n_, -1);
+    srow_.assign(m_, -1);
+
+    for (size_t i = 0; i < m_; ++i) {
+      int ref = desired[i];
+      // A ref an earlier row already established (possible when a fallback
+      // stole a later row's slack) is off limits — and must NOT be demoted,
+      // since it is legitimately basic elsewhere.
+      bool available = BasicRowOf(ref) < 0;
+      // A slack basic in its own row needs no pivot: its column is still
+      // e_i (pivots on other rows cannot disturb it).
+      if (available && ref < 0 && static_cast<size_t>(~ref) == i) {
+        basis_[i] = ref;
+        BasicRowOf(ref) = static_cast<int>(i);
+        StateOf(ref) = VarState::kBasic;
+        continue;
+      }
+      if (!available || std::abs(Col(ref)[i]) <= 1e-9) {
+        // Demote the unusable recorded basic to a nonbasic bound and use
+        // this row's own slack instead, provided neither is claimed
+        // elsewhere.
+        if (available) Demote(ref);
+        ref = ~static_cast<int>(i);
+        bool slack_free = BasicRowOf(ref) < 0;
+        for (size_t i2 = i; slack_free && i2 < m_; ++i2) {
+          if (desired[i2] == ref) slack_free = false;
+        }
+        if (!slack_free || std::abs(Col(ref)[i]) <= 1e-9) {
+          ref = FindPivotColumn(i, desired);
+        }
+        if (ref == kNoRef) {
+          // Singular beyond repair in this row: fall back to any unclaimed
+          // slack (one always exists — fewer than m are claimed so far),
+          // preferring the row's own. Phase 1 sorts out feasibility; a
+          // later row that wanted this slack hits the `available` guard
+          // above and re-resolves itself.
+          ref = ~static_cast<int>(i);
+          for (size_t k = 0; BasicRowOf(ref) >= 0 && k < m_; ++k) {
+            if (srow_[k] < 0) ref = ~static_cast<int>(k);
+          }
+        }
+      }
+      if (std::abs(Col(ref)[i]) > 1e-12) {
+        RawPivot(i, ref);
+      } else {
+        // No usable pivot anywhere: the column recorded basic is not e_i,
+        // so the tableau invariant is broken. Flag it so Solve() reports a
+        // numerical failure instead of optimizing over an inconsistent
+        // basis (callers treat that as breakdown and rebuild cold).
+        refactor_singular_ = true;
+      }
+      basis_[i] = ref;
+      BasicRowOf(ref) = static_cast<int>(i);
+      StateOf(ref) = VarState::kBasic;
+    }
+
+    // Anything recorded basic that lost its slot is nonbasic now.
+    for (size_t j = 0; j < n_; ++j) {
+      if (vstate_[j] == VarState::kBasic && vrow_[j] < 0) {
+        Demote(static_cast<int>(j));
+      }
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      if (sstate_[k] == VarState::kBasic && srow_[k] < 0) {
+        Demote(~static_cast<int>(k));
+      }
+    }
+
+    // x_B = B^-1 b - sum over nonbasic columns of T[:,j] * x_j (nonbasic
+    // slacks rest at 0 and drop out).
+    xb_.assign(m_, 0.0);
+    for (size_t k = 0; k < m_; ++k) {
+      if (rhs_[k] == 0) continue;
+      const double* col = bcol_[k].data();
+      for (size_t i = 0; i < m_; ++i) xb_[i] += col[i] * rhs_[k];
+    }
+    for (size_t j = 0; j < n_; ++j) {
+      if (vrow_[j] >= 0 || value_[j] == 0) continue;
+      const double* col = tcol_[j].data();
+      for (size_t i = 0; i < m_; ++i) xb_[i] -= col[i] * value_[j];
+    }
+    factor_valid_ = true;
+  }
+
+  static constexpr int kNoRef = std::numeric_limits<int>::min();
+
+  // Picks a nonbasic, not-later-desired column with the largest pivot
+  // magnitude in row i (refactorization fallback).
+  int FindPivotColumn(size_t i, const std::vector<int>& desired) {
+    int best = kNoRef;
+    double best_mag = 1e-9;
+    auto consider = [&](int ref) {
+      if (BasicRowOf(ref) >= 0) return;
+      for (size_t i2 = i + 1; i2 < m_; ++i2) {
+        if (desired[i2] == ref) return;
+      }
+      double mag = std::abs(Col(ref)[i]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = ref;
+      }
+    };
+    for (size_t j = 0; j < n_; ++j) consider(static_cast<int>(j));
+    for (size_t k = 0; k < m_; ++k) consider(~static_cast<int>(k));
+    return best;
+  }
+
+  void Demote(int ref) {
+    double lo = LoOf(ref), hi = HiOf(ref);
+    VarState st;
+    double v;
+    if (std::isfinite(lo) && (!std::isfinite(hi) || std::abs(lo) <= std::abs(hi))) {
+      st = VarState::kAtLower;
+      v = lo;
+    } else if (std::isfinite(hi)) {
+      st = VarState::kAtUpper;
+      v = hi;
+    } else {
+      st = VarState::kFree;
+      v = 0.0;
+    }
+    StateOf(ref) = st;
+    if (ref >= 0) value_[static_cast<size_t>(ref)] = v;
+    BasicRowOf(ref) = -1;
   }
 
   const SolveOptions opt_;
   size_t m_ = 0;  // rows
-  size_t n_ = 0;  // all columns (structural + slack)
-  std::vector<double> t_;      // m x n tableau, row-major
+  size_t n_ = 0;  // structural variables
+
+  // Sparse problem data.
+  std::vector<std::vector<std::pair<int, double>>> acol_;  // per column
+  std::vector<double> lo_, hi_, cost_;
+  std::vector<RowType> row_type_;
   std::vector<double> rhs_;
-  std::vector<double> cost_;   // phase-2 costs, all columns
-  std::vector<double> d_;      // current reduced costs
-  std::vector<double> lo_, hi_;
-  std::vector<double> value_;  // nonbasic variable values
-  std::vector<VarState> state_;
-  std::vector<int> basis_;     // variable index basic in each row
+
+  // Factorized working state.
+  bool factor_valid_ = true;
+  bool refactor_singular_ = false;  // last Refactorize failed a pivot
+  std::vector<std::vector<double>> tcol_;  // structural tableau columns
+  std::vector<std::vector<double>> bcol_;  // slack columns == B^-1
+  std::vector<VarState> vstate_, sstate_;
+  std::vector<double> value_;  // nonbasic structural values
+  std::vector<int> basis_;     // per row: basic column ref
+  std::vector<int> vrow_, srow_;  // ref -> basic row, -1 if nonbasic
   std::vector<double> xb_;     // basic variable values
+
+  // Scratch buffers reused across iterations.
+  std::vector<double> d_, ds_;  // reduced costs (structural / slack)
+  std::vector<std::pair<size_t, double>> grad_rows_;
+  std::vector<double> pivot_copy_;
   int iter_ = 0;
 };
 
-}  // namespace
+Solver::Solver(const SolveOptions& options) : impl_(new Impl(options)) {}
+
+Solver::Solver(const Problem& p, const SolveOptions& options)
+    : impl_(new Impl(options)) {
+  for (size_t j = 0; j < p.VariableCount(); ++j) {
+    impl_->AddVariable(p.lower_bounds()[j], p.upper_bounds()[j],
+                       p.objective()[j]);
+  }
+  for (const Row& row : p.rows()) {
+    impl_->AddRow(row.type, row.rhs, row.coeffs);
+  }
+}
+
+Solver::~Solver() { delete impl_; }
+
+Solver::Solver(Solver&& other) noexcept : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+
+Solver& Solver::operator=(Solver&& other) noexcept {
+  if (this != &other) {
+    delete impl_;
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+int Solver::AddVariable(double lo, double hi, double obj) {
+  return impl_->AddVariable(lo, hi, obj);
+}
+
+int Solver::AddColumn(double lo, double hi, double obj,
+                      const std::vector<std::pair<int, double>>& row_coeffs) {
+  return impl_->AddColumn(lo, hi, obj, row_coeffs);
+}
+
+int Solver::AddRow(RowType type, double rhs,
+                   const std::vector<std::pair<int, double>>& coeffs) {
+  return impl_->AddRow(type, rhs, coeffs);
+}
+
+void Solver::AddToRow(int row, int var, double delta) {
+  impl_->AddToRow(row, var, delta);
+}
+
+void Solver::SetRhs(int row, double rhs) { impl_->SetRhs(row, rhs); }
+
+double Solver::rhs(int row) const { return impl_->rhs(row); }
+
+void Solver::AddToObjective(int var, double delta) {
+  impl_->AddToObjective(var, delta);
+}
+
+size_t Solver::VariableCount() const { return impl_->VariableCount(); }
+
+size_t Solver::RowCount() const { return impl_->RowCount(); }
+
+Solution Solver::Solve() { return impl_->Solve(); }
+
+void Solver::Invalidate() { impl_->Invalidate(); }
 
 Solution Solve(const Problem& problem, const SolveOptions& options) {
-  if (problem.RowCount() == 0) {
-    // Pure bound minimization: each variable sits at whichever finite bound
-    // minimizes its cost term.
-    Solution sol;
-    sol.values.assign(problem.VariableCount(), 0.0);
-    for (size_t j = 0; j < problem.VariableCount(); ++j) {
-      double c = problem.objective()[j];
-      double lo = problem.lower_bounds()[j];
-      double hi = problem.upper_bounds()[j];
-      double v;
-      if (c > 0) {
-        if (!std::isfinite(lo)) {
-          sol.status = Status::kUnbounded;
-          return sol;
-        }
-        v = lo;
-      } else if (c < 0) {
-        if (!std::isfinite(hi)) {
-          sol.status = Status::kUnbounded;
-          return sol;
-        }
-        v = hi;
-      } else {
-        v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0);
-      }
-      if (lo > hi) {
-        sol.status = Status::kInfeasible;
-        return sol;
-      }
-      sol.values[j] = v;
-      sol.objective += c * v;
-    }
-    sol.status = Status::kOptimal;
-    return sol;
-  }
-  Simplex simplex(problem, options);
-  return simplex.Run(problem);
+  Solver solver(problem, options);
+  return solver.Solve();
 }
 
 }  // namespace ldr::lp

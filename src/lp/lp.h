@@ -1,10 +1,10 @@
-// A from-scratch linear-program solver.
+// A from-scratch linear-program solver with incremental re-solve support.
 //
 // The paper relies on an LP solver in three places: the Fig. 12 latency
 // optimization at LDR's core, the MinMax traffic-engineering baselines, and
 // the locality extension of the gravity traffic-matrix model (§3, footnote
-// 3). No solver is available offline, so this module implements a dense
-// two-phase *bounded-variable* primal simplex:
+// 3). No solver is available offline, so this module implements a
+// *bounded-variable* primal simplex:
 //
 //   minimize    c^T x
 //   subject to  row_i: a_i^T x (<= | >= | =) b_i     for each row
@@ -14,12 +14,23 @@
 // (artificial-free) objective — the sum of bound violations of basic
 // variables — and phase 2 the real objective; both use Dantzig pricing with
 // a Bland's-rule fallback after a run of degenerate pivots, which guarantees
-// termination. The tableau is dense: problem sizes in this library are a few
-// hundred rows by a few thousand columns (the Fig. 13 iterative path growth
-// keeps LDR's LPs small by construction — that is the paper's point).
+// termination.
+//
+// Two entry points:
+//
+//   * Solve(problem): one-shot solve of an immutable Problem description.
+//   * Solver: a long-lived object that keeps its factorized basis and bound
+//     state alive across calls. Constraint columns are stored sparsely; the
+//     working tableau B^-1·A is materialized column-major, with the slack
+//     block doubling as an explicit B^-1, so the structural deltas the
+//     Fig. 13 path-growth loop needs — AddColumn, AddRow, AddToRow, SetRhs —
+//     cost O(m·nnz) instead of a rebuild, and Solve() warm-starts primal
+//     simplex from the previous optimal basis (typically a handful of pivots
+//     instead of a full cold solve).
 #ifndef LDR_LP_LP_H_
 #define LDR_LP_LP_H_
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -85,6 +96,71 @@ struct Solution {
   int iterations = 0;
 
   bool ok() const { return status == Status::kOptimal; }
+};
+
+// A reusable simplex instance. The problem is grown in place through the
+// mutation calls below; every Solve() re-optimizes warm from the basis the
+// previous Solve() ended in. Mutations keep the factorization alive where
+// they can (new columns are priced through the explicit B^-1; new rows
+// extend the basis with their own slack); the ones that would invalidate it
+// (touching a basic variable's constraint coefficients) just mark the basis
+// for refactorization at the next Solve().
+class Solver {
+ public:
+  explicit Solver(const SolveOptions& options = {});
+  // Loads an existing Problem description (equivalent to replaying its
+  // variables and rows through AddColumn/AddRow).
+  explicit Solver(const Problem& p, const SolveOptions& options = {});
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+
+  // Adds a variable with no constraint coefficients yet. Returns its index.
+  int AddVariable(double lo, double hi, double obj);
+
+  // Adds a variable together with its coefficients in *existing* rows
+  // ((row index, coefficient) pairs; duplicates are summed). The new column
+  // enters nonbasic at its bound nearest zero, so a previously optimal basis
+  // stays primal feasible — this is the warm path the Fig. 13 loop hits when
+  // it appends path columns.
+  int AddColumn(double lo, double hi, double obj,
+                const std::vector<std::pair<int, double>>& row_coeffs);
+
+  // Adds a constraint row over existing variables ((variable index,
+  // coefficient) pairs; duplicates are summed). Returns the row's index.
+  // The row's slack joins the basis, so no refactorization is needed.
+  int AddRow(RowType type, double rhs,
+             const std::vector<std::pair<int, double>>& coeffs);
+
+  // Adds `delta` to an existing row's coefficient on an existing variable.
+  // Cheap while `var` is nonbasic; marks the basis for refactorization
+  // otherwise.
+  void AddToRow(int row, int var, double delta);
+
+  // Replaces a row's right-hand side.
+  void SetRhs(int row, double rhs);
+  double rhs(int row) const;
+
+  // Adds `delta` to a variable's objective coefficient.
+  void AddToObjective(int var, double delta);
+
+  size_t VariableCount() const;
+  size_t RowCount() const;
+
+  // Re-optimizes from the current basis (two-phase; phase 1 only runs when
+  // the warm basis is primal infeasible, e.g. after SetRhs).
+  Solution Solve();
+
+  // Drops the factorization; the next Solve() rebuilds the tableau from the
+  // sparse columns under the current basis. Exposed for tests.
+  void Invalidate();
+
+ private:
+  class Impl;
+  Impl* impl_;
 };
 
 Solution Solve(const Problem& problem, const SolveOptions& options = {});

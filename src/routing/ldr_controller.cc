@@ -7,16 +7,11 @@
 
 namespace ldr {
 
-LdrControllerResult RunLdrController(
-    const Graph& g, const std::vector<Aggregate>& aggregates,
-    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
+std::vector<double> PredictDemands(
+    const std::vector<std::vector<double>>& history_100ms,
     const LdrControllerOptions& opts) {
-  LdrControllerResult result;
-
-  // (1) Predict each aggregate's next-minute mean (Algorithm 1), feeding
-  // the predictor one update per full minute of history.
-  result.demand_estimate_gbps.assign(aggregates.size(), 0.0);
-  for (size_t a = 0; a < aggregates.size(); ++a) {
+  std::vector<double> demand(history_100ms.size(), 0.0);
+  for (size_t a = 0; a < history_100ms.size(); ++a) {
     std::vector<double> minutes = PerMinuteMeans(history_100ms[a], 10.0);
     if (minutes.empty() && !history_100ms[a].empty()) {
       // Less than a minute of data: use what there is.
@@ -26,22 +21,56 @@ LdrControllerResult RunLdrController(
     }
     MeanRatePredictor pred(opts.predictor_decay, opts.predictor_hedge);
     for (double m : minutes) pred.Update(m);
-    result.demand_estimate_gbps[a] = pred.prediction();
+    demand[a] = pred.prediction();
   }
+  return demand;
+}
+
+LdrControllerResult RunLdrController(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
+    const LdrControllerOptions& opts) {
+  LdrControllerResult result;
+
+  // (1) Predict each aggregate's next-minute mean (Algorithm 1), feeding
+  // the predictor one update per full minute of history. Hoisted out of the
+  // retry loop: the measured history never changes across rounds.
+  result.demand_estimate_gbps = PredictDemands(history_100ms, opts);
 
   std::vector<Aggregate> working = aggregates;
   for (size_t a = 0; a < working.size(); ++a) {
     working[a].demand_gbps = result.demand_estimate_gbps[a];
   }
 
+  // The LP and grown path sets persist across retry rounds: re-optimizing
+  // after a headroom tweak re-enters the solver warm with demand deltas
+  // instead of rebuilding the Fig. 12 problem from scratch.
+  LpReuseContext reuse;
+  std::vector<std::vector<WeightedSeries>> on_link(g.LinkCount());
+  std::vector<size_t> on_link_count(g.LinkCount());
+  std::vector<bool> failing(g.LinkCount());
+
   for (int round = 0; round < opts.max_rounds; ++round) {
     result.rounds = round + 1;
     // (2) Latency-optimal placement for current Ba estimates.
-    result.outcome = IterativeLpRoute(g, working, cache, opts.routing);
+    result.outcome = IterativeLpRoute(g, working, cache, opts.routing, &reuse);
 
     // (3) Appraise multiplexing per link using the *measured* last-minute
-    // series (not the estimates).
-    std::vector<std::vector<WeightedSeries>> on_link(g.LinkCount());
+    // series (not the estimates). Count contributions first so the scatter
+    // never reallocates mid-fill.
+    std::fill(on_link_count.begin(), on_link_count.end(), size_t{0});
+    for (size_t a = 0; a < working.size(); ++a) {
+      for (const PathAllocation& pa : result.outcome.allocations[a]) {
+        if (pa.fraction <= 1e-9) continue;
+        for (LinkId l : pa.path.links()) {
+          ++on_link_count[static_cast<size_t>(l)];
+        }
+      }
+    }
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      on_link[l].clear();
+      on_link[l].reserve(on_link_count[l]);
+    }
     for (size_t a = 0; a < working.size(); ++a) {
       for (const PathAllocation& pa : result.outcome.allocations[a]) {
         if (pa.fraction <= 1e-9) continue;
@@ -51,7 +80,7 @@ LdrControllerResult RunLdrController(
         }
       }
     }
-    std::vector<bool> failing(g.LinkCount(), false);
+    std::fill(failing.begin(), failing.end(), false);
     size_t fail_count = 0;
     for (size_t l = 0; l < g.LinkCount(); ++l) {
       if (on_link[l].empty()) continue;

@@ -41,6 +41,13 @@ struct LdrControllerResult {
   size_t failing_links_last_round = 0;
 };
 
+// Algorithm 1 demand prediction for every aggregate: per-minute means of
+// the measured series replayed through a MeanRatePredictor. Exposed so
+// callers replaying many controller epochs can hoist it.
+std::vector<double> PredictDemands(
+    const std::vector<std::vector<double>>& history_100ms,
+    const LdrControllerOptions& opts);
+
 // `history_100ms[a]`: aggregate a's measured rate series at 100 ms
 // granularity (at least one minute; multiple minutes drive the predictor
 // through multiple updates). The aggregates' demand_gbps fields are ignored

@@ -18,6 +18,18 @@ double NowMs() {
       .count();
 }
 
+// §8 class weighting: class c uses class_weights[c] (the last entry
+// saturates out-of-range classes); empty means all classes equal. The cold
+// builder, the incremental builder, and the best-solution tracker must all
+// use this one definition — the warm/cold equivalence tests assume the
+// objectives are term-for-term identical.
+double ClassWeight(const std::vector<double>& class_weights,
+                   int traffic_class) {
+  if (class_weights.empty()) return 1.0;
+  size_t c = static_cast<size_t>(std::max(0, traffic_class));
+  return class_weights[std::min(c, class_weights.size() - 1)];
+}
+
 }  // namespace
 
 double AggregateDelayMs(const Graph& g,
@@ -45,14 +57,9 @@ RoutingLpResult SolveRoutingLp(
     weight_denom += aggregates[a].flow_count * paths[a][0]->DelayMs(g);
   }
   if (weight_denom <= 0) weight_denom = 1;
-  auto class_weight = [&](size_t a) {
-    if (opts.class_weights.empty()) return 1.0;
-    size_t c = static_cast<size_t>(std::max(0, aggregates[a].traffic_class));
-    c = std::min(c, opts.class_weights.size() - 1);
-    return opts.class_weights[c];
-  };
   auto weight = [&](size_t a) {
-    return 100.0 * class_weight(a) * aggregates[a].flow_count / weight_denom;
+    return 100.0 * ClassWeight(opts.class_weights, aggregates[a].traffic_class) *
+           aggregates[a].flow_count / weight_denom;
   };
 
   // Fixed loads from single-path aggregates; collect variable aggregates.
@@ -188,6 +195,201 @@ RoutingLpResult SolveRoutingLp(
   return result;
 }
 
+IncrementalRoutingLp::IncrementalRoutingLp(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const RoutingLpOptions& opts)
+    : g_(&g), opts_(opts), aggs_(aggregates) {
+  cap_scale_ = 1.0 - opts_.headroom;
+  size_t num_links = g.LinkCount();
+  npaths_.assign(aggs_.size(), 0);
+  xvar_.resize(aggs_.size());
+  eq_row_.assign(aggs_.size(), -1);
+  paths_.resize(aggs_.size());
+  fixed_load_.assign(num_links, 0.0);
+  link_row_.assign(num_links, -1);
+  olvar_.assign(num_links, -1);
+  link_vars_.resize(num_links);
+}
+
+double IncrementalRoutingLp::Weight(size_t a) const {
+  return 100.0 * ClassWeight(opts_.class_weights, aggs_[a].traffic_class) *
+         aggs_[a].flow_count / weight_denom_;
+}
+
+// Creates capacity rows (and LDR-mode overload variables) for links that
+// became used — carrying fixed load or crossed by a candidate path of a
+// variable aggregate — since the last call. Matches SolveRoutingLp's
+// link_used criterion round for round.
+void IncrementalRoutingLp::EnsureLinkRows() {
+  for (size_t l = 0; l < link_row_.size(); ++l) {
+    if (link_row_[l] >= 0) continue;
+    if (fixed_load_[l] <= 0 && link_vars_[l].empty()) continue;
+    double cap = g_->link(static_cast<LinkId>(l)).capacity_gbps * cap_scale_;
+    if (cap <= 0) cap = 1e-9;
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(link_vars_[l].size() + 1);
+    for (const auto& [var, a] : link_vars_[l]) {
+      terms.emplace_back(var, aggs_[a].demand_gbps);
+    }
+    if (opts_.minmax) {
+      terms.emplace_back(omax_var_, -cap);
+      link_row_[l] = solver_.AddRow(lp::RowType::kLe, -fixed_load_[l],
+                                    std::move(terms));
+    } else {
+      olvar_[l] = solver_.AddVariable(1, lp::kInfinity, 1.0);
+      terms.emplace_back(olvar_[l], -cap);
+      link_row_[l] = solver_.AddRow(lp::RowType::kLe, -fixed_load_[l],
+                                    std::move(terms));
+      solver_.AddRow(lp::RowType::kLe, 0, {{olvar_[l], 1}, {omax_var_, -1}});
+    }
+  }
+}
+
+RoutingLpResult IncrementalRoutingLp::Solve(
+    const std::vector<std::vector<const Path*>>& paths) {
+  RoutingLpResult result;
+  size_t num_links = g_->LinkCount();
+
+  if (!init_) {
+    weight_denom_ = 0;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (paths[a].empty()) continue;
+      weight_denom_ += aggs_[a].flow_count * paths[a][0]->DelayMs(*g_);
+    }
+    if (weight_denom_ <= 0) weight_denom_ = 1;
+    omax_var_ = opts_.minmax
+                    ? solver_.AddVariable(0, lp::kInfinity, opts_.m2)  // U
+                    : solver_.AddVariable(1, lp::kInfinity, opts_.m2);  // Omax
+    init_ = true;
+  }
+
+  // Sync the append-only path growth into the solver.
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    size_t prev = npaths_[a];
+    size_t cnt = paths[a].size();
+    if (cnt == prev) continue;
+    if (prev == 0 && cnt == 1) {
+      // Fixed placement: load folds into the link constants.
+      for (LinkId l : paths[a][0]->links()) {
+        size_t li = static_cast<size_t>(l);
+        fixed_load_[li] += aggs_[a].demand_gbps;
+        if (link_row_[li] >= 0) solver_.SetRhs(link_row_[li], -fixed_load_[li]);
+      }
+    } else {
+      if (prev == 1) {
+        // The aggregate joins the LP: un-fold its fixed load.
+        for (LinkId l : paths_[a][0]->links()) {
+          size_t li = static_cast<size_t>(l);
+          fixed_load_[li] -= aggs_[a].demand_gbps;
+          if (link_row_[li] >= 0) {
+            solver_.SetRhs(link_row_[li], -fixed_load_[li]);
+          }
+        }
+      }
+      double s_a = paths[a][0]->DelayMs(*g_);
+      if (s_a <= 0) s_a = 1e-3;
+      size_t first_new = prev >= 2 ? prev : 0;
+      for (size_t pi = first_new; pi < cnt; ++pi) {
+        double dp = paths[a][pi]->DelayMs(*g_);
+        double coeff = Weight(a) * dp * (1.0 + opts_.m1 / s_a);
+        std::vector<std::pair<int, double>> col_coeffs;
+        for (LinkId l : paths[a][pi]->links()) {
+          size_t li = static_cast<size_t>(l);
+          if (link_row_[li] >= 0) {
+            col_coeffs.emplace_back(link_row_[li], aggs_[a].demand_gbps);
+          }
+        }
+        if (eq_row_[a] >= 0) col_coeffs.emplace_back(eq_row_[a], 1.0);
+        int v = solver_.AddColumn(0, 1, coeff, col_coeffs);
+        xvar_[a].push_back(v);
+        for (LinkId l : paths[a][pi]->links()) {
+          link_vars_[static_cast<size_t>(l)].emplace_back(v, a);
+        }
+      }
+      if (eq_row_[a] < 0) {
+        std::vector<std::pair<int, double>> row;
+        row.reserve(xvar_[a].size());
+        for (int v : xvar_[a]) row.emplace_back(v, 1.0);
+        eq_row_[a] = solver_.AddRow(lp::RowType::kEq, 1.0, std::move(row));
+      }
+    }
+    paths_[a] = paths[a];
+    npaths_[a] = cnt;
+  }
+  EnsureLinkRows();
+
+  lp::Solution sol = solver_.Solve();
+  if (!sol.ok()) {
+    result.solved = false;
+    return result;
+  }
+
+  // Extract fractions.
+  result.fractions.resize(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    result.fractions[a].assign(paths[a].size(), 0.0);
+    if (paths[a].empty()) continue;
+    if (paths[a].size() == 1) {
+      result.fractions[a][0] = 1.0;
+      continue;
+    }
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      result.fractions[a][pi] =
+          std::clamp(sol.values[static_cast<size_t>(xvar_[a][pi])], 0.0, 1.0);
+    }
+  }
+
+  // Recompute per-link levels from actual loads (more robust than reading
+  // the LP's overload variables).
+  std::vector<double> load = fixed_load_;
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (paths[a].size() < 2) continue;
+    for (size_t pi = 0; pi < paths[a].size(); ++pi) {
+      double f = result.fractions[a][pi];
+      if (f <= 1e-12) continue;
+      for (LinkId l : paths[a][pi]->links()) {
+        load[static_cast<size_t>(l)] += f * aggs_[a].demand_gbps;
+      }
+    }
+  }
+  result.link_level.assign(num_links, 0.0);
+  result.omax = opts_.minmax ? 0.0 : 1.0;
+  for (size_t l = 0; l < num_links; ++l) {
+    double cap = g_->link(static_cast<LinkId>(l)).capacity_gbps * cap_scale_;
+    if (cap <= 0) continue;
+    double level = load[l] / cap;
+    result.link_level[l] = level;
+    result.omax = std::max(result.omax, level);
+  }
+  result.solved = true;
+  return result;
+}
+
+void IncrementalRoutingLp::UpdateDemands(
+    const std::vector<Aggregate>& aggregates) {
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    double delta = aggregates[a].demand_gbps - aggs_[a].demand_gbps;
+    if (delta == 0) continue;
+    if (npaths_[a] == 1) {
+      for (LinkId l : paths_[a][0]->links()) {
+        size_t li = static_cast<size_t>(l);
+        fixed_load_[li] += delta;
+        if (link_row_[li] >= 0) solver_.SetRhs(link_row_[li], -fixed_load_[li]);
+      }
+    } else if (npaths_[a] >= 2) {
+      for (size_t pi = 0; pi < paths_[a].size(); ++pi) {
+        for (LinkId l : paths_[a][pi]->links()) {
+          size_t li = static_cast<size_t>(l);
+          if (link_row_[li] >= 0) {
+            solver_.AddToRow(link_row_[li], xvar_[a][pi], delta);
+          }
+        }
+      }
+    }
+    aggs_[a].demand_gbps = aggregates[a].demand_gbps;
+  }
+}
+
 namespace {
 
 // Appends the next-shortest path for every aggregate that crosses a link in
@@ -228,19 +430,42 @@ size_t GrowPathSets(const std::vector<Aggregate>& aggregates,
 
 RoutingOutcome IterativeLpRoute(const Graph& g,
                                 const std::vector<Aggregate>& aggregates,
-                                KspCache* cache,
-                                const IterativeOptions& opts) {
+                                KspCache* cache, const IterativeOptions& opts,
+                                LpReuseContext* reuse) {
   double t0 = NowMs();
   RoutingOutcome outcome;
   outcome.allocations.resize(aggregates.size());
 
-  std::vector<std::vector<const Path*>> paths(aggregates.size());
-  for (size_t a = 0; a < aggregates.size(); ++a) {
-    KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
-    for (size_t k = 0; k < std::max<size_t>(1, opts.initial_paths); ++k) {
-      const Path* p = gen->Get(k);
-      if (p == nullptr) break;
-      paths[a].push_back(p);
+  std::vector<std::vector<const Path*>> paths;
+  std::unique_ptr<IncrementalRoutingLp> local_lp;
+  IncrementalRoutingLp* ilp = nullptr;
+  if (reuse != nullptr && reuse->lp != nullptr &&
+      reuse->paths.size() == aggregates.size()) {
+    // Warm re-entry (controller headroom round): keep the grown path sets
+    // and the live LP, pushing only the demand deltas.
+    paths = reuse->paths;
+    reuse->lp->UpdateDemands(aggregates);
+    ilp = reuse->lp.get();
+  } else {
+    paths.resize(aggregates.size());
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
+      for (size_t k = 0; k < std::max<size_t>(1, opts.initial_paths); ++k) {
+        const Path* p = gen->Get(k);
+        if (p == nullptr) break;
+        paths[a].push_back(p);
+      }
+    }
+    if (opts.incremental) {
+      auto fresh =
+          std::make_unique<IncrementalRoutingLp>(g, aggregates, opts.lp);
+      if (reuse != nullptr) {
+        reuse->lp = std::move(fresh);
+        ilp = reuse->lp.get();
+      } else {
+        local_lp = std::move(fresh);
+        ilp = local_lp.get();
+      }
     }
   }
 
@@ -250,13 +475,8 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
                             const std::vector<std::vector<const Path*>>& ps) {
     double acc = 0;
     for (size_t a = 0; a < aggregates.size(); ++a) {
-      double cw = 1.0;
-      if (!opts.lp.class_weights.empty()) {
-        size_t c =
-            static_cast<size_t>(std::max(0, aggregates[a].traffic_class));
-        cw = opts.lp.class_weights[std::min(
-            c, opts.lp.class_weights.size() - 1)];
-      }
+      double cw =
+          ClassWeight(opts.lp.class_weights, aggregates[a].traffic_class);
       for (size_t pi = 0; pi < ps[a].size(); ++pi) {
         acc += cw * aggregates[a].flow_count * r.fractions[a][pi] *
                ps[a][pi]->DelayMs(g);
@@ -278,7 +498,8 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   int polish_left = 2;
   int round = 0;
   for (; round < opts.max_rounds; ++round) {
-    res = SolveRoutingLp(g, aggregates, paths, opts.lp);
+    res = ilp != nullptr ? ilp->Solve(paths)
+                         : SolveRoutingLp(g, aggregates, paths, opts.lp);
     if (!res.solved) break;
 
     bool feasible_now =
@@ -319,6 +540,17 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     size_t grown = GrowPathSets(aggregates, res.fractions, hot, cache,
                                 opts.max_paths_per_aggregate, &paths);
     if (grown == 0) break;  // exhausted: congestion unavoidable
+  }
+
+  // Persist the grown (pre-restore) path sets for the next warm re-entry;
+  // a failed solve poisons the solver state, so drop it instead.
+  if (reuse != nullptr) {
+    if (res.solved) {
+      reuse->paths = paths;
+    } else {
+      reuse->lp.reset();
+      reuse->paths.clear();
+    }
   }
 
   // Prefer the best feasible solution seen (LDR mode); otherwise the last.

@@ -22,10 +22,12 @@
 #ifndef LDR_ROUTING_LP_ROUTING_H_
 #define LDR_ROUTING_LP_ROUTING_H_
 
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/ksp.h"
+#include "lp/lp.h"
 #include "routing/scheme.h"
 #include "tm/traffic_matrix.h"
 
@@ -67,6 +69,62 @@ RoutingLpResult SolveRoutingLp(
     const std::vector<std::vector<const Path*>>& paths,
     const RoutingLpOptions& opts);
 
+// Incremental form of SolveRoutingLp: keeps one lp::Solver alive across
+// Fig. 13 rounds. Each Solve(paths) call appends only what changed since the
+// last call — new path columns for grown aggregates, capacity rows for newly
+// used links, equality rows (and removed fixed load) for aggregates whose
+// path list grew past one — then re-solves warm from the previous optimal
+// basis. The LP solved is identical to what SolveRoutingLp would build from
+// scratch for the same path sets.
+class IncrementalRoutingLp {
+ public:
+  IncrementalRoutingLp(const Graph& g, const std::vector<Aggregate>& aggregates,
+                       const RoutingLpOptions& opts);
+
+  // `paths` must grow append-only relative to the previous call (the Fig. 13
+  // discipline). Returns the same result SolveRoutingLp would.
+  RoutingLpResult Solve(const std::vector<std::vector<const Path*>>& paths);
+
+  // Re-targets demand estimates for the same aggregate set (only demand_gbps
+  // may differ) — the controller's headroom rounds. Deltas are pushed into
+  // the live solver; basic columns trigger a lazy refactorization instead of
+  // a rebuild.
+  void UpdateDemands(const std::vector<Aggregate>& aggregates);
+
+ private:
+  double Weight(size_t a) const;
+  void EnsureLinkRows();
+
+  const Graph* g_;
+  RoutingLpOptions opts_;
+  std::vector<Aggregate> aggs_;
+  lp::Solver solver_;
+  bool init_ = false;
+  double cap_scale_ = 1.0;
+  double weight_denom_ = 1.0;
+  int omax_var_ = -1;
+  // Per aggregate.
+  std::vector<size_t> npaths_;                  // paths synced so far
+  std::vector<std::vector<int>> xvar_;          // path-fraction variables
+  std::vector<int> eq_row_;                     // sum(x) == 1 row, -1 if fixed
+  std::vector<std::vector<const Path*>> paths_; // mirror of synced paths
+  // Per link.
+  std::vector<double> fixed_load_;
+  std::vector<int> link_row_;                   // capacity row, -1 if unused
+  std::vector<int> olvar_;                      // overload var (LDR mode)
+  // (variable, aggregate) pairs crossing each link, for deferred row
+  // creation; demand is read from aggs_ at creation time.
+  std::vector<std::vector<std::pair<int, size_t>>> link_vars_;
+};
+
+// Warm-start state reusable across IterativeLpRoute calls on the same
+// (graph, aggregate set) — RunLdrController's headroom rounds re-enter with
+// scaled demands instead of rebuilding the LP and path sets from scratch.
+struct LpReuseContext {
+  std::unique_ptr<IncrementalRoutingLp> lp;
+  std::vector<std::vector<const Path*>> paths;  // grown sets from last call
+};
+
 struct IterativeOptions {
   RoutingLpOptions lp;
   int max_rounds = 40;
@@ -81,12 +139,19 @@ struct IterativeOptions {
   int patience = 2;
   // Overload tolerance deciding "the traffic fits".
   double fit_eps = 1e-4;
+  // Use the warm-started IncrementalRoutingLp across rounds (default);
+  // false re-solves every round cold via SolveRoutingLp — kept as the
+  // baseline the micro_iterative bench compares against.
+  bool incremental = true;
 };
 
-// The Fig. 13 loop. Uses (and fills) the KspCache.
+// The Fig. 13 loop. Uses (and fills) the KspCache. With `reuse`, the LP and
+// grown path sets persist across calls (see LpReuseContext); a null reuse
+// keeps the call self-contained.
 RoutingOutcome IterativeLpRoute(const Graph& g,
                                 const std::vector<Aggregate>& aggregates,
-                                KspCache* cache, const IterativeOptions& opts);
+                                KspCache* cache, const IterativeOptions& opts,
+                                LpReuseContext* reuse = nullptr);
 
 // Latency-optimal routing (paper Fig. 4(a)): LDR-mode iterative LP with a
 // chosen headroom. Exposed as a RoutingScheme.

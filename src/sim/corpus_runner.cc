@@ -1,5 +1,6 @@
 #include "sim/corpus_runner.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -8,33 +9,66 @@
 #include "routing/lp_routing.h"
 #include "routing/shortest_path_routing.h"
 #include "topology/zoo_corpus.h"
+#include "util/thread_pool.h"
 
 namespace ldr {
 
+namespace {
+
+// Single source of truth for scheme identifiers: MakeScheme and
+// ValidSchemeId must never disagree, or the runner's pre-sized result slots
+// would drift out of step with the schemes actually constructed.
+struct SchemeEntry {
+  const char* id;
+  std::unique_ptr<RoutingScheme> (*make)(const Graph*, KspCache*);
+};
+
+const SchemeEntry kSchemeTable[] = {
+    {kSchemeSp,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<ShortestPathScheme>(g, c);
+     }},
+    {kSchemeB4,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<B4Scheme>(g, c);
+     }},
+    {kSchemeB4Headroom,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       B4Options opts;
+       opts.headroom = 0.1;
+       return std::make_unique<B4Scheme>(g, c, opts);
+     }},
+    {kSchemeOptimal,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<LatencyOptimalScheme>(g, c, 0.0, "Optimal");
+     }},
+    {kSchemeLdr10,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<LatencyOptimalScheme>(g, c, 0.10, "LDR10");
+     }},
+    {kSchemeMinMax,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<MinMaxScheme>(g, c);
+     }},
+    {kSchemeMinMaxK10,
+     [](const Graph* g, KspCache* c) -> std::unique_ptr<RoutingScheme> {
+       return std::make_unique<MinMaxScheme>(g, c, 10);
+     }},
+};
+
+}  // namespace
+
+bool ValidSchemeId(const std::string& id) {
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (id == e.id) return true;
+  }
+  return false;
+}
+
 std::unique_ptr<RoutingScheme> MakeScheme(const std::string& id,
                                           const Graph* g, KspCache* cache) {
-  if (id == kSchemeSp) {
-    return std::make_unique<ShortestPathScheme>(g, cache);
-  }
-  if (id == kSchemeB4) {
-    return std::make_unique<B4Scheme>(g, cache);
-  }
-  if (id == kSchemeB4Headroom) {
-    B4Options opts;
-    opts.headroom = 0.1;
-    return std::make_unique<B4Scheme>(g, cache, opts);
-  }
-  if (id == kSchemeOptimal) {
-    return std::make_unique<LatencyOptimalScheme>(g, cache, 0.0, "Optimal");
-  }
-  if (id == kSchemeLdr10) {
-    return std::make_unique<LatencyOptimalScheme>(g, cache, 0.10, "LDR10");
-  }
-  if (id == kSchemeMinMax) {
-    return std::make_unique<MinMaxScheme>(g, cache);
-  }
-  if (id == kSchemeMinMaxK10) {
-    return std::make_unique<MinMaxScheme>(g, cache, 10);
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (id == e.id) return e.make(g, cache);
   }
   return nullptr;
 }
@@ -53,6 +87,27 @@ TopologyRun RunTopology(const Topology& topology,
       topology, MakeScaledWorkloads(topology, &cache, opts.workload), opts);
 }
 
+namespace {
+
+// Routes one instance with one scheme and writes the measurements into the
+// instance's slot — index-addressed so the parallel and serial paths yield
+// identical series.
+void EvaluateInstance(const Topology& topology, RoutingScheme* scheme,
+                      const std::vector<Aggregate>& aggs,
+                      const std::vector<double>& apsp, size_t slot,
+                      SchemeSeries* series) {
+  RoutingOutcome out = scheme->Route(aggs);
+  EvalResult eval = Evaluate(topology.graph, aggs, out, apsp);
+  series->congested_fraction[slot] = eval.congested_fraction;
+  series->total_stretch[slot] = eval.total_stretch;
+  series->max_stretch[slot] = eval.max_stretch;
+  series->weighted_delay_ms[slot] = eval.weighted_delay_ms;
+  series->feasible[slot] = out.feasible;
+  series->solve_ms[slot] = out.solve_ms;
+}
+
+}  // namespace
+
 TopologyRun RunTopologyOnWorkloads(
     const Topology& topology,
     const std::vector<std::vector<Aggregate>>& workloads,
@@ -64,28 +119,65 @@ TopologyRun RunTopologyOnWorkloads(
   if (run.nodes > opts.max_nodes) return run;
 
   run.llpd = ComputeLlpd(topology.graph, opts.apa);
-  KspCache cache(&topology.graph);
   std::vector<double> apsp = AllPairsShortestDelay(topology.graph);
 
   for (const std::string& id : opts.scheme_ids) {
-    std::unique_ptr<RoutingScheme> scheme =
-        MakeScheme(id, &topology.graph, &cache);
-    if (scheme == nullptr) continue;
+    if (!ValidSchemeId(id)) continue;
     SchemeSeries series;
     series.scheme = id;
-    for (const auto& aggs : workloads) {
-      RoutingOutcome out = scheme->Route(aggs);
-      EvalResult eval = Evaluate(topology.graph, aggs, out, apsp);
-      series.congested_fraction.push_back(eval.congested_fraction);
-      series.total_stretch.push_back(eval.total_stretch);
-      series.max_stretch.push_back(eval.max_stretch);
-      series.weighted_delay_ms.push_back(eval.weighted_delay_ms);
-      series.feasible.push_back(out.feasible);
-      series.solve_ms.push_back(out.solve_ms);
-    }
+    series.congested_fraction.resize(workloads.size());
+    series.total_stretch.resize(workloads.size());
+    series.max_stretch.resize(workloads.size());
+    series.weighted_delay_ms.resize(workloads.size());
+    series.feasible.resize(workloads.size());
+    series.solve_ms.resize(workloads.size());
     run.schemes.push_back(std::move(series));
   }
+
+  size_t threads = std::min(workloads.size(), DefaultThreadCount());
+  if (threads <= 1 || ThreadPool::InWorker()) {
+    // Serial: one KspCache amortizes Yen across every scheme and instance,
+    // exactly as the paper's warm-cache controller would.
+    KspCache cache(&topology.graph);
+    for (SchemeSeries& series : run.schemes) {
+      std::unique_ptr<RoutingScheme> scheme =
+          MakeScheme(series.scheme, &topology.graph, &cache);
+      for (size_t i = 0; i < workloads.size(); ++i) {
+        EvaluateInstance(topology, scheme.get(), workloads[i], apsp, i,
+                         &series);
+      }
+    }
+  } else {
+    // Parallel: instances are independent optimizations. Each worker keeps
+    // one KspCache for all the instances and schemes it processes (Yen
+    // results are pure, so per-worker memoization cannot change results),
+    // and measurements land in per-instance slots, so the series are
+    // identical to the serial path for any LDR_THREADS.
+    std::vector<std::unique_ptr<KspCache>> caches(DefaultThreadCount());
+    ParallelForWorker(workloads.size(), [&](size_t worker, size_t i) {
+      if (caches[worker] == nullptr) {
+        caches[worker] = std::make_unique<KspCache>(&topology.graph);
+      }
+      for (SchemeSeries& series : run.schemes) {
+        std::unique_ptr<RoutingScheme> scheme =
+            MakeScheme(series.scheme, &topology.graph, caches[worker].get());
+        EvaluateInstance(topology, scheme.get(), workloads[i], apsp, i,
+                         &series);
+      }
+    });
+  }
   return run;
+}
+
+std::vector<TopologyRun> RunCorpus(const std::vector<Topology>& corpus,
+                                   const CorpusRunOptions& opts,
+                                   const std::function<void(size_t)>& progress) {
+  std::vector<TopologyRun> runs(corpus.size());
+  ParallelFor(corpus.size(), [&](size_t i) {
+    runs[i] = RunTopology(corpus[i], opts);
+    if (progress) progress(i);
+  });
+  return runs;
 }
 
 bool BenchFullScale() {

@@ -4,6 +4,7 @@
 #ifndef LDR_SIM_CORPUS_RUNNER_H_
 #define LDR_SIM_CORPUS_RUNNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,9 @@ inline constexpr const char* kSchemeMinMaxK10 = "MinMaxK10";
 std::unique_ptr<RoutingScheme> MakeScheme(const std::string& id,
                                           const Graph* g, KspCache* cache);
 
+// True when `id` is one of the identifiers MakeScheme accepts.
+bool ValidSchemeId(const std::string& id);
+
 struct SchemeSeries {
   std::string scheme;
   // One entry per traffic-matrix instance.
@@ -37,7 +41,9 @@ struct SchemeSeries {
   std::vector<double> total_stretch;
   std::vector<double> max_stretch;
   std::vector<double> weighted_delay_ms;
-  std::vector<bool> feasible;
+  // char, not bool: instance slots are written concurrently by the parallel
+  // runner, and vector<bool>'s bit packing would make adjacent writes race.
+  std::vector<char> feasible;
   std::vector<double> solve_ms;
 };
 
@@ -59,6 +65,11 @@ struct CorpusRunOptions {
 
 // Runs all schemes over all instances for one topology. Returns nullopt-like
 // empty schemes when the topology was skipped by max_nodes.
+//
+// Traffic-matrix instances run in parallel across LDR_THREADS workers
+// (default: hardware concurrency); each worker keeps its own KspCache across
+// the instances it processes and writes into per-instance slots, so the
+// resulting SchemeSeries are identical for every thread count.
 TopologyRun RunTopology(const Topology& topology,
                         const CorpusRunOptions& opts);
 
@@ -69,6 +80,15 @@ TopologyRun RunTopologyOnWorkloads(
     const Topology& topology,
     const std::vector<std::vector<Aggregate>>& workloads,
     const CorpusRunOptions& opts);
+
+// Runs every topology of a corpus, in parallel across LDR_THREADS workers
+// (nested instance-level parallelism degrades to serial inside a worker).
+// Results are ordered like `corpus` regardless of thread count. `progress`,
+// when set, is invoked with the topology index as each one finishes (from
+// worker threads — keep it cheap and thread-safe).
+std::vector<TopologyRun> RunCorpus(
+    const std::vector<Topology>& corpus, const CorpusRunOptions& opts,
+    const std::function<void(size_t)>& progress = nullptr);
 
 // Bench scaling: reads LDR_BENCH_SCALE ("small" default, or "full").
 bool BenchFullScale();

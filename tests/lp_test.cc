@@ -359,6 +359,279 @@ TEST_P(LpRandomEqualityTest, SplitVariablesSumToOne) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomEqualityTest, ::testing::Range(1, 17));
 
+// --- incremental Solver ----------------------------------------------------
+
+// Builds a routing-shaped LP (path-fraction groups summing to 1, shared
+// capacity rows with overload variables) in two stages, mirroring a Fig. 13
+// path-growth round. Stage A is the base problem; stage B appends extra path
+// columns. The incremental Solver must reach the same objective as a cold
+// solve of the equivalent full problem.
+struct RoutingShaped {
+  struct PathVar {
+    double obj;
+    std::vector<std::pair<int, double>> links;  // (link index, demand)
+  };
+  int groups = 0;
+  int links = 0;
+  double cap = 10.0;
+  std::vector<std::vector<PathVar>> stage_a;  // per group, initial paths
+  std::vector<std::vector<PathVar>> stage_b;  // per group, appended paths
+
+  static RoutingShaped Random(uint64_t seed, int groups, int links) {
+    Rng rng(seed);
+    RoutingShaped p;
+    p.groups = groups;
+    p.links = links;
+    auto make_path = [&](double demand) {
+      PathVar pv;
+      pv.obj = rng.Uniform(1, 20);
+      int hops = 1 + static_cast<int>(rng.NextIndex(3));
+      for (int h = 0; h < hops; ++h) {
+        pv.links.emplace_back(
+            static_cast<int>(rng.NextIndex(static_cast<uint64_t>(links))),
+            demand);
+      }
+      return pv;
+    };
+    p.stage_a.resize(static_cast<size_t>(groups));
+    p.stage_b.resize(static_cast<size_t>(groups));
+    for (int a = 0; a < groups; ++a) {
+      double demand = rng.Uniform(0.5, 4.0);
+      int initial = 2 + static_cast<int>(rng.NextIndex(2));
+      for (int k = 0; k < initial; ++k) {
+        p.stage_a[static_cast<size_t>(a)].push_back(make_path(demand));
+      }
+      int grown = static_cast<int>(rng.NextIndex(3));  // 0..2 appended paths
+      for (int k = 0; k < grown; ++k) {
+        p.stage_b[static_cast<size_t>(a)].push_back(make_path(demand));
+      }
+    }
+    return p;
+  }
+};
+
+// Cold reference: the full problem (stage A and, optionally, stage B) built
+// from scratch as a Problem and solved once.
+double ColdObjective(const RoutingShaped& p, bool with_stage_b) {
+  Problem prob;
+  int omax = prob.AddVariable(1, kInfinity, 1e6);
+  std::vector<std::vector<std::pair<int, double>>> link_terms(
+      static_cast<size_t>(p.links));
+  auto add_group = [&](const std::vector<RoutingShaped::PathVar>& a_paths,
+                       const std::vector<RoutingShaped::PathVar>& b_paths) {
+    std::vector<std::pair<int, double>> sum_row;
+    auto add_path = [&](const RoutingShaped::PathVar& pv) {
+      int v = prob.AddVariable(0, 1, pv.obj);
+      sum_row.emplace_back(v, 1.0);
+      for (const auto& [l, demand] : pv.links) {
+        link_terms[static_cast<size_t>(l)].emplace_back(v, demand);
+      }
+    };
+    for (const auto& pv : a_paths) add_path(pv);
+    if (with_stage_b) {
+      for (const auto& pv : b_paths) add_path(pv);
+    }
+    prob.AddRow(RowType::kEq, 1.0, std::move(sum_row));
+  };
+  for (int a = 0; a < p.groups; ++a) {
+    add_group(p.stage_a[static_cast<size_t>(a)],
+              p.stage_b[static_cast<size_t>(a)]);
+  }
+  for (int l = 0; l < p.links; ++l) {
+    int ol = prob.AddVariable(1, kInfinity, 1.0);
+    auto row = link_terms[static_cast<size_t>(l)];
+    row.emplace_back(ol, -p.cap);
+    prob.AddRow(RowType::kLe, 0.0, std::move(row));
+    prob.AddRow(RowType::kLe, 0.0, {{ol, 1.0}, {omax, -1.0}});
+  }
+  Solution s = Solve(prob);
+  EXPECT_TRUE(s.ok()) << ToString(s.status);
+  return s.objective;
+}
+
+class LpWarmStartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpWarmStartTest, IncrementalAddColumnMatchesColdSolve) {
+  RoutingShaped p =
+      RoutingShaped::Random(static_cast<uint64_t>(5000 + GetParam()),
+                            /*groups=*/6, /*links=*/8);
+
+  // Incremental build of stage A.
+  Solver solver;
+  int omax = solver.AddVariable(1, kInfinity, 1e6);
+  std::vector<int> eq_row(static_cast<size_t>(p.groups));
+  std::vector<int> link_row(static_cast<size_t>(p.links));
+  {
+    std::vector<std::vector<std::pair<int, double>>> link_terms(
+        static_cast<size_t>(p.links));
+    std::vector<std::vector<int>> group_vars(static_cast<size_t>(p.groups));
+    for (int a = 0; a < p.groups; ++a) {
+      for (const auto& pv : p.stage_a[static_cast<size_t>(a)]) {
+        int v = solver.AddVariable(0, 1, pv.obj);
+        group_vars[static_cast<size_t>(a)].push_back(v);
+        for (const auto& [l, demand] : pv.links) {
+          link_terms[static_cast<size_t>(l)].emplace_back(v, demand);
+        }
+      }
+    }
+    for (int a = 0; a < p.groups; ++a) {
+      std::vector<std::pair<int, double>> row;
+      for (int v : group_vars[static_cast<size_t>(a)]) row.emplace_back(v, 1.0);
+      eq_row[static_cast<size_t>(a)] = solver.AddRow(RowType::kEq, 1.0, row);
+    }
+    for (int l = 0; l < p.links; ++l) {
+      int ol = solver.AddVariable(1, kInfinity, 1.0);
+      auto row = link_terms[static_cast<size_t>(l)];
+      row.emplace_back(ol, -p.cap);
+      link_row[static_cast<size_t>(l)] = solver.AddRow(RowType::kLe, 0.0, row);
+      solver.AddRow(RowType::kLe, 0.0, {{ol, 1.0}, {omax, -1.0}});
+    }
+  }
+  Solution first = solver.Solve();
+  ASSERT_TRUE(first.ok()) << ToString(first.status);
+  EXPECT_NEAR(first.objective, ColdObjective(p, /*with_stage_b=*/false), 1e-6);
+
+  // Stage B: append path columns into the live rows and re-solve warm.
+  for (int a = 0; a < p.groups; ++a) {
+    for (const auto& pv : p.stage_b[static_cast<size_t>(a)]) {
+      std::vector<std::pair<int, double>> coeffs;
+      coeffs.emplace_back(eq_row[static_cast<size_t>(a)], 1.0);
+      for (const auto& [l, demand] : pv.links) {
+        coeffs.emplace_back(link_row[static_cast<size_t>(l)], demand);
+      }
+      solver.AddColumn(0, 1, pv.obj, coeffs);
+    }
+  }
+  Solution second = solver.Solve();
+  ASSERT_TRUE(second.ok()) << ToString(second.status);
+  EXPECT_NEAR(second.objective, ColdObjective(p, /*with_stage_b=*/true), 1e-6);
+  // Growth can only help: more columns never worsen a minimization.
+  EXPECT_LE(second.objective, first.objective + 1e-6);
+  // The warm re-solve should need far fewer pivots than the cold build-up.
+  EXPECT_LT(second.iterations, std::max(1, first.iterations));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpWarmStartTest, ::testing::Range(1, 25));
+
+class LpWarmRhsTest : public ::testing::TestWithParam<int> {};
+
+// SetRhs + AddToRow re-solves match cold solves of the mutated problem.
+TEST_P(LpWarmRhsTest, RhsAndCoefficientDeltasMatchColdSolve) {
+  Rng rng(static_cast<uint64_t>(7000 + GetParam()));
+  const int n = 10, m = 6;
+  std::vector<double> costs(n), rhs(m);
+  std::vector<std::vector<double>> a(m, std::vector<double>(n));
+  for (int j = 0; j < n; ++j) costs[static_cast<size_t>(j)] = rng.Uniform(-2, 2);
+  for (int i = 0; i < m; ++i) {
+    rhs[static_cast<size_t>(i)] = rng.Uniform(2, 8);
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i)][static_cast<size_t>(j)] = rng.Uniform(0, 2);
+    }
+  }
+  auto cold = [&]() {
+    Problem prob;
+    std::vector<int> vars(n);
+    for (int j = 0; j < n; ++j) {
+      vars[static_cast<size_t>(j)] = prob.AddVariable(0, 5, costs[static_cast<size_t>(j)]);
+    }
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> row;
+      for (int j = 0; j < n; ++j) {
+        row.emplace_back(vars[static_cast<size_t>(j)],
+                         a[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      }
+      prob.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)], row);
+    }
+    Solution s = Solve(prob);
+    EXPECT_TRUE(s.ok()) << ToString(s.status);
+    return s.objective;
+  };
+
+  Solver solver;
+  for (int j = 0; j < n; ++j) solver.AddVariable(0, 5, costs[static_cast<size_t>(j)]);
+  std::vector<int> rows(m);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) {
+      row.emplace_back(j, a[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+    rows[static_cast<size_t>(i)] = solver.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)], row);
+  }
+  Solution s0 = solver.Solve();
+  ASSERT_TRUE(s0.ok());
+  EXPECT_NEAR(s0.objective, cold(), 1e-6);
+
+  // Tighten a couple of rows and perturb a few coefficients; re-solve warm.
+  for (int step = 0; step < 3; ++step) {
+    int i = static_cast<int>(rng.NextIndex(m));
+    rhs[static_cast<size_t>(i)] = rng.Uniform(1, 8);
+    solver.SetRhs(rows[static_cast<size_t>(i)], rhs[static_cast<size_t>(i)]);
+    int i2 = static_cast<int>(rng.NextIndex(m));
+    int j2 = static_cast<int>(rng.NextIndex(n));
+    double delta = rng.Uniform(-0.5, 0.5);
+    a[static_cast<size_t>(i2)][static_cast<size_t>(j2)] += delta;
+    solver.AddToRow(rows[static_cast<size_t>(i2)], j2, delta);
+    Solution s = solver.Solve();
+    ASSERT_TRUE(s.ok()) << ToString(s.status);
+    EXPECT_NEAR(s.objective, cold(), 1e-6) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpWarmRhsTest, ::testing::Range(1, 17));
+
+TEST(LpSolver, NewRowsOnExistingVariablesMatchCold) {
+  // min -x - y, x,y in [0,4]; rows added one Solve at a time.
+  Solver solver;
+  int x = solver.AddVariable(0, 4, -1);
+  int y = solver.AddVariable(0, 4, -1);
+  Solution s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -8, 1e-9);  // both at upper bound
+
+  solver.AddRow(RowType::kLe, 5, {{x, 1}, {y, 1}});
+  s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -5, 1e-7);
+
+  solver.AddRow(RowType::kLe, 3, {{x, 1}});
+  solver.AddRow(RowType::kGe, 1, {{y, 1}});
+  s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -5, 1e-7);  // x=3, y=2
+
+  solver.AddRow(RowType::kEq, 1, {{x, 1}, {y, -1}});
+  s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  // x - y = 1, x + y <= 5, x <= 3 -> x=3, y=2.
+  EXPECT_NEAR(s.objective, -5, 1e-7);
+  solver.SetRhs(3, 0);  // x - y = 0 -> x=y=2.5
+  s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -5, 1e-7);
+  solver.SetRhs(0, 4);  // x + y <= 4 -> x=y=2
+  s = solver.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -4, 1e-7);
+}
+
+TEST(LpSolver, InvalidateRefactorizesToSameObjective) {
+  Rng rng(314);
+  Solver solver;
+  const int n = 12, m = 8;
+  for (int j = 0; j < n; ++j) solver.AddVariable(0, 3, rng.Uniform(-2, 2));
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) row.emplace_back(j, rng.Uniform(0, 1.5));
+    solver.AddRow(RowType::kLe, rng.Uniform(3, 9), row);
+  }
+  Solution s1 = solver.Solve();
+  ASSERT_TRUE(s1.ok());
+  solver.Invalidate();
+  Solution s2 = solver.Solve();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NEAR(s1.objective, s2.objective, 1e-7);
+}
+
 TEST(Lp, ModerateSizePerformance) {
   // A ~100x300 LP should solve quickly and correctly: min sum x_j subject to
   // random cover rows; optimum well-defined and feasible.

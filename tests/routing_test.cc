@@ -433,5 +433,75 @@ TEST(IterativeLp, ZeroAggregates) {
   EXPECT_TRUE(out.allocations.empty());
 }
 
+// The incremental warm-started loop must agree with the cold per-round
+// rebuild: same feasibility, same max level, same weighted delay (the LP is
+// identical round for round, so the optima coincide).
+TEST(IterativeLp, IncrementalMatchesColdRebuild) {
+  Graph g = TriDiamond();
+  KspCache cache(&g);
+  // Enough demand that path growth engages across several rounds.
+  std::vector<Aggregate> aggs{MakeAgg(0, 3, 12), MakeAgg(3, 0, 9),
+                              MakeAgg(1, 2, 4)};
+  IterativeOptions warm_opts;
+  warm_opts.incremental = true;
+  IterativeOptions cold_opts;
+  cold_opts.incremental = false;
+  RoutingOutcome warm = IterativeLpRoute(g, aggs, &cache, warm_opts);
+  RoutingOutcome cold = IterativeLpRoute(g, aggs, &cache, cold_opts);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_NEAR(warm.max_level, cold.max_level, 1e-6);
+  EXPECT_EQ(warm.lp_rounds, cold.lp_rounds);
+  double warm_delay = 0, cold_delay = 0;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    warm_delay += aggs[a].flow_count * AggregateDelayMs(g, warm.allocations[a]);
+    cold_delay += aggs[a].flow_count * AggregateDelayMs(g, cold.allocations[a]);
+  }
+  EXPECT_NEAR(warm_delay, cold_delay, 1e-5 * std::max(1.0, cold_delay));
+}
+
+TEST(IterativeLp, IncrementalMatchesColdInMinMaxMode) {
+  Graph g = TriDiamond();
+  KspCache cache(&g);
+  std::vector<Aggregate> aggs{MakeAgg(0, 3, 12), MakeAgg(3, 0, 6)};
+  IterativeOptions warm_opts;
+  warm_opts.lp.minmax = true;
+  warm_opts.incremental = true;
+  IterativeOptions cold_opts = warm_opts;
+  cold_opts.incremental = false;
+  RoutingOutcome warm = IterativeLpRoute(g, aggs, &cache, warm_opts);
+  RoutingOutcome cold = IterativeLpRoute(g, aggs, &cache, cold_opts);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_NEAR(warm.max_level, cold.max_level, 1e-6);
+}
+
+// Re-entering through an LpReuseContext (the controller's headroom rounds)
+// with scaled demands must give the same answer as a cold call with those
+// demands, while keeping the grown path sets.
+TEST(IterativeLp, ReuseContextMatchesFreshCallAfterDemandScaling) {
+  Graph g = TriDiamond();
+  KspCache cache(&g);
+  std::vector<Aggregate> aggs{MakeAgg(0, 3, 10), MakeAgg(3, 0, 7)};
+  IterativeOptions opts;
+  LpReuseContext reuse;
+  RoutingOutcome first = IterativeLpRoute(g, aggs, &cache, opts, &reuse);
+  ASSERT_TRUE(first.feasible);
+  ASSERT_NE(reuse.lp, nullptr);
+
+  for (Aggregate& a : aggs) a.demand_gbps *= 1.1;
+  RoutingOutcome warm = IterativeLpRoute(g, aggs, &cache, opts, &reuse);
+  RoutingOutcome fresh = IterativeLpRoute(g, aggs, &cache, opts);
+  EXPECT_EQ(warm.feasible, fresh.feasible);
+  // The reused call starts from richer path sets, so its placement can only
+  // be as good or better; levels agree within LP tolerance.
+  EXPECT_LE(warm.max_level, fresh.max_level + 1e-6);
+  double warm_delay = 0, fresh_delay = 0;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    warm_delay += aggs[a].flow_count * AggregateDelayMs(g, warm.allocations[a]);
+    fresh_delay +=
+        aggs[a].flow_count * AggregateDelayMs(g, fresh.allocations[a]);
+  }
+  EXPECT_LE(warm_delay, fresh_delay + 1e-5 * std::max(1.0, fresh_delay));
+}
+
 }  // namespace
 }  // namespace ldr

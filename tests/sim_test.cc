@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "graph/shortest_path.h"
 #include "routing/lp_routing.h"
+#include "sim/corpus_runner.h"
 #include "sim/evaluate.h"
 #include "sim/workload.h"
 #include "topology/generators.h"
@@ -160,6 +163,62 @@ TEST(Workload, ScaleToTargetHandlesEmpty) {
   KspCache cache(&g);
   std::vector<Aggregate> empty;
   EXPECT_DOUBLE_EQ(ScaleToTargetUtilization(g, &empty, &cache, 0.5), 1.0);
+}
+
+// The parallel corpus runner must be bitwise deterministic in the worker
+// count: LDR_THREADS=1 and LDR_THREADS=4 produce identical SchemeSeries.
+TEST(CorpusRunner, RunTopologyDeterministicAcrossThreadCounts) {
+  Rng rng(11);
+  Topology t = MakeGrid("det-grid", 3, 3, 0.3, 0.0, EuropeRegion(), &rng,
+                        {100, 40, 0.3});
+  CorpusRunOptions opts;
+  opts.scheme_ids = {kSchemeSp, kSchemeOptimal, kSchemeMinMax};
+  opts.workload.num_instances = 4;
+  opts.workload.seed = 7;
+
+  setenv("LDR_THREADS", "1", 1);
+  TopologyRun serial = RunTopology(t, opts);
+  setenv("LDR_THREADS", "4", 1);
+  TopologyRun parallel = RunTopology(t, opts);
+  unsetenv("LDR_THREADS");
+
+  ASSERT_EQ(serial.schemes.size(), parallel.schemes.size());
+  for (size_t s = 0; s < serial.schemes.size(); ++s) {
+    const SchemeSeries& a = serial.schemes[s];
+    const SchemeSeries& b = parallel.schemes[s];
+    EXPECT_EQ(a.scheme, b.scheme);
+    ASSERT_EQ(a.congested_fraction.size(), b.congested_fraction.size());
+    for (size_t i = 0; i < a.congested_fraction.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.congested_fraction[i], b.congested_fraction[i]);
+      EXPECT_DOUBLE_EQ(a.total_stretch[i], b.total_stretch[i]);
+      EXPECT_DOUBLE_EQ(a.max_stretch[i], b.max_stretch[i]);
+      EXPECT_DOUBLE_EQ(a.weighted_delay_ms[i], b.weighted_delay_ms[i]);
+      EXPECT_EQ(a.feasible[i], b.feasible[i]);
+    }
+  }
+}
+
+TEST(CorpusRunner, RunCorpusOrdersResultsLikeInput) {
+  Rng rng(12);
+  std::vector<Topology> corpus;
+  corpus.push_back(MakeRing("ring-a", 6, EuropeRegion(), &rng));
+  corpus.push_back(MakeTree("tree-b", 7, UsRegion(), &rng));
+  corpus.push_back(MakeGrid("grid-c", 2, 3, 0.0, 0.0, AsiaRegion(), &rng));
+  CorpusRunOptions opts;
+  opts.scheme_ids = {kSchemeSp};
+  opts.workload.num_instances = 2;
+
+  setenv("LDR_THREADS", "3", 1);
+  std::vector<TopologyRun> runs = RunCorpus(corpus, opts);
+  unsetenv("LDR_THREADS");
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].topology, "ring-a");
+  EXPECT_EQ(runs[1].topology, "tree-b");
+  EXPECT_EQ(runs[2].topology, "grid-c");
+  for (const TopologyRun& run : runs) {
+    ASSERT_EQ(run.schemes.size(), 1u);
+    EXPECT_EQ(run.schemes[0].solve_ms.size(), 2u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+// bench_to_json — runs the solver/runtime microbenchmarks that gate this
+// repo's perf trajectory and emits them as JSON, so successive PRs have a
+// machine-readable baseline to regress against.
+//
+//   bench_to_json [output-path]     (default: BENCH_lp.json)
+//
+// Sections:
+//   lp_resolve        one Fig. 13 growth round on a routing-shaped LP:
+//                     warm AddColumn+re-solve vs cold rebuild-and-solve
+//   iterative_loop    the full IterativeLpRoute path-growth loop, warm
+//                     (incremental solver across rounds) vs cold
+//   thread_scaling    RunTopology over a bench-corpus slice with
+//                     LDR_THREADS=1 vs LDR_THREADS=4
+//
+// Timings are medians over several repetitions, in milliseconds.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/lp_shapes.h"
+#include "routing/lp_routing.h"
+#include "sim/corpus_runner.h"
+#include "sim/workload.h"
+#include "topology/generators.h"
+#include "util/random.h"
+
+using namespace ldr;
+
+namespace {
+
+double NowMs() {
+  using namespace std::chrono;
+  return duration_cast<duration<double, std::milli>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// --- lp_resolve -------------------------------------------------------------
+
+struct WarmCold {
+  double warm_ms = 0;
+  double cold_ms = 0;
+  double speedup() const { return warm_ms > 0 ? cold_ms / warm_ms : 0; }
+};
+
+WarmCold BenchLpResolve(int aggregates, int links, int reps) {
+  WarmCold wc;
+  std::vector<double> warm, cold;
+  for (int r = 0; r < reps; ++r) {
+    auto spec = bench::RoutingLpSpec::Random(7 + static_cast<uint64_t>(r),
+                                             aggregates, links);
+    bench::WarmLp base = bench::BuildSolverBase(spec);
+    lp::Solution s0 = base.solver.Solve();
+    if (!s0.ok()) continue;
+
+    double t0 = NowMs();
+    bench::AppendGrowth(spec, &base);
+    lp::Solution sw = base.solver.Solve();
+    warm.push_back(NowMs() - t0);
+
+    t0 = NowMs();
+    lp::Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+    lp::Solution sc = lp::Solve(p);
+    cold.push_back(NowMs() - t0);
+
+    if (sw.ok() && sc.ok() &&
+        std::abs(sw.objective - sc.objective) >
+            1e-5 * (1 + std::abs(sc.objective))) {
+      std::fprintf(stderr,
+                   "bench_to_json: warm/cold objective mismatch (%g vs %g)\n",
+                   sw.objective, sc.objective);
+    }
+  }
+  if (!warm.empty()) wc.warm_ms = MedianMs(warm);
+  if (!cold.empty()) wc.cold_ms = MedianMs(cold);
+  return wc;
+}
+
+// --- iterative_loop ---------------------------------------------------------
+
+WarmCold BenchIterativeLoop(int side, int reps) {
+  Rng rng(5);
+  Topology t = MakeGrid("bench-grid", side, side, 0.3, 0.0, EuropeRegion(),
+                        &rng, {100, 40, 0.3});
+  KspCache cache(&t.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  wopts.target_utilization = 0.9;
+  wopts.seed = 17;
+  std::vector<Aggregate> aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+  IterativeOptions opts;
+  IterativeLpRoute(t.graph, aggs, &cache, opts);  // warm the KSP cache
+
+  WarmCold wc;
+  std::vector<double> warm, cold;
+  for (int r = 0; r < reps; ++r) {
+    opts.incremental = true;
+    double t0 = NowMs();
+    RoutingOutcome ow = IterativeLpRoute(t.graph, aggs, &cache, opts);
+    warm.push_back(NowMs() - t0);
+
+    opts.incremental = false;
+    t0 = NowMs();
+    RoutingOutcome oc = IterativeLpRoute(t.graph, aggs, &cache, opts);
+    cold.push_back(NowMs() - t0);
+
+    if (std::abs(ow.max_level - oc.max_level) > 1e-5) {
+      std::fprintf(stderr,
+                   "bench_to_json: warm/cold max_level mismatch (%g vs %g)\n",
+                   ow.max_level, oc.max_level);
+    }
+  }
+  wc.warm_ms = MedianMs(warm);
+  wc.cold_ms = MedianMs(cold);
+  return wc;
+}
+
+// --- thread_scaling ---------------------------------------------------------
+
+double TimeCorpusMs(const std::vector<Topology>& corpus,
+                    const CorpusRunOptions& opts, const char* threads) {
+  setenv("LDR_THREADS", threads, 1);
+  double t0 = NowMs();
+  std::vector<TopologyRun> runs = RunCorpus(corpus, opts);
+  double elapsed = NowMs() - t0;
+  unsetenv("LDR_THREADS");
+  if (runs.size() != corpus.size()) {
+    std::fprintf(stderr, "bench_to_json: corpus run dropped topologies\n");
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_lp.json";
+
+  std::fprintf(stderr, "bench_to_json: lp_resolve...\n");
+  WarmCold resolve_small = BenchLpResolve(50, 25, 7);
+  WarmCold resolve_large = BenchLpResolve(150, 75, 3);
+
+  std::fprintf(stderr, "bench_to_json: iterative_loop...\n");
+  WarmCold loop_small = BenchIterativeLoop(4, 5);
+  WarmCold loop_large = BenchIterativeLoop(6, 3);
+
+  std::fprintf(stderr, "bench_to_json: thread_scaling...\n");
+  std::vector<Topology> corpus = BenchCorpus(/*small_stride=*/8);
+  CorpusRunOptions copts;
+  copts.scheme_ids = {kSchemeOptimal, kSchemeMinMax};
+  copts.workload.num_instances = 4;
+  copts.max_nodes = 40;
+  double t1 = TimeCorpusMs(corpus, copts, "1");
+  double t4 = TimeCorpusMs(corpus, copts, "4");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_to_json: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  auto emit_wc = [&](const char* name, const WarmCold& wc, bool comma) {
+    std::fprintf(f,
+                 "  \"%s\": {\"warm_ms\": %.3f, \"cold_ms\": %.3f, "
+                 "\"speedup\": %.2f}%s\n",
+                 name, wc.warm_ms, wc.cold_ms, wc.speedup(), comma ? "," : "");
+  };
+  emit_wc("lp_resolve_small", resolve_small, true);
+  emit_wc("lp_resolve_large", resolve_large, true);
+  emit_wc("iterative_loop_small", loop_small, true);
+  emit_wc("iterative_loop_large", loop_large, true);
+  std::fprintf(f,
+               "  \"thread_scaling\": {\"threads1_ms\": %.1f, "
+               "\"threads4_ms\": %.1f, \"speedup\": %.2f, "
+               "\"topologies\": %zu, \"hardware_threads\": %u}\n",
+               t1, t4, t4 > 0 ? t1 / t4 : 0, corpus.size(),
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
+
+  std::printf(
+      "lp_resolve    warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
+      "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
+      "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n",
+      resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
+      loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
+      t4 > 0 ? t1 / t4 : 0);
+  return 0;
+}
