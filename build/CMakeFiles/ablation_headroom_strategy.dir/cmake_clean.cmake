@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_headroom_strategy.dir/bench/ablation_headroom_strategy.cc.o"
+  "CMakeFiles/ablation_headroom_strategy.dir/bench/ablation_headroom_strategy.cc.o.d"
+  "ablation_headroom_strategy"
+  "ablation_headroom_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_headroom_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minmax_growth.dir/bench/ablation_minmax_growth.cc.o"
+  "CMakeFiles/ablation_minmax_growth.dir/bench/ablation_minmax_growth.cc.o.d"
+  "ablation_minmax_growth"
+  "ablation_minmax_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minmax_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sp_congestion.dir/bench/fig03_sp_congestion.cc.o"
+  "CMakeFiles/fig03_sp_congestion.dir/bench/fig03_sp_congestion.cc.o.d"
+  "fig03_sp_congestion"
+  "fig03_sp_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sp_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

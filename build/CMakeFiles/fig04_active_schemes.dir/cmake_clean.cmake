@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_active_schemes.dir/bench/fig04_active_schemes.cc.o"
+  "CMakeFiles/fig04_active_schemes.dir/bench/fig04_active_schemes.cc.o.d"
+  "fig04_active_schemes"
+  "fig04_active_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_active_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_utilization.dir/bench/fig07_utilization.cc.o"
+  "CMakeFiles/fig07_utilization.dir/bench/fig07_utilization.cc.o.d"
+  "fig07_utilization"
+  "fig07_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_headroom.dir/bench/fig08_headroom.cc.o"
+  "CMakeFiles/fig08_headroom.dir/bench/fig08_headroom.cc.o.d"
+  "fig08_headroom"
+  "fig08_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

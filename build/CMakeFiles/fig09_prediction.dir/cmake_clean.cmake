@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_prediction.dir/bench/fig09_prediction.cc.o"
+  "CMakeFiles/fig09_prediction.dir/bench/fig09_prediction.cc.o.d"
+  "fig09_prediction"
+  "fig09_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sigma_scatter.dir/bench/fig10_sigma_scatter.cc.o"
+  "CMakeFiles/fig10_sigma_scatter.dir/bench/fig10_sigma_scatter.cc.o.d"
+  "fig10_sigma_scatter"
+  "fig10_sigma_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sigma_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_runtime.dir/bench/fig15_runtime.cc.o"
+  "CMakeFiles/fig15_runtime.dir/bench/fig15_runtime.cc.o.d"
+  "fig15_runtime"
+  "fig15_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

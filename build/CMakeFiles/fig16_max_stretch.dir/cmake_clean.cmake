@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_max_stretch.dir/bench/fig16_max_stretch.cc.o"
+  "CMakeFiles/fig16_max_stretch.dir/bench/fig16_max_stretch.cc.o.d"
+  "fig16_max_stretch"
+  "fig16_max_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_max_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

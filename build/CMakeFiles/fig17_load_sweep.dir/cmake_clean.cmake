@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_load_sweep.dir/bench/fig17_load_sweep.cc.o"
+  "CMakeFiles/fig17_load_sweep.dir/bench/fig17_load_sweep.cc.o.d"
+  "fig17_load_sweep"
+  "fig17_load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_locality_sweep.dir/bench/fig18_locality_sweep.cc.o"
+  "CMakeFiles/fig18_locality_sweep.dir/bench/fig18_locality_sweep.cc.o.d"
+  "fig18_locality_sweep"
+  "fig18_locality_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_locality_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

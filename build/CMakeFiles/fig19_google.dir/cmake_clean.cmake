@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_google.dir/bench/fig19_google.cc.o"
+  "CMakeFiles/fig19_google.dir/bench/fig19_google.cc.o.d"
+  "fig19_google"
+  "fig19_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_growth.dir/bench/fig20_growth.cc.o"
+  "CMakeFiles/fig20_growth.dir/bench/fig20_growth.cc.o.d"
+  "fig20_growth"
+  "fig20_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphml_test.dir/tests/graphml_test.cc.o"
+  "CMakeFiles/graphml_test.dir/tests/graphml_test.cc.o.d"
+  "graphml_test"
+  "graphml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

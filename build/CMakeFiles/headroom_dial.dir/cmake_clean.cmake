@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headroom_dial.dir/examples/headroom_dial.cpp.o"
+  "CMakeFiles/headroom_dial.dir/examples/headroom_dial.cpp.o.d"
+  "headroom_dial"
+  "headroom_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headroom_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

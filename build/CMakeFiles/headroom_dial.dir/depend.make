@@ -1,0 +1,2 @@
+# Empty dependencies file for headroom_dial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/ldr.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/ldr.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/ksp.cc" "CMakeFiles/ldr.dir/src/graph/ksp.cc.o" "gcc" "CMakeFiles/ldr.dir/src/graph/ksp.cc.o.d"
+  "/root/repo/src/graph/max_flow.cc" "CMakeFiles/ldr.dir/src/graph/max_flow.cc.o" "gcc" "CMakeFiles/ldr.dir/src/graph/max_flow.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "CMakeFiles/ldr.dir/src/graph/shortest_path.cc.o" "gcc" "CMakeFiles/ldr.dir/src/graph/shortest_path.cc.o.d"
+  "/root/repo/src/lp/lp.cc" "CMakeFiles/ldr.dir/src/lp/lp.cc.o" "gcc" "CMakeFiles/ldr.dir/src/lp/lp.cc.o.d"
+  "/root/repo/src/metrics/llpd.cc" "CMakeFiles/ldr.dir/src/metrics/llpd.cc.o" "gcc" "CMakeFiles/ldr.dir/src/metrics/llpd.cc.o.d"
+  "/root/repo/src/routing/b4.cc" "CMakeFiles/ldr.dir/src/routing/b4.cc.o" "gcc" "CMakeFiles/ldr.dir/src/routing/b4.cc.o.d"
+  "/root/repo/src/routing/ldr_controller.cc" "CMakeFiles/ldr.dir/src/routing/ldr_controller.cc.o" "gcc" "CMakeFiles/ldr.dir/src/routing/ldr_controller.cc.o.d"
+  "/root/repo/src/routing/link_based.cc" "CMakeFiles/ldr.dir/src/routing/link_based.cc.o" "gcc" "CMakeFiles/ldr.dir/src/routing/link_based.cc.o.d"
+  "/root/repo/src/routing/lp_routing.cc" "CMakeFiles/ldr.dir/src/routing/lp_routing.cc.o" "gcc" "CMakeFiles/ldr.dir/src/routing/lp_routing.cc.o.d"
+  "/root/repo/src/routing/shortest_path_routing.cc" "CMakeFiles/ldr.dir/src/routing/shortest_path_routing.cc.o" "gcc" "CMakeFiles/ldr.dir/src/routing/shortest_path_routing.cc.o.d"
+  "/root/repo/src/sim/corpus_runner.cc" "CMakeFiles/ldr.dir/src/sim/corpus_runner.cc.o" "gcc" "CMakeFiles/ldr.dir/src/sim/corpus_runner.cc.o.d"
+  "/root/repo/src/sim/evaluate.cc" "CMakeFiles/ldr.dir/src/sim/evaluate.cc.o" "gcc" "CMakeFiles/ldr.dir/src/sim/evaluate.cc.o.d"
+  "/root/repo/src/sim/growth.cc" "CMakeFiles/ldr.dir/src/sim/growth.cc.o" "gcc" "CMakeFiles/ldr.dir/src/sim/growth.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "CMakeFiles/ldr.dir/src/sim/replay.cc.o" "gcc" "CMakeFiles/ldr.dir/src/sim/replay.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "CMakeFiles/ldr.dir/src/sim/workload.cc.o" "gcc" "CMakeFiles/ldr.dir/src/sim/workload.cc.o.d"
+  "/root/repo/src/tm/traffic_matrix.cc" "CMakeFiles/ldr.dir/src/tm/traffic_matrix.cc.o" "gcc" "CMakeFiles/ldr.dir/src/tm/traffic_matrix.cc.o.d"
+  "/root/repo/src/topology/generators.cc" "CMakeFiles/ldr.dir/src/topology/generators.cc.o" "gcc" "CMakeFiles/ldr.dir/src/topology/generators.cc.o.d"
+  "/root/repo/src/topology/geo.cc" "CMakeFiles/ldr.dir/src/topology/geo.cc.o" "gcc" "CMakeFiles/ldr.dir/src/topology/geo.cc.o.d"
+  "/root/repo/src/topology/graphml.cc" "CMakeFiles/ldr.dir/src/topology/graphml.cc.o" "gcc" "CMakeFiles/ldr.dir/src/topology/graphml.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "CMakeFiles/ldr.dir/src/topology/topology.cc.o" "gcc" "CMakeFiles/ldr.dir/src/topology/topology.cc.o.d"
+  "/root/repo/src/topology/zoo_corpus.cc" "CMakeFiles/ldr.dir/src/topology/zoo_corpus.cc.o" "gcc" "CMakeFiles/ldr.dir/src/topology/zoo_corpus.cc.o.d"
+  "/root/repo/src/traffic/fft.cc" "CMakeFiles/ldr.dir/src/traffic/fft.cc.o" "gcc" "CMakeFiles/ldr.dir/src/traffic/fft.cc.o.d"
+  "/root/repo/src/traffic/multiplex.cc" "CMakeFiles/ldr.dir/src/traffic/multiplex.cc.o" "gcc" "CMakeFiles/ldr.dir/src/traffic/multiplex.cc.o.d"
+  "/root/repo/src/traffic/predictor.cc" "CMakeFiles/ldr.dir/src/traffic/predictor.cc.o" "gcc" "CMakeFiles/ldr.dir/src/traffic/predictor.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "CMakeFiles/ldr.dir/src/traffic/trace.cc.o" "gcc" "CMakeFiles/ldr.dir/src/traffic/trace.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/ldr.dir/src/util/random.cc.o" "gcc" "CMakeFiles/ldr.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/ldr.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/ldr.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/ldr.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/ldr.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ldr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldrctl.dir/tools/ldrctl.cc.o"
+  "CMakeFiles/ldrctl.dir/tools/ldrctl.cc.o.d"
+  "ldrctl"
+  "ldrctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldrctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_iterative.dir/bench/micro_iterative.cc.o"
+  "CMakeFiles/micro_iterative.dir/bench/micro_iterative.cc.o.d"
+  "micro_iterative"
+  "micro_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

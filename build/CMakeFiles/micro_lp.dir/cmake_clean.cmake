@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lp.dir/bench/micro_lp.cc.o"
+  "CMakeFiles/micro_lp.dir/bench/micro_lp.cc.o.d"
+  "micro_lp"
+  "micro_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

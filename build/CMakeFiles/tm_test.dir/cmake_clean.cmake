@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_test.dir/tests/tm_test.cc.o"
+  "CMakeFiles/tm_test.dir/tests/tm_test.cc.o.d"
+  "tm_test"
+  "tm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_designer.dir/examples/topology_designer.cpp.o"
+  "CMakeFiles/topology_designer.dir/examples/topology_designer.cpp.o.d"
+  "topology_designer"
+  "topology_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

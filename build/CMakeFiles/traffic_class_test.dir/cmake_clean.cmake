@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_class_test.dir/tests/traffic_class_test.cc.o"
+  "CMakeFiles/traffic_class_test.dir/tests/traffic_class_test.cc.o.d"
+  "traffic_class_test"
+  "traffic_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

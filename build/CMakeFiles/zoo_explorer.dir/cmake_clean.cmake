@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_explorer.dir/examples/zoo_explorer.cpp.o"
+  "CMakeFiles/zoo_explorer.dir/examples/zoo_explorer.cpp.o.d"
+  "zoo_explorer"
+  "zoo_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
