@@ -83,7 +83,7 @@ int main() {
         for (size_t a = 0; a < working.size(); ++a) {
           for (const PathAllocation& pa : out.allocations[a]) {
             if (pa.fraction > 1e-9 &&
-                pa.path.ContainsLink(static_cast<LinkId>(l))) {
+                out.store->ContainsLink(pa.path, static_cast<LinkId>(l))) {
               inputs.push_back({&history[a], pa.fraction});
             }
           }

@@ -3,6 +3,10 @@
 // (c) LLPD > 0.5, 10% headroom. Where the paper's CDF fails to reach 1.0
 // the scheme could not fit the traffic; we print that as a separate
 // "fit:<scheme>" fraction per panel.
+//
+// Two corpus-wide passes, both fanned out across LDR_THREADS by RunCorpus:
+// the no-headroom pass over everything, then the 10%-headroom pass over the
+// high-LLPD group the first pass identified.
 #include <map>
 #include <string>
 
@@ -18,6 +22,19 @@ struct Panel {
   std::map<std::string, std::pair<int, int>> fit;  // (feasible, total)
 };
 
+void Accumulate(const ldr::TopologyRun& run, Panel* panel) {
+  for (const ldr::SchemeSeries& s : run.schemes) {
+    for (size_t i = 0; i < s.max_stretch.size(); ++i) {
+      auto& fit = panel->fit[s.scheme];
+      ++fit.second;
+      if (s.feasible[i]) {
+        ++fit.first;
+        panel->stretch[s.scheme].Add(s.max_stretch[i]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -31,44 +48,33 @@ int main() {
 
   CorpusRunOptions base;
   base.workload.num_instances = BenchFullScale() ? 5 : 2;
-  int idx = 0;
-  for (const Topology& t : corpus) {
-    bench::Note("fig16: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
-    // No-headroom pass: B4, Optimal(=LDR h0), MinMax, MinMaxK10.
-    CorpusRunOptions h0 = base;
-    h0.scheme_ids = {kSchemeB4, kSchemeOptimal, kSchemeMinMax,
-                     kSchemeMinMaxK10};
-    TopologyRun run0 = RunTopology(t, h0);
-    if (run0.schemes.empty()) continue;
-    Panel& panel = run0.llpd < 0.5 ? a : b;
-    for (const SchemeSeries& s : run0.schemes) {
-      for (size_t i = 0; i < s.max_stretch.size(); ++i) {
-        auto& fit = panel.fit[s.scheme];
-        ++fit.second;
-        if (s.feasible[i]) {
-          ++fit.first;
-          panel.stretch[s.scheme].Add(s.max_stretch[i]);
-        }
-      }
-    }
-    // 10% headroom pass for the high-LLPD group only (panel c).
-    if (run0.llpd >= 0.5) {
-      CorpusRunOptions h10 = base;
-      h10.scheme_ids = {kSchemeB4Headroom, kSchemeLdr10, kSchemeMinMax,
-                        kSchemeMinMaxK10};
-      TopologyRun run1 = RunTopology(t, h10);
-      for (const SchemeSeries& s : run1.schemes) {
-        for (size_t i = 0; i < s.max_stretch.size(); ++i) {
-          auto& fit = c.fit[s.scheme];
-          ++fit.second;
-          if (s.feasible[i]) {
-            ++fit.first;
-            c.stretch[s.scheme].Add(s.max_stretch[i]);
-          }
-        }
-      }
-    }
+
+  // No-headroom pass over the full corpus: B4, Optimal(=LDR h0), MinMax,
+  // MinMaxK10.
+  CorpusRunOptions h0 = base;
+  h0.scheme_ids = {kSchemeB4, kSchemeOptimal, kSchemeMinMax, kSchemeMinMaxK10};
+  std::vector<TopologyRun> runs0 = RunCorpus(corpus, h0, [&](size_t i) {
+    bench::Note("fig16 h0: %s (%zu/%zu)", corpus[i].name.c_str(), i + 1,
+                corpus.size());
+  });
+
+  std::vector<Topology> high_llpd;
+  for (size_t i = 0; i < runs0.size(); ++i) {
+    if (runs0[i].schemes.empty()) continue;  // skipped by max_nodes
+    Accumulate(runs0[i], runs0[i].llpd < 0.5 ? &a : &b);
+    if (runs0[i].llpd >= 0.5) high_llpd.push_back(corpus[i]);
   }
+
+  // 10% headroom pass for the high-LLPD group only (panel c).
+  CorpusRunOptions h10 = base;
+  h10.scheme_ids = {kSchemeB4Headroom, kSchemeLdr10, kSchemeMinMax,
+                    kSchemeMinMaxK10};
+  std::vector<TopologyRun> runs1 = RunCorpus(high_llpd, h10, [&](size_t i) {
+    bench::Note("fig16 h10: %s (%zu/%zu)", high_llpd[i].name.c_str(), i + 1,
+                high_llpd.size());
+  });
+  for (const TopologyRun& run : runs1) Accumulate(run, &c);
+
   for (Panel* panel : {&a, &b, &c}) {
     for (auto& [scheme, cdf] : panel->stretch) {
       PrintCdf(panel->name + ":" + scheme, cdf, 50);

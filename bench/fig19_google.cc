@@ -4,6 +4,9 @@
 // shortest paths alone — while the near-optimal scheme handles it (the
 // existence proof that high-LLPD global networks are buildable and
 // routable with the right scheme).
+//
+// The corpus pass fans out across LDR_THREADS via RunCorpus; the Google
+// topology runs afterwards (its instances parallelize inside RunTopology).
 #include "bench/bench_util.h"
 #include "sim/corpus_runner.h"
 #include "topology/zoo_corpus.h"
@@ -18,10 +21,11 @@ int main() {
   opts.workload.num_instances = BenchFullScale() ? 10 : 3;
 
   std::vector<Topology> corpus = BenchCorpus();
-  int idx = 0;
-  for (const Topology& t : corpus) {
-    bench::Note("fig19: %s (%d/%zu)", t.name.c_str(), ++idx, corpus.size());
-    TopologyRun run = RunTopology(t, opts);
+  std::vector<TopologyRun> runs = RunCorpus(corpus, opts, [&](size_t i) {
+    bench::Note("fig19: %s (%zu/%zu)", corpus[i].name.c_str(), i + 1,
+                corpus.size());
+  });
+  for (const TopologyRun& run : runs) {
     if (run.schemes.empty()) continue;
     PrintSeriesRow("median", run.llpd, Median(run.schemes[0].congested_fraction));
     PrintSeriesRow("p90", run.llpd,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build, and test from a clean checkout — proving the
+# repo builds without any vendored build tree (build/ is gitignored).
+#
+# Usage: ./ci.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${1:-build}"
+
+if [ -e "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "ci.sh: reusing existing $BUILD_DIR (delete it for a cold run)" >&2
+fi
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -60,8 +60,8 @@ int main() {
                 traffic[a].demand_gbps);
     for (const PathAllocation& pa : outcome.allocations[a]) {
       std::printf("    %5.1f%%  %-40s  %.2f ms\n", pa.fraction * 100,
-                  pa.path.ToString(net.graph).c_str(),
-                  pa.path.DelayMs(net.graph));
+                  outcome.store->ToString(pa.path).c_str(),
+                  outcome.store->DelayMs(pa.path));
     }
   }
 

@@ -6,7 +6,7 @@ namespace ldr {
 
 NodeId Graph::AddNode(std::string name) {
   node_names_.push_back(std::move(name));
-  out_links_.emplace_back();
+  csr_offsets_.push_back(csr_offsets_.back());
   return static_cast<NodeId>(node_names_.size() - 1);
 }
 
@@ -19,7 +19,13 @@ LinkId Graph::AddLink(NodeId src, NodeId dst, double delay_ms,
   l.capacity_gbps = capacity_gbps;
   links_.push_back(l);
   LinkId id = static_cast<LinkId>(links_.size() - 1);
-  out_links_[static_cast<size_t>(src)].push_back(id);
+  // Splice the id at the end of src's CSR run. O(nodes + links) per add —
+  // construction is a cold path; the win is the flat, always-valid adjacency
+  // on the (parallel, read-only) hot path.
+  size_t s = static_cast<size_t>(src);
+  csr_links_.insert(
+      csr_links_.begin() + static_cast<ptrdiff_t>(csr_offsets_[s + 1]), id);
+  for (size_t v = s + 1; v < csr_offsets_.size(); ++v) ++csr_offsets_[v];
   return id;
 }
 
@@ -39,14 +45,14 @@ NodeId Graph::FindNode(const std::string& name) const {
 
 LinkId Graph::ReverseLink(LinkId id) const {
   const Link& l = link(id);
-  for (LinkId cand : out_links_[static_cast<size_t>(l.dst)]) {
+  for (LinkId cand : OutLinks(l.dst)) {
     if (link(cand).dst == l.src) return cand;
   }
   return kInvalidLink;
 }
 
 bool Graph::HasLink(NodeId src, NodeId dst) const {
-  for (LinkId cand : out_links_[static_cast<size_t>(src)]) {
+  for (LinkId cand : OutLinks(src)) {
     if (link(cand).dst == dst) return true;
   }
   return false;

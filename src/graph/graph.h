@@ -7,6 +7,7 @@
 #ifndef LDR_GRAPH_GRAPH_H_
 #define LDR_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,28 @@ struct Link {
   NodeId dst = kInvalidNode;
   double delay_ms = 0;
   double capacity_gbps = 0;
+};
+
+// Non-owning view of a contiguous LinkId run — the currency of the CSR
+// adjacency below and of PathStore spans. Invalidated by mutation of the
+// owning container (AddLink / PathStore::Intern); don't hold one across
+// mutations.
+class LinkSpan {
+ public:
+  LinkSpan() = default;
+  LinkSpan(const LinkId* data, size_t size) : data_(data), size_(size) {}
+
+  const LinkId* begin() const { return data_; }
+  const LinkId* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  LinkId operator[](size_t i) const { return data_[i]; }
+  LinkId front() const { return data_[0]; }
+  LinkId back() const { return data_[size_ - 1]; }
+
+ private:
+  const LinkId* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 class Graph {
@@ -50,9 +73,14 @@ class Graph {
   // Returns kInvalidNode if no node has this name.
   NodeId FindNode(const std::string& name) const;
 
-  // Outgoing link ids of `node`.
-  const std::vector<LinkId>& OutLinks(NodeId node) const {
-    return out_links_[static_cast<size_t>(node)];
+  // Outgoing link ids of `node`, in insertion order. The adjacency is kept
+  // in CSR form (one flat id array + per-node offsets); every AddLink
+  // re-establishes the invariant, so the span is always valid and reads are
+  // lock-free in the parallel corpus runner.
+  LinkSpan OutLinks(NodeId node) const {
+    size_t v = static_cast<size_t>(node);
+    return LinkSpan(csr_links_.data() + csr_offsets_[v],
+                    csr_offsets_[v + 1] - csr_offsets_[v]);
   }
 
   // The opposite-direction link (same endpoints, swapped), or kInvalidLink.
@@ -75,7 +103,13 @@ class Graph {
  private:
   std::vector<std::string> node_names_;
   std::vector<Link> links_;
-  std::vector<std::vector<LinkId>> out_links_;
+  // CSR adjacency: csr_links_[csr_offsets_[v] .. csr_offsets_[v+1]) are the
+  // out-link ids of node v, in insertion order (shortest-path tie-breaking
+  // depends on that order). AddLink splices into the flat array, so there is
+  // no separate freeze step a caller could forget before the read-heavy
+  // parallel phase.
+  std::vector<size_t> csr_offsets_ = {0};  // NodeCount()+1 entries
+  std::vector<LinkId> csr_links_;          // LinkCount() entries
 };
 
 // An explicit path: an ordered list of link ids, where link i's dst is

@@ -4,29 +4,57 @@
 
 namespace ldr {
 
-KspGenerator::KspGenerator(const Graph* g, NodeId src, NodeId dst,
+KspGenerator::KspGenerator(PathStore* store, NodeId src, NodeId dst,
                            ExclusionSet excl)
-    : g_(g), src_(src), dst_(dst), base_excl_(std::move(excl)) {
+    : g_(&store->graph()),
+      store_(store),
+      src_(src),
+      dst_(dst),
+      base_excl_(std::move(excl)) {
   std::optional<Path> sp = ShortestPath(*g_, src_, dst_, base_excl_);
   if (sp.has_value() && !sp->empty()) {
     seen_.insert(sp->links());
-    produced_.push_back(std::move(*sp));
+    produced_.push_back(store_->Intern(*sp));
   } else {
     exhausted_ = true;
   }
 }
 
-const Path* KspGenerator::Get(size_t k) {
-  while (produced_.size() <= k) {
-    if (!ProduceNext()) return nullptr;
+KspGenerator::KspGenerator(std::unique_ptr<PathStore> owned, NodeId src,
+                           NodeId dst, ExclusionSet excl)
+    : KspGenerator(owned.get(), src, dst, std::move(excl)) {
+  owned_store_ = std::move(owned);
+}
+
+KspGenerator::KspGenerator(const Graph* g, NodeId src, NodeId dst,
+                           ExclusionSet excl)
+    : KspGenerator(std::make_unique<PathStore>(g), src, dst,
+                   std::move(excl)) {}
+
+PathId KspGenerator::GetId(size_t k) {
+  if (k < produced_.size()) {
+    store_->NoteHandleReuse();
+    return produced_[k];
   }
-  return &produced_[k];
+  while (produced_.size() <= k) {
+    if (!ProduceNext()) return kInvalidPathId;
+  }
+  return produced_[k];
+}
+
+const Path* KspGenerator::Get(size_t k) {
+  if (GetId(k) == kInvalidPathId) return nullptr;
+  while (materialized_.size() <= k) {
+    materialized_.push_back(store_->Resolve(produced_[materialized_.size()]));
+  }
+  return &materialized_[k];
 }
 
 void KspGenerator::GenerateCandidatesFromLast() {
-  const Path& prev = produced_.back();
-  const std::vector<LinkId>& prev_links = prev.links();
-  std::vector<NodeId> prev_nodes = prev.Nodes(*g_);
+  // Spans stay valid throughout: nothing is interned until ProduceNext()
+  // picks the winning candidate.
+  LinkSpan prev_links = store_->Links(produced_.back());
+  std::vector<NodeId> prev_nodes = store_->Nodes(produced_.back());
 
   ExclusionSet excl = base_excl_;
   if (excl.links.empty()) excl.links.assign(g_->LinkCount(), false);
@@ -40,10 +68,9 @@ void KspGenerator::GenerateCandidatesFromLast() {
     // Exclude links that would retrace any already-produced path sharing the
     // same root (standard Yen rule).
     std::vector<LinkId> removed_links;
-    std::vector<LinkId> root(prev_links.begin(),
-                             prev_links.begin() + static_cast<long>(i));
-    for (const Path& p : produced_) {
-      const auto& pl = p.links();
+    std::vector<LinkId> root(prev_links.begin(), prev_links.begin() + i);
+    for (PathId pid : produced_) {
+      LinkSpan pl = store_->Links(pid);
       if (pl.size() >= i &&
           std::equal(root.begin(), root.end(), pl.begin())) {
         if (pl.size() > i && !excl.links[static_cast<size_t>(pl[i])]) {
@@ -90,7 +117,7 @@ bool KspGenerator::ProduceNext() {
     return false;
   }
   auto it = candidates_.begin();
-  produced_.push_back(Path(it->links));
+  produced_.push_back(store_->Intern(it->links));
   candidates_.erase(it);
   return true;
 }
@@ -100,7 +127,7 @@ KspGenerator* KspCache::Get(NodeId src, NodeId dst) {
   auto it = generators_.find(key);
   if (it == generators_.end()) {
     it = generators_
-             .emplace(key, std::make_unique<KspGenerator>(g_, src, dst))
+             .emplace(key, std::make_unique<KspGenerator>(&store_, src, dst))
              .first;
   }
   return it->second.get();

@@ -6,7 +6,10 @@
 // — is the bottleneck, "the results of which can be readily cached" (§5).
 // KspGenerator is exactly that: it produces the k-th shortest path on demand
 // and memoizes all previously produced paths and candidates, so asking for
-// path k after path k-1 is cheap. KspCache keys generators by (src, dst).
+// path k after path k-1 is cheap. Produced paths are interned into a
+// PathStore, so the routing/sim layers above handle 32-bit PathIds instead
+// of copying link vectors. KspCache keys generators by (src, dst) and owns
+// the store they share.
 #ifndef LDR_GRAPH_KSP_H_
 #define LDR_GRAPH_KSP_H_
 
@@ -19,21 +22,32 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/path_store.h"
 #include "graph/shortest_path.h"
 
 namespace ldr {
 
 class KspGenerator {
  public:
-  // The graph must outlive the generator. An optional exclusion set
-  // restricts the universe of usable links (used by the APA metric to ask
-  // for alternates that avoid a congested link).
-  KspGenerator(const Graph* g, NodeId src, NodeId dst,
-               ExclusionSet excl = {});
+  // Interns produced paths into `store` (must outlive the generator; its
+  // graph is the search graph). This is the form KspCache uses, so every
+  // generator of a topology shares one arena.
+  KspGenerator(PathStore* store, NodeId src, NodeId dst, ExclusionSet excl = {});
 
-  // Returns the k-th (0-based) shortest simple path, or nullptr if fewer
-  // than k+1 simple paths exist. Paths are produced in non-decreasing delay
-  // order. Pointers remain valid for the generator's lifetime.
+  // Convenience form owning a private store — used by the APA metric (whose
+  // exclusion-set generators are transient) and by tests. The graph must
+  // outlive the generator.
+  KspGenerator(const Graph* g, NodeId src, NodeId dst, ExclusionSet excl = {});
+
+  // Returns the k-th (0-based) shortest simple path as an interned id, or
+  // kInvalidPathId if fewer than k+1 simple paths exist. Paths are produced
+  // in non-decreasing delay order. Ids are stable for the store's lifetime.
+  PathId GetId(size_t k);
+
+  // Pointer form of GetId: materializes (and memoizes) an owning Path.
+  // Returns nullptr when exhausted; pointers remain valid for the
+  // generator's lifetime. Kept for metric/test call sites — the routing hot
+  // path uses GetId.
   const Path* Get(size_t k);
 
   // Number of paths produced so far.
@@ -43,6 +57,11 @@ class KspGenerator {
   bool Exhausted() const { return exhausted_ && candidates_.empty(); }
 
  private:
+  // Delegation target of the Graph* convenience ctor: adopts the store it
+  // interned into.
+  KspGenerator(std::unique_ptr<PathStore> owned, NodeId src, NodeId dst,
+               ExclusionSet excl);
+
   struct Candidate {
     double delay_ms;
     std::vector<LinkId> links;
@@ -57,26 +76,34 @@ class KspGenerator {
   bool ProduceNext();
 
   const Graph* g_;
+  PathStore* store_;
+  std::unique_ptr<PathStore> owned_store_;  // set by the convenience ctor
   NodeId src_;
   NodeId dst_;
   ExclusionSet base_excl_;
-  std::deque<Path> produced_;  // deque: stable element addresses across growth
+  std::vector<PathId> produced_;         // interned, in production order
+  std::deque<Path> materialized_;        // lazy Get() copies; stable addresses
   std::set<Candidate> candidates_;       // ordered; also deduplicates
   std::set<std::vector<LinkId>> seen_;   // all produced + candidate link seqs
   bool exhausted_ = false;
 };
 
-// Cache of generators per (src, dst) pair over one graph. Used by LDR so
-// repeated optimizations on the same topology pay the Yen cost only once
-// (the "LDR" vs "LDR (cold cache)" distinction of Fig. 15). The cache sits
-// on the controller hot path — one lookup per aggregate per path-growth
-// round — so pairs are packed into a single hashed 64-bit key rather than
-// tree-ordered.
+// Cache of generators per (src, dst) pair over one graph, sharing one
+// PathStore. Used by LDR so repeated optimizations on the same topology pay
+// the Yen cost only once (the "LDR" vs "LDR (cold cache)" distinction of
+// Fig. 15). The cache sits on the controller hot path — one lookup per
+// aggregate per path-growth round — so pairs are packed into a single hashed
+// 64-bit key rather than tree-ordered.
 class KspCache {
  public:
-  explicit KspCache(const Graph* g) : g_(g) {}
+  explicit KspCache(const Graph* g) : g_(g), store_(g) {}
 
   KspGenerator* Get(NodeId src, NodeId dst);
+
+  // The per-topology path arena shared by all generators of this cache.
+  // Routing outcomes produced through this cache resolve against it.
+  PathStore* store() { return &store_; }
+  const PathStore* store() const { return &store_; }
 
   void Clear() { generators_.clear(); }
   size_t size() const { return generators_.size(); }
@@ -99,6 +126,7 @@ class KspCache {
   };
 
   const Graph* g_;
+  PathStore store_;
   std::unordered_map<uint64_t, std::unique_ptr<KspGenerator>, KeyHash>
       generators_;
 };

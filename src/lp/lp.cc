@@ -104,6 +104,7 @@ class Solver::Impl {
 
     tcol_.emplace_back();
     if (factor_valid_) {
+      ++updates_since_refactor_;
       std::vector<double>& col = tcol_.back();
       col.assign(m_, 0.0);
       for (const auto& [r, c] : acol_.back()) {
@@ -130,6 +131,7 @@ class Solver::Impl {
     }
 
     if (factor_valid_) {
+      ++updates_since_refactor_;
       // New basis row: with the new slack joining the basis, the extended
       // B^-1 is [[B^-1, 0], [-w^T B^-1, 1]] where w_i is the new row's
       // coefficient on the variable basic in row i. New tableau entries:
@@ -184,6 +186,7 @@ class Solver::Impl {
       factor_valid_ = false;
       return;
     }
+    ++updates_since_refactor_;
     const double* b = bcol_[static_cast<size_t>(row)].data();
     double* col = tcol_[v].data();
     double val = value_[v];
@@ -200,6 +203,7 @@ class Solver::Impl {
     if (delta == 0) return;
     rhs_[r] = rhs;
     if (!factor_valid_) return;
+    ++updates_since_refactor_;
     const double* b = bcol_[r].data();
     for (size_t i = 0; i < m_; ++i) xb_[i] += b[i] * delta;
   }
@@ -228,6 +232,21 @@ class Solver::Impl {
         sol.status = Status::kInfeasible;
         return sol;
       }
+    }
+
+    // Periodic refactorization: every incremental update (pivot, priced
+    // column/row, rhs shift) compounds error in the working tableau; a
+    // long-lived controller-epoch solver can run thousands of them without
+    // ever hitting the basic-AddToRow invalidation. Rebuild from the exact
+    // sparse columns once enough drift-accumulating updates have passed.
+    long refactor_after =
+        opt_.refactor_interval > 0
+            ? opt_.refactor_interval
+            : std::max<long>(kMinAutoRefactorInterval,
+                             8 * static_cast<long>(m_ + n_));
+    if (opt_.refactor_interval >= 0 &&
+        updates_since_refactor_ >= refactor_after) {
+      factor_valid_ = false;
     }
 
     if (!factor_valid_) Refactorize();
@@ -306,6 +325,7 @@ class Solver::Impl {
 
  private:
   static constexpr int kBlandThreshold = 60;
+  static constexpr long kMinAutoRefactorInterval = 4096;
 
   enum class StepResult { kPivoted, kBoundFlip, kUnbounded, kStuck };
 
@@ -503,6 +523,7 @@ class Solver::Impl {
   // c[r] = c[r]/pivot — columns with c[r] == 0 are untouched, which is the
   // sparsity win over the old dense row-major sweep.
   void RawPivot(size_t r, int enter_ref) {
+    ++updates_since_refactor_;
     std::vector<double>& ecol = Col(enter_ref);
     double pivot = ecol[r];
     assert(std::abs(pivot) > 1e-12);
@@ -746,6 +767,7 @@ class Solver::Impl {
       for (size_t i = 0; i < m_; ++i) xb_[i] -= col[i] * value_[j];
     }
     factor_valid_ = true;
+    updates_since_refactor_ = 0;  // counts from this exact rebuild
   }
 
   static constexpr int kNoRef = std::numeric_limits<int>::min();
@@ -803,6 +825,9 @@ class Solver::Impl {
   // Factorized working state.
   bool factor_valid_ = true;
   bool refactor_singular_ = false;  // last Refactorize failed a pivot
+  // Drift-accumulating updates applied to the tableau since the last exact
+  // rebuild (see SolveOptions::refactor_interval).
+  long updates_since_refactor_ = 0;
   std::vector<std::vector<double>> tcol_;  // structural tableau columns
   std::vector<std::vector<double>> bcol_;  // slack columns == B^-1
   std::vector<VarState> vstate_, sstate_;

@@ -87,6 +87,15 @@ struct SolveOptions {
   double tol = 1e-7;
   // 0 means automatic: 200 + 40 * (rows + variables).
   int max_iters = 0;
+  // Periodic refactorization for long-lived solvers (controller epochs):
+  // once this many incremental tableau updates — pivots plus structural
+  // mutations priced through B^-1 — have accumulated since the last
+  // factorization, the next Solve() rebuilds the tableau from the exact
+  // sparse columns before optimizing, bounding floating-point drift.
+  // 0 means automatic: max(4096, 8 * (rows + variables)), sized so a warm
+  // re-solve never pays the O(m^2 n) rebuild but a solver kept across many
+  // controller epochs periodically does. Negative disables the guard.
+  int refactor_interval = 0;
 };
 
 struct Solution {

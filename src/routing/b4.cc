@@ -28,6 +28,7 @@ B4Scheme::B4Scheme(const Graph* g, KspCache* cache, B4Options options)
 
 RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
   auto t0 = std::chrono::steady_clock::now();
+  PathStore& store = *cache_->store();
   size_t num_links = g_->LinkCount();
   std::vector<double> load(num_links, 0.0);
   auto scaled_cap = [&](size_t l) {
@@ -43,12 +44,12 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
   for (size_t a = 0; a < aggregates.size(); ++a) {
     st[a].remaining = aggregates[a].demand_gbps;
     gen[a] = cache_->Get(aggregates[a].src, aggregates[a].dst);
-    if (gen[a]->Get(0) == nullptr) st[a].stuck = true;
+    if (gen[a]->GetId(0) == kInvalidPathId) st[a].stuck = true;
   }
 
   constexpr double kTiny = 1e-9;
-  auto path_saturated = [&](const Path& p) {
-    for (LinkId l : p.links()) {
+  auto path_saturated = [&](PathId p) {
+    for (LinkId l : store.Links(p)) {
       if (scaled_cap(static_cast<size_t>(l)) - load[static_cast<size_t>(l)] <=
           kTiny) {
         return true;
@@ -60,12 +61,12 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
   // Advance an aggregate past paths containing saturated links.
   auto advance = [&](size_t a) {
     while (!st[a].stuck) {
-      const Path* p = gen[a]->Get(st[a].path_idx);
-      if (p == nullptr || st[a].path_idx >= opt_.max_paths_per_aggregate) {
+      PathId p = gen[a]->GetId(st[a].path_idx);
+      if (p == kInvalidPathId || st[a].path_idx >= opt_.max_paths_per_aggregate) {
         st[a].stuck = true;
         return;
       }
-      if (!path_saturated(*p)) return;
+      if (!path_saturated(p)) return;
       ++st[a].path_idx;
     }
   };
@@ -80,8 +81,8 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
     for (size_t a = 0; a < aggregates.size(); ++a) {
       if (st[a].stuck || st[a].remaining <= kTiny) continue;
       active.push_back(a);
-      const Path* p = gen[a]->Get(st[a].path_idx);
-      for (LinkId l : p->links()) rate[static_cast<size_t>(l)] += 1.0;
+      PathId p = gen[a]->GetId(st[a].path_idx);
+      for (LinkId l : store.Links(p)) rate[static_cast<size_t>(l)] += 1.0;
     }
     if (active.empty()) break;
 
@@ -97,10 +98,10 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
 
     // Apply the fill.
     for (size_t a : active) {
-      const Path* p = gen[a]->Get(st[a].path_idx);
+      PathId p = gen[a]->GetId(st[a].path_idx);
       st[a].placed[st[a].path_idx] += t;
       st[a].remaining -= t;
-      for (LinkId l : p->links()) load[static_cast<size_t>(l)] += t;
+      for (LinkId l : store.Links(p)) load[static_cast<size_t>(l)] += t;
     }
     // Step unfinished aggregates past any newly saturated link.
     for (size_t a : active) {
@@ -114,7 +115,7 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
       bool moved = false;
       for (size_t a : active) {
         if (st[a].stuck || st[a].remaining <= kTiny ||
-            !path_saturated(*gen[a]->Get(st[a].path_idx))) {
+            !path_saturated(gen[a]->GetId(st[a].path_idx))) {
           moved = true;
         }
       }
@@ -127,10 +128,10 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
     for (size_t a = 0; a < aggregates.size(); ++a) {
       if (st[a].remaining <= kTiny) continue;
       for (size_t pi = 0; pi < opt_.max_paths_per_aggregate; ++pi) {
-        const Path* p = gen[a]->Get(pi);
-        if (p == nullptr) break;
+        PathId p = gen[a]->GetId(pi);
+        if (p == kInvalidPathId) break;
         double headroom_left = std::numeric_limits<double>::infinity();
-        for (LinkId l : p->links()) {
+        for (LinkId l : store.Links(p)) {
           headroom_left = std::min(
               headroom_left,
               true_cap(static_cast<size_t>(l)) - load[static_cast<size_t>(l)]);
@@ -139,7 +140,7 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
         if (put > kTiny) {
           st[a].placed[pi] += put;
           st[a].remaining -= put;
-          for (LinkId l : p->links()) load[static_cast<size_t>(l)] += put;
+          for (LinkId l : store.Links(p)) load[static_cast<size_t>(l)] += put;
         }
         if (st[a].remaining <= kTiny) break;
       }
@@ -150,24 +151,25 @@ RoutingOutcome B4Scheme::Route(const std::vector<Aggregate>& aggregates) {
   bool all_placed = true;
   for (size_t a = 0; a < aggregates.size(); ++a) {
     if (st[a].remaining <= kTiny) continue;
-    const Path* p = gen[a]->Get(0);
-    if (p == nullptr) continue;  // truly unroutable pair
+    PathId p = gen[a]->GetId(0);
+    if (p == kInvalidPathId) continue;  // truly unroutable pair
     all_placed = false;
     st[a].placed[0] += st[a].remaining;
-    for (LinkId l : p->links()) {
+    for (LinkId l : store.Links(p)) {
       load[static_cast<size_t>(l)] += st[a].remaining;
     }
     st[a].remaining = 0;
   }
 
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(aggregates.size());
   for (size_t a = 0; a < aggregates.size(); ++a) {
     double demand = aggregates[a].demand_gbps;
     if (demand <= 0) continue;
     for (const auto& [pi, gbps] : st[a].placed) {
       if (gbps <= kTiny) continue;
-      out.allocations[a].push_back({*gen[a]->Get(pi), gbps / demand});
+      out.allocations[a].push_back({gen[a]->GetId(pi), gbps / demand});
     }
   }
   out.feasible = all_placed;

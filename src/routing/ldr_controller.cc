@@ -46,6 +46,7 @@ LdrControllerResult RunLdrController(
   // after a headroom tweak re-enters the solver warm with demand deltas
   // instead of rebuilding the Fig. 12 problem from scratch.
   LpReuseContext reuse;
+  const PathStore& store = *cache->store();
   std::vector<std::vector<WeightedSeries>> on_link(g.LinkCount());
   std::vector<size_t> on_link_count(g.LinkCount());
   std::vector<bool> failing(g.LinkCount());
@@ -62,7 +63,7 @@ LdrControllerResult RunLdrController(
     for (size_t a = 0; a < working.size(); ++a) {
       for (const PathAllocation& pa : result.outcome.allocations[a]) {
         if (pa.fraction <= 1e-9) continue;
-        for (LinkId l : pa.path.links()) {
+        for (LinkId l : store.Links(pa.path)) {
           ++on_link_count[static_cast<size_t>(l)];
         }
       }
@@ -74,7 +75,7 @@ LdrControllerResult RunLdrController(
     for (size_t a = 0; a < working.size(); ++a) {
       for (const PathAllocation& pa : result.outcome.allocations[a]) {
         if (pa.fraction <= 1e-9) continue;
-        for (LinkId l : pa.path.links()) {
+        for (LinkId l : store.Links(pa.path)) {
           on_link[static_cast<size_t>(l)].push_back(
               {&history_100ms[a], pa.fraction});
         }
@@ -99,18 +100,24 @@ LdrControllerResult RunLdrController(
     }
 
     // (4) Scale up Ba for aggregates crossing failing links ("add headroom,
-    // but only for those aggregates that don't multiplex well").
+    // but only for those aggregates that don't multiplex well"). The store's
+    // reverse index marks failing paths once; each allocation then tests by
+    // id instead of rescanning its link sequence.
+    std::vector<char> path_failing(store.size(), 0);
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      if (!failing[l]) continue;
+      for (PathId p : store.PathsOnLink(static_cast<LinkId>(l))) {
+        path_failing[static_cast<size_t>(p)] = 1;
+      }
+    }
     for (size_t a = 0; a < working.size(); ++a) {
       bool crosses = false;
       for (const PathAllocation& pa : result.outcome.allocations[a]) {
         if (pa.fraction <= 1e-9) continue;
-        for (LinkId l : pa.path.links()) {
-          if (failing[static_cast<size_t>(l)]) {
-            crosses = true;
-            break;
-          }
+        if (path_failing[static_cast<size_t>(pa.path)] != 0) {
+          crosses = true;
+          break;
         }
-        if (crosses) break;
       }
       if (crosses) {
         working[a].demand_gbps *= opts.scale_up;

@@ -32,19 +32,20 @@ double ClassWeight(const std::vector<double>& class_weights,
 
 }  // namespace
 
-double AggregateDelayMs(const Graph& g,
+double AggregateDelayMs(const PathStore& store,
                         const std::vector<PathAllocation>& allocation) {
   double d = 0;
   for (const PathAllocation& pa : allocation) {
-    d += pa.fraction * pa.path.DelayMs(g);
+    d += pa.fraction * store.DelayMs(pa.path);
   }
   return d;
 }
 
 RoutingLpResult SolveRoutingLp(
-    const Graph& g, const std::vector<Aggregate>& aggregates,
-    const std::vector<std::vector<const Path*>>& paths,
+    const PathStore& store, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<PathId>>& paths,
     const RoutingLpOptions& opts) {
+  const Graph& g = store.graph();
   RoutingLpResult result;
   size_t num_links = g.LinkCount();
   double cap_scale = 1.0 - opts.headroom;
@@ -54,7 +55,7 @@ RoutingLpResult SolveRoutingLp(
   double weight_denom = 0;
   for (size_t a = 0; a < aggregates.size(); ++a) {
     if (paths[a].empty()) continue;
-    weight_denom += aggregates[a].flow_count * paths[a][0]->DelayMs(g);
+    weight_denom += aggregates[a].flow_count * store.DelayMs(paths[a][0]);
   }
   if (weight_denom <= 0) weight_denom = 1;
   auto weight = [&](size_t a) {
@@ -68,7 +69,7 @@ RoutingLpResult SolveRoutingLp(
   for (size_t a = 0; a < aggregates.size(); ++a) {
     if (paths[a].empty()) continue;
     if (paths[a].size() == 1) {
-      for (LinkId l : paths[a][0]->links()) {
+      for (LinkId l : store.Links(paths[a][0])) {
         fixed_load[static_cast<size_t>(l)] += aggregates[a].demand_gbps;
       }
     } else {
@@ -80,8 +81,8 @@ RoutingLpResult SolveRoutingLp(
   std::vector<bool> link_used(num_links, false);
   for (size_t l = 0; l < num_links; ++l) link_used[l] = fixed_load[l] > 0;
   for (size_t a : variable) {
-    for (const Path* p : paths[a]) {
-      for (LinkId l : p->links()) link_used[static_cast<size_t>(l)] = true;
+    for (PathId p : paths[a]) {
+      for (LinkId l : store.Links(p)) link_used[static_cast<size_t>(l)] = true;
     }
   }
 
@@ -89,11 +90,11 @@ RoutingLpResult SolveRoutingLp(
   // Path-fraction variables.
   std::vector<std::vector<int>> xvar(aggregates.size());
   for (size_t a : variable) {
-    double s_a = paths[a][0]->DelayMs(g);
+    double s_a = store.DelayMs(paths[a][0]);
     if (s_a <= 0) s_a = 1e-3;
     xvar[a].resize(paths[a].size());
     for (size_t pi = 0; pi < paths[a].size(); ++pi) {
-      double dp = paths[a][pi]->DelayMs(g);
+      double dp = store.DelayMs(paths[a][pi]);
       double coeff = weight(a) * dp * (1.0 + opts.m1 / s_a);
       xvar[a][pi] = problem.AddVariable(0, 1, coeff);
     }
@@ -112,7 +113,7 @@ RoutingLpResult SolveRoutingLp(
   std::vector<std::vector<std::pair<int, double>>> link_terms(num_links);
   for (size_t a : variable) {
     for (size_t pi = 0; pi < paths[a].size(); ++pi) {
-      for (LinkId l : paths[a][pi]->links()) {
+      for (LinkId l : store.Links(paths[a][pi])) {
         link_terms[static_cast<size_t>(l)].emplace_back(
             xvar[a][pi], aggregates[a].demand_gbps);
       }
@@ -175,7 +176,7 @@ RoutingLpResult SolveRoutingLp(
     for (size_t pi = 0; pi < paths[a].size(); ++pi) {
       double f = result.fractions[a][pi];
       if (f <= 1e-12) continue;
-      for (LinkId l : paths[a][pi]->links()) {
+      for (LinkId l : store.Links(paths[a][pi])) {
         load[static_cast<size_t>(l)] += f * aggregates[a].demand_gbps;
       }
     }
@@ -196,11 +197,11 @@ RoutingLpResult SolveRoutingLp(
 }
 
 IncrementalRoutingLp::IncrementalRoutingLp(
-    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const PathStore& store, const std::vector<Aggregate>& aggregates,
     const RoutingLpOptions& opts)
-    : g_(&g), opts_(opts), aggs_(aggregates) {
+    : store_(&store), g_(&store.graph()), opts_(opts), aggs_(aggregates) {
   cap_scale_ = 1.0 - opts_.headroom;
-  size_t num_links = g.LinkCount();
+  size_t num_links = g_->LinkCount();
   npaths_.assign(aggs_.size(), 0);
   xvar_.resize(aggs_.size());
   eq_row_.assign(aggs_.size(), -1);
@@ -246,7 +247,7 @@ void IncrementalRoutingLp::EnsureLinkRows() {
 }
 
 RoutingLpResult IncrementalRoutingLp::Solve(
-    const std::vector<std::vector<const Path*>>& paths) {
+    const std::vector<std::vector<PathId>>& paths) {
   RoutingLpResult result;
   size_t num_links = g_->LinkCount();
 
@@ -254,7 +255,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
     weight_denom_ = 0;
     for (size_t a = 0; a < aggs_.size(); ++a) {
       if (paths[a].empty()) continue;
-      weight_denom_ += aggs_[a].flow_count * paths[a][0]->DelayMs(*g_);
+      weight_denom_ += aggs_[a].flow_count * store_->DelayMs(paths[a][0]);
     }
     if (weight_denom_ <= 0) weight_denom_ = 1;
     omax_var_ = opts_.minmax
@@ -270,7 +271,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
     if (cnt == prev) continue;
     if (prev == 0 && cnt == 1) {
       // Fixed placement: load folds into the link constants.
-      for (LinkId l : paths[a][0]->links()) {
+      for (LinkId l : store_->Links(paths[a][0])) {
         size_t li = static_cast<size_t>(l);
         fixed_load_[li] += aggs_[a].demand_gbps;
         if (link_row_[li] >= 0) solver_.SetRhs(link_row_[li], -fixed_load_[li]);
@@ -278,7 +279,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
     } else {
       if (prev == 1) {
         // The aggregate joins the LP: un-fold its fixed load.
-        for (LinkId l : paths_[a][0]->links()) {
+        for (LinkId l : store_->Links(paths_[a][0])) {
           size_t li = static_cast<size_t>(l);
           fixed_load_[li] -= aggs_[a].demand_gbps;
           if (link_row_[li] >= 0) {
@@ -286,14 +287,14 @@ RoutingLpResult IncrementalRoutingLp::Solve(
           }
         }
       }
-      double s_a = paths[a][0]->DelayMs(*g_);
+      double s_a = store_->DelayMs(paths[a][0]);
       if (s_a <= 0) s_a = 1e-3;
       size_t first_new = prev >= 2 ? prev : 0;
       for (size_t pi = first_new; pi < cnt; ++pi) {
-        double dp = paths[a][pi]->DelayMs(*g_);
+        double dp = store_->DelayMs(paths[a][pi]);
         double coeff = Weight(a) * dp * (1.0 + opts_.m1 / s_a);
         std::vector<std::pair<int, double>> col_coeffs;
-        for (LinkId l : paths[a][pi]->links()) {
+        for (LinkId l : store_->Links(paths[a][pi])) {
           size_t li = static_cast<size_t>(l);
           if (link_row_[li] >= 0) {
             col_coeffs.emplace_back(link_row_[li], aggs_[a].demand_gbps);
@@ -302,7 +303,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
         if (eq_row_[a] >= 0) col_coeffs.emplace_back(eq_row_[a], 1.0);
         int v = solver_.AddColumn(0, 1, coeff, col_coeffs);
         xvar_[a].push_back(v);
-        for (LinkId l : paths[a][pi]->links()) {
+        for (LinkId l : store_->Links(paths[a][pi])) {
           link_vars_[static_cast<size_t>(l)].emplace_back(v, a);
         }
       }
@@ -347,7 +348,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
     for (size_t pi = 0; pi < paths[a].size(); ++pi) {
       double f = result.fractions[a][pi];
       if (f <= 1e-12) continue;
-      for (LinkId l : paths[a][pi]->links()) {
+      for (LinkId l : store_->Links(paths[a][pi])) {
         load[static_cast<size_t>(l)] += f * aggs_[a].demand_gbps;
       }
     }
@@ -371,14 +372,14 @@ void IncrementalRoutingLp::UpdateDemands(
     double delta = aggregates[a].demand_gbps - aggs_[a].demand_gbps;
     if (delta == 0) continue;
     if (npaths_[a] == 1) {
-      for (LinkId l : paths_[a][0]->links()) {
+      for (LinkId l : store_->Links(paths_[a][0])) {
         size_t li = static_cast<size_t>(l);
         fixed_load_[li] += delta;
         if (link_row_[li] >= 0) solver_.SetRhs(link_row_[li], -fixed_load_[li]);
       }
     } else if (npaths_[a] >= 2) {
       for (size_t pi = 0; pi < paths_[a].size(); ++pi) {
-        for (LinkId l : paths_[a][pi]->links()) {
+        for (LinkId l : store_->Links(paths_[a][pi])) {
           size_t li = static_cast<size_t>(l);
           if (link_row_[li] >= 0) {
             solver_.AddToRow(link_row_[li], xvar_[a][pi], delta);
@@ -394,11 +395,23 @@ namespace {
 
 // Appends the next-shortest path for every aggregate that crosses a link in
 // `hot`. Returns how many aggregates grew.
-size_t GrowPathSets(const std::vector<Aggregate>& aggregates,
+size_t GrowPathSets(const PathStore& store,
+                    const std::vector<Aggregate>& aggregates,
                     const std::vector<std::vector<double>>& fractions,
                     const std::vector<bool>& hot, KspCache* cache,
                     size_t max_paths,
-                    std::vector<std::vector<const Path*>>* paths) {
+                    std::vector<std::vector<PathId>>* paths) {
+  // Flip "which paths cross a hot link" around through the store's reverse
+  // index: mark once per hot link, then test each aggregate's used paths by
+  // id instead of rescanning their link sequences.
+  std::vector<char> path_hot(store.size(), 0);
+  for (size_t l = 0; l < hot.size(); ++l) {
+    if (!hot[l]) continue;
+    for (PathId p : store.PathsOnLink(static_cast<LinkId>(l))) {
+      path_hot[static_cast<size_t>(p)] = 1;
+    }
+  }
+
   size_t grown = 0;
   for (size_t a = 0; a < aggregates.size(); ++a) {
     auto& plist = (*paths)[a];
@@ -409,17 +422,12 @@ size_t GrowPathSets(const std::vector<Aggregate>& aggregates,
       // meaningful fraction.
       double f = plist.size() == 1 ? 1.0 : fractions[a][pi];
       if (f <= 1e-9) continue;
-      for (LinkId l : plist[pi]->links()) {
-        if (hot[static_cast<size_t>(l)]) {
-          crosses = true;
-          break;
-        }
-      }
+      crosses = path_hot[static_cast<size_t>(plist[pi])] != 0;
     }
     if (!crosses) continue;
     KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
-    const Path* next = gen->Get(plist.size());
-    if (next == nullptr) continue;
+    PathId next = gen->GetId(plist.size());
+    if (next == kInvalidPathId) continue;
     plist.push_back(next);
     ++grown;
   }
@@ -433,10 +441,12 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
                                 KspCache* cache, const IterativeOptions& opts,
                                 LpReuseContext* reuse) {
   double t0 = NowMs();
+  const PathStore& store = *cache->store();
   RoutingOutcome outcome;
+  outcome.store = &store;
   outcome.allocations.resize(aggregates.size());
 
-  std::vector<std::vector<const Path*>> paths;
+  std::vector<std::vector<PathId>> paths;
   std::unique_ptr<IncrementalRoutingLp> local_lp;
   IncrementalRoutingLp* ilp = nullptr;
   if (reuse != nullptr && reuse->lp != nullptr &&
@@ -451,14 +461,14 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     for (size_t a = 0; a < aggregates.size(); ++a) {
       KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
       for (size_t k = 0; k < std::max<size_t>(1, opts.initial_paths); ++k) {
-        const Path* p = gen->Get(k);
-        if (p == nullptr) break;
+        PathId p = gen->GetId(k);
+        if (p == kInvalidPathId) break;
         paths[a].push_back(p);
       }
     }
     if (opts.incremental) {
       auto fresh =
-          std::make_unique<IncrementalRoutingLp>(g, aggregates, opts.lp);
+          std::make_unique<IncrementalRoutingLp>(store, aggregates, opts.lp);
       if (reuse != nullptr) {
         reuse->lp = std::move(fresh);
         ilp = reuse->lp.get();
@@ -472,14 +482,14 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   // Weighted total delay of a solution — used to keep the best feasible
   // placement across polish rounds.
   auto weighted_delay = [&](const RoutingLpResult& r,
-                            const std::vector<std::vector<const Path*>>& ps) {
+                            const std::vector<std::vector<PathId>>& ps) {
     double acc = 0;
     for (size_t a = 0; a < aggregates.size(); ++a) {
       double cw =
           ClassWeight(opts.lp.class_weights, aggregates[a].traffic_class);
       for (size_t pi = 0; pi < ps[a].size(); ++pi) {
         acc += cw * aggregates[a].flow_count * r.fractions[a][pi] *
-               ps[a][pi]->DelayMs(g);
+               store.DelayMs(ps[a][pi]);
       }
     }
     return acc;
@@ -487,7 +497,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
 
   RoutingLpResult res;
   RoutingLpResult best_res;
-  std::vector<std::vector<const Path*>> best_paths;
+  std::vector<std::vector<PathId>> best_paths;
   double best_delay = lp::kInfinity;
   double best_minmax_omax = lp::kInfinity;
   int patience_left = opts.patience;
@@ -499,7 +509,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   int round = 0;
   for (; round < opts.max_rounds; ++round) {
     res = ilp != nullptr ? ilp->Solve(paths)
-                         : SolveRoutingLp(g, aggregates, paths, opts.lp);
+                         : SolveRoutingLp(store, aggregates, paths, opts.lp);
     if (!res.solved) break;
 
     bool feasible_now =
@@ -537,7 +547,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
       }
     }
     if (!any_hot) break;
-    size_t grown = GrowPathSets(aggregates, res.fractions, hot, cache,
+    size_t grown = GrowPathSets(store, aggregates, res.fractions, hot, cache,
                                 opts.max_paths_per_aggregate, &paths);
     if (grown == 0) break;  // exhausted: congestion unavoidable
   }
@@ -565,7 +575,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
       for (size_t pi = 0; pi < paths[a].size(); ++pi) {
         double f = res.fractions[a][pi];
         if (f <= 1e-9) continue;
-        outcome.allocations[a].push_back({*paths[a][pi], f});
+        outcome.allocations[a].push_back({paths[a][pi], f});
       }
     }
     outcome.max_level = res.omax;
@@ -576,7 +586,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     // Numerical fallback: shortest paths.
     for (size_t a = 0; a < aggregates.size(); ++a) {
       if (!paths[a].empty()) {
-        outcome.allocations[a].push_back({*paths[a][0], 1.0});
+        outcome.allocations[a].push_back({paths[a][0], 1.0});
       }
     }
     outcome.feasible = false;

@@ -64,9 +64,12 @@ struct RoutingLpResult {
   std::vector<double> link_level;
 };
 
+// Path sets are interned ids into `store` (delays cached at intern time;
+// LP columns are keyed by PathId, making column identity exact across
+// epochs that rediscover the same path).
 RoutingLpResult SolveRoutingLp(
-    const Graph& g, const std::vector<Aggregate>& aggregates,
-    const std::vector<std::vector<const Path*>>& paths,
+    const PathStore& store, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<PathId>>& paths,
     const RoutingLpOptions& opts);
 
 // Incremental form of SolveRoutingLp: keeps one lp::Solver alive across
@@ -78,12 +81,13 @@ RoutingLpResult SolveRoutingLp(
 // scratch for the same path sets.
 class IncrementalRoutingLp {
  public:
-  IncrementalRoutingLp(const Graph& g, const std::vector<Aggregate>& aggregates,
+  IncrementalRoutingLp(const PathStore& store,
+                       const std::vector<Aggregate>& aggregates,
                        const RoutingLpOptions& opts);
 
   // `paths` must grow append-only relative to the previous call (the Fig. 13
   // discipline). Returns the same result SolveRoutingLp would.
-  RoutingLpResult Solve(const std::vector<std::vector<const Path*>>& paths);
+  RoutingLpResult Solve(const std::vector<std::vector<PathId>>& paths);
 
   // Re-targets demand estimates for the same aggregate set (only demand_gbps
   // may differ) — the controller's headroom rounds. Deltas are pushed into
@@ -95,6 +99,7 @@ class IncrementalRoutingLp {
   double Weight(size_t a) const;
   void EnsureLinkRows();
 
+  const PathStore* store_;
   const Graph* g_;
   RoutingLpOptions opts_;
   std::vector<Aggregate> aggs_;
@@ -107,7 +112,7 @@ class IncrementalRoutingLp {
   std::vector<size_t> npaths_;                  // paths synced so far
   std::vector<std::vector<int>> xvar_;          // path-fraction variables
   std::vector<int> eq_row_;                     // sum(x) == 1 row, -1 if fixed
-  std::vector<std::vector<const Path*>> paths_; // mirror of synced paths
+  std::vector<std::vector<PathId>> paths_;      // mirror of synced paths
   // Per link.
   std::vector<double> fixed_load_;
   std::vector<int> link_row_;                   // capacity row, -1 if unused
@@ -122,7 +127,7 @@ class IncrementalRoutingLp {
 // scaled demands instead of rebuilding the LP and path sets from scratch.
 struct LpReuseContext {
   std::unique_ptr<IncrementalRoutingLp> lp;
-  std::vector<std::vector<const Path*>> paths;  // grown sets from last call
+  std::vector<std::vector<PathId>> paths;  // grown sets from last call
 };
 
 struct IterativeOptions {

@@ -1,10 +1,14 @@
 // Common vocabulary for routing / traffic-engineering schemes.
 //
 // A scheme maps a set of traffic aggregates onto paths: the outcome is, per
-// aggregate, a set of (path, fraction) allocations summing to 1. Schemes are
-// constructed per topology (holding the Graph and a shared KspCache, which
-// amortizes Yen's algorithm across schemes and traffic matrices exactly as
-// the paper's LDR caches k-shortest paths).
+// aggregate, a set of (path, fraction) allocations summing to 1. Paths are
+// PathId handles into the PathStore the scheme routed through (its
+// KspCache's arena) — allocations are two machine words, not owning link
+// vectors, so fanning a topology's thousands of corpus instances through
+// schemes no longer deep-copies path data. Schemes are constructed per
+// topology (holding the Graph and a shared KspCache, which amortizes Yen's
+// algorithm across schemes and traffic matrices exactly as the paper's LDR
+// caches k-shortest paths).
 #ifndef LDR_ROUTING_SCHEME_H_
 #define LDR_ROUTING_SCHEME_H_
 
@@ -12,16 +16,22 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/path_store.h"
 #include "tm/traffic_matrix.h"
 
 namespace ldr {
 
 struct PathAllocation {
-  Path path;
-  double fraction = 0;  // of the aggregate's demand
+  PathId path = kInvalidPathId;  // resolve via RoutingOutcome::store
+  double fraction = 0;           // of the aggregate's demand
 };
 
 struct RoutingOutcome {
+  // The arena the allocation PathIds index into. Outlives the outcome for
+  // scheme-produced results (it belongs to the scheme's KspCache);
+  // hand-built outcomes (tests, replay harnesses) must point this at the
+  // store they interned into.
+  const PathStore* store = nullptr;
   // Parallel to the input aggregate vector. An empty inner vector means the
   // scheme could not place the aggregate at all (disconnected pair).
   std::vector<std::vector<PathAllocation>> allocations;
@@ -43,8 +53,9 @@ class RoutingScheme {
   virtual RoutingOutcome Route(const std::vector<Aggregate>& aggregates) = 0;
 };
 
-// Per-aggregate mean delay (ms): sum of fraction-weighted path delays.
-double AggregateDelayMs(const Graph& g,
+// Per-aggregate mean delay (ms): sum of fraction-weighted path delays
+// (cached in the store, so this touches no link data).
+double AggregateDelayMs(const PathStore& store,
                         const std::vector<PathAllocation>& allocation);
 
 }  // namespace ldr

@@ -5,11 +5,12 @@ namespace ldr {
 RoutingOutcome ShortestPathScheme::Route(
     const std::vector<Aggregate>& aggregates) {
   RoutingOutcome out;
+  out.store = cache_->store();
   out.allocations.resize(aggregates.size());
   for (size_t a = 0; a < aggregates.size(); ++a) {
-    const Path* p = cache_->Get(aggregates[a].src, aggregates[a].dst)->Get(0);
-    if (p != nullptr) {
-      out.allocations[a].push_back({*p, 1.0});
+    PathId p = cache_->Get(aggregates[a].src, aggregates[a].dst)->GetId(0);
+    if (p != kInvalidPathId) {
+      out.allocations[a].push_back({p, 1.0});
     }
   }
   // SP routing is oblivious: it always "succeeds"; congestion is judged by

@@ -147,6 +147,9 @@ TopologyRun RunTopologyOnWorkloads(
                          &series);
       }
     }
+    run.path_intern_hits =
+        cache.store()->intern_hits() + cache.store()->reuse_hits();
+    run.path_intern_misses = cache.store()->intern_misses();
   } else {
     // Parallel: instances are independent optimizations. Each worker keeps
     // one KspCache for all the instances and schemes it processes (Yen
@@ -165,6 +168,12 @@ TopologyRun RunTopologyOnWorkloads(
                          &series);
       }
     });
+    for (const std::unique_ptr<KspCache>& cache : caches) {
+      if (cache == nullptr) continue;
+      run.path_intern_hits +=
+          cache->store()->intern_hits() + cache->store()->reuse_hits();
+      run.path_intern_misses += cache->store()->intern_misses();
+    }
   }
   return run;
 }

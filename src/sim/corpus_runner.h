@@ -53,6 +53,12 @@ struct TopologyRun {
   size_t nodes = 0;
   size_t links = 0;
   std::vector<SchemeSeries> schemes;
+  // PathStore telemetry summed over the runner's caches: misses are unique
+  // paths stored (one arena copy each); hits are path requests answered
+  // from the arena (generator handle reuse + hash-cons hits) — i.e. the
+  // per-instance path copies the arena avoided.
+  uint64_t path_intern_hits = 0;
+  uint64_t path_intern_misses = 0;
 };
 
 struct CorpusRunOptions {

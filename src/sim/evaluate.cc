@@ -12,12 +12,13 @@ constexpr double kOverloadTolerance = 1e-6;  // relative
 std::vector<double> LinkLoads(const Graph& g,
                               const std::vector<Aggregate>& aggregates,
                               const RoutingOutcome& outcome) {
+  const PathStore& store = *outcome.store;
   std::vector<double> load(g.LinkCount(), 0.0);
   for (size_t a = 0; a < aggregates.size(); ++a) {
     for (const PathAllocation& pa : outcome.allocations[a]) {
       if (pa.fraction <= 0) continue;
       double gbps = pa.fraction * aggregates[a].demand_gbps;
-      for (LinkId l : pa.path.links()) {
+      for (LinkId l : store.Links(pa.path)) {
         load[static_cast<size_t>(l)] += gbps;
       }
     }
@@ -29,6 +30,7 @@ EvalResult Evaluate(const Graph& g, const std::vector<Aggregate>& aggregates,
                     const RoutingOutcome& outcome,
                     const std::vector<double>& sp_delay_ms) {
   EvalResult r;
+  const PathStore& store = *outcome.store;
   std::vector<double> load = LinkLoads(g, aggregates, outcome);
   size_t n = g.NodeCount();
 
@@ -55,14 +57,14 @@ EvalResult Evaluate(const Graph& g, const std::vector<Aggregate>& aggregates,
       continue;
     }
     ++counted;
-    double d_a = AggregateDelayMs(g, outcome.allocations[a]);
+    double d_a = AggregateDelayMs(store, outcome.allocations[a]);
     weighted_delay += agg.flow_count * d_a;
     weighted_sp += agg.flow_count * s_a;
     r.max_stretch = std::max(r.max_stretch, d_a / s_a);
     bool hit = false;
     for (const PathAllocation& pa : outcome.allocations[a]) {
       if (pa.fraction <= 1e-9) continue;
-      for (LinkId l : pa.path.links()) {
+      for (LinkId l : store.Links(pa.path)) {
         if (overloaded[static_cast<size_t>(l)]) {
           hit = true;
           break;

@@ -10,6 +10,7 @@ ReplayResult ReplayTraffic(const Graph& g,
                            const std::vector<std::vector<double>>& series_gbps,
                            const ReplayOptions& opts) {
   ReplayResult result;
+  const PathStore& store = *outcome.store;
   size_t num_links = g.LinkCount();
   result.links.assign(num_links, {});
 
@@ -24,7 +25,7 @@ ReplayResult ReplayTraffic(const Graph& g,
     horizon = std::max(horizon, series_gbps[a].size());
     for (const PathAllocation& pa : outcome.allocations[a]) {
       if (pa.fraction <= 1e-12) continue;
-      for (LinkId l : pa.path.links()) {
+      for (LinkId l : store.Links(pa.path)) {
         on_link[static_cast<size_t>(l)].push_back({a, pa.fraction});
       }
     }
@@ -75,7 +76,7 @@ ReplayResult ReplayTraffic(const Graph& g,
     for (const PathAllocation& pa : outcome.allocations[a]) {
       if (pa.fraction <= 1e-12) continue;
       double path_delay = 0;
-      for (LinkId l : pa.path.links()) {
+      for (LinkId l : store.Links(pa.path)) {
         path_delay += g.link(l).delay_ms +
                       result.links[static_cast<size_t>(l)].max_queue_ms;
       }

@@ -57,7 +57,7 @@ TEST(Controller, SmoothTrafficPassesFirstRound) {
   EXPECT_EQ(r.failing_links_last_round, 0u);
   // Everything fits the direct link; no detours.
   ASSERT_EQ(r.outcome.allocations[0].size(), 1u);
-  EXPECT_DOUBLE_EQ(r.outcome.allocations[0][0].path.DelayMs(g), 1.0);
+  EXPECT_DOUBLE_EQ(r.outcome.store->DelayMs(r.outcome.allocations[0][0].path), 1.0);
 }
 
 TEST(Controller, CorrelatedBurstsForceRerouteOrScaleUp) {

@@ -11,6 +11,10 @@
 #include "graph/ksp.h"
 #include "graph/max_flow.h"
 #include "graph/shortest_path.h"
+#include "routing/lp_routing.h"
+#include "sim/corpus_runner.h"
+#include "sim/evaluate.h"
+#include "sim/workload.h"
 #include "topology/topology.h"
 #include "topology/zoo_corpus.h"
 #include "util/random.h"
@@ -160,6 +164,84 @@ TEST(CorpusSerialization, FullRoundTrip) {
       }
     }
   }
+}
+
+// PathStore parity anchor: on a zoo-corpus sample, the interned-handle
+// pipeline must give results bitwise identical to what recomputation from
+// resolved owning Paths gives — same per-aggregate delays, same link loads,
+// and warm (IncrementalRoutingLp) placements agreeing with the cold
+// SolveRoutingLp rebuild on the same PathId sets.
+TEST(PathStoreParity, HandlesMatchResolvedPathsOnZooCorpus) {
+  std::vector<Topology> corpus = ZooCorpus();
+  size_t checked = 0;
+  for (size_t ti = 0; ti < corpus.size(); ti += 7) {
+    const Topology& t = corpus[ti];
+    const Graph& g = t.graph;
+    if (g.NodeCount() > 40) continue;
+    ++checked;
+    KspCache cache(&g);
+    WorkloadOptions wopts;
+    wopts.num_instances = 1;
+    wopts.seed = 1234 + ti;
+    std::vector<Aggregate> aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+
+    for (const char* id : {kSchemeSp, kSchemeB4, kSchemeOptimal, kSchemeMinMax}) {
+      std::unique_ptr<RoutingScheme> scheme = MakeScheme(id, &g, &cache);
+      RoutingOutcome out = scheme->Route(aggs);
+      ASSERT_EQ(out.store, cache.store()) << t.name << " " << id;
+      const PathStore& store = *out.store;
+
+      // (a) Cached delays and spans match the resolved owning Path bitwise.
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        for (const PathAllocation& pa : out.allocations[a]) {
+          Path resolved = store.Resolve(pa.path);
+          ASSERT_EQ(store.DelayMs(pa.path), resolved.DelayMs(g))
+              << t.name << " " << id;
+          ASSERT_EQ(store.HopCount(pa.path), resolved.hop_count());
+        }
+      }
+
+      // (b) Link loads recomputed from resolved paths match LinkLoads().
+      std::vector<double> expected(g.LinkCount(), 0.0);
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        for (const PathAllocation& pa : out.allocations[a]) {
+          if (pa.fraction <= 0) continue;
+          double gbps = pa.fraction * aggs[a].demand_gbps;
+          Path resolved = store.Resolve(pa.path);
+          for (LinkId l : resolved.links()) {
+            expected[static_cast<size_t>(l)] += gbps;
+          }
+        }
+      }
+      std::vector<double> got = LinkLoads(g, aggs, out);
+      for (size_t l = 0; l < g.LinkCount(); ++l) {
+        ASSERT_EQ(got[l], expected[l]) << t.name << " " << id << " link " << l;
+      }
+    }
+
+    // (c) Warm/cold LP parity through PathIds: the incremental solver and
+    // the cold rebuild optimize the identical LP (alternate optimal vertices
+    // may split individual aggregates differently, so compare what the
+    // objective pins down: feasibility, max level, total weighted delay).
+    IterativeOptions warm_opts;
+    warm_opts.incremental = true;
+    IterativeOptions cold_opts;
+    cold_opts.incremental = false;
+    RoutingOutcome warm = IterativeLpRoute(g, aggs, &cache, warm_opts);
+    RoutingOutcome cold = IterativeLpRoute(g, aggs, &cache, cold_opts);
+    EXPECT_EQ(warm.feasible, cold.feasible) << t.name;
+    EXPECT_NEAR(warm.max_level, cold.max_level, 1e-6) << t.name;
+    ASSERT_EQ(warm.allocations.size(), cold.allocations.size());
+    double warm_delay = 0, cold_delay = 0;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      warm_delay +=
+          aggs[a].flow_count * AggregateDelayMs(*warm.store, warm.allocations[a]);
+      cold_delay +=
+          aggs[a].flow_count * AggregateDelayMs(*cold.store, cold.allocations[a]);
+    }
+    EXPECT_NEAR(warm_delay, cold_delay, 1e-5 * (1 + cold_delay)) << t.name;
+  }
+  ASSERT_GE(checked, 3u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -630,6 +631,70 @@ TEST(LpSolver, InvalidateRefactorizesToSameObjective) {
   Solution s2 = solver.Solve();
   ASSERT_TRUE(s2.ok());
   EXPECT_NEAR(s1.objective, s2.objective, 1e-7);
+}
+
+// Drift regression for long-lived solvers: hundreds of controller-epoch
+// style mutations (rhs retargets + nonbasic coefficient deltas) re-solved
+// warm must keep matching a cold rebuild of the equivalent Problem. The
+// periodic refactorization guard (SolveOptions::refactor_interval) is what
+// bounds the accumulated tableau error; run the same sequence with an
+// aggressive interval and with the default to cover both trigger paths.
+TEST(LpSolver, PeriodicRefactorizationBoundsDriftAcrossEpochs) {
+  for (int interval : {4, 0}) {
+    SolveOptions opt;
+    opt.refactor_interval = interval;
+    Rng rng(777);
+    Solver solver(opt);
+    const int n = 16, m = 10;
+    std::vector<double> obj(n), lo(n, 0.0), hi(n, 4.0);
+    std::vector<std::vector<std::pair<int, double>>> rows(m);
+    std::vector<double> rhs(m);
+    for (int j = 0; j < n; ++j) {
+      obj[static_cast<size_t>(j)] = rng.Uniform(-2, 2);
+      solver.AddVariable(0, 4, obj[static_cast<size_t>(j)]);
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        rows[static_cast<size_t>(i)].emplace_back(j, rng.Uniform(0, 1.5));
+      }
+      rhs[static_cast<size_t>(i)] = rng.Uniform(4, 12);
+      solver.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)],
+                    rows[static_cast<size_t>(i)]);
+    }
+
+    for (int epoch = 0; epoch < 120; ++epoch) {
+      // Demand retarget: shift a row's rhs.
+      int r = static_cast<int>(rng.NextIndex(m));
+      rhs[static_cast<size_t>(r)] =
+          std::max(1.0, rhs[static_cast<size_t>(r)] + rng.Uniform(-0.5, 0.5));
+      solver.SetRhs(r, rhs[static_cast<size_t>(r)]);
+      // Coefficient delta on a (possibly nonbasic) variable.
+      int r2 = static_cast<int>(rng.NextIndex(m));
+      int v = static_cast<int>(rng.NextIndex(n));
+      double delta = rng.Uniform(-0.1, 0.1);
+      solver.AddToRow(r2, v, delta);
+      for (auto& [var, c] : rows[static_cast<size_t>(r2)]) {
+        if (var == v) c += delta;
+      }
+
+      Solution warm = solver.Solve();
+      ASSERT_TRUE(warm.ok()) << "interval " << interval << " epoch " << epoch;
+      if (epoch % 10 != 0) continue;
+      Problem p;
+      for (int j = 0; j < n; ++j) {
+        p.AddVariable(0, 4, obj[static_cast<size_t>(j)]);
+      }
+      for (int i = 0; i < m; ++i) {
+        p.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)],
+                 rows[static_cast<size_t>(i)]);
+      }
+      Solution cold = Solve(p);
+      ASSERT_TRUE(cold.ok());
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-6 * (1 + std::abs(cold.objective)))
+          << "interval " << interval << " epoch " << epoch;
+    }
+  }
 }
 
 TEST(Lp, ModerateSizePerformance) {

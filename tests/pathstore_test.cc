@@ -1,0 +1,194 @@
+// PathStore unit + property tests: interning idempotence, reverse-index
+// consistency across KSP growth rounds, and hash-consed PathId equality
+// matching structural Path equality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ksp.h"
+#include "graph/path_store.h"
+#include "util/random.h"
+
+namespace ldr {
+namespace {
+
+Graph Diamond() {
+  // A->D via B (2 ms), via C (4 ms), direct (10 ms); all 10 Gbps.
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C"),
+         d = g.AddNode("D");
+  g.AddBidiLink(a, b, 1, 10);
+  g.AddBidiLink(b, d, 1, 10);
+  g.AddBidiLink(a, c, 2, 10);
+  g.AddBidiLink(c, d, 2, 10);
+  g.AddBidiLink(a, d, 10, 10);
+  return g;
+}
+
+TEST(PathStore, InterningIsIdempotent) {
+  Graph g = Diamond();
+  PathStore store(&g);
+  std::vector<LinkId> links{0, 2};  // A->B->D
+  PathId first = store.Intern(links);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.intern_hits(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(store.Intern(links), first);
+  }
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.intern_hits(), 5u);
+  EXPECT_EQ(store.intern_misses(), 1u);
+}
+
+TEST(PathStore, CachedDelayMatchesPathDelayBitwise) {
+  Graph g = Diamond();
+  PathStore store(&g);
+  for (auto& links : {std::vector<LinkId>{0, 2}, std::vector<LinkId>{4, 6},
+                      std::vector<LinkId>{8}}) {
+    PathId id = store.Intern(links);
+    Path p(links);
+    EXPECT_EQ(store.DelayMs(id), p.DelayMs(g));  // same accumulation order
+    EXPECT_EQ(store.BottleneckGbps(id), p.BottleneckGbps(g));
+    EXPECT_EQ(store.Resolve(id).links(), p.links());
+    EXPECT_EQ(store.Nodes(id), p.Nodes(g));
+    EXPECT_EQ(store.ToString(id), p.ToString(g));
+  }
+}
+
+TEST(PathStore, EmptyPathIsRepresentable) {
+  Graph g = Diamond();
+  PathStore store(&g);
+  PathId id = store.Intern(std::vector<LinkId>{});
+  EXPECT_TRUE(store.Empty(id));
+  EXPECT_EQ(store.DelayMs(id), 0.0);
+  EXPECT_EQ(store.Intern(std::vector<LinkId>{}), id);
+  EXPECT_TRUE(store.Resolve(id).empty());
+}
+
+// The reverse index must stay exact while the arena grows: after every
+// growth round, PathsOnLink(l) is exactly the set of interned ids whose
+// span contains l, with no duplicates.
+TEST(PathStore, ReverseIndexConsistentAcrossGrowthRounds) {
+  Rng rng(99);
+  Graph g;
+  const int n = 9;
+  for (int i = 0; i < n; ++i) g.AddNode("n" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    g.AddBidiLink(i, (i + 1) % n, rng.Uniform(1, 9), 10);
+  }
+  for (int i = 0; i < 5; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u != v && !g.HasLink(u, v)) g.AddBidiLink(u, v, rng.Uniform(1, 9), 10);
+  }
+
+  PathStore store(&g);
+  KspGenerator gen(&store, 0, n / 2);
+  for (size_t round = 1; round <= 12; ++round) {
+    if (gen.GetId(round - 1) == kInvalidPathId) break;
+    // Expected index, rebuilt from scratch.
+    std::vector<std::set<PathId>> expected(g.LinkCount());
+    for (PathId id = 0; id < static_cast<PathId>(store.size()); ++id) {
+      for (LinkId l : store.Links(id)) {
+        expected[static_cast<size_t>(l)].insert(id);
+      }
+    }
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      const std::vector<PathId>& got = store.PathsOnLink(static_cast<LinkId>(l));
+      std::set<PathId> got_set(got.begin(), got.end());
+      EXPECT_EQ(got.size(), got_set.size()) << "duplicate ids on link " << l;
+      EXPECT_EQ(got_set, expected[l]) << "link " << l << " round " << round;
+    }
+  }
+  EXPECT_GE(store.size(), 3u);
+}
+
+// Property: hash-consing makes PathId equality equivalent to structural
+// Path equality — over random link sequences with planted duplicates.
+TEST(PathStore, IdEqualityMatchesStructuralEquality) {
+  Rng rng(4242);
+  Graph g = Diamond();
+  PathStore store(&g);
+  std::vector<std::vector<LinkId>> seqs;
+  for (int i = 0; i < 200; ++i) {
+    size_t len = 1 + rng.NextIndex(4);
+    std::vector<LinkId> links;
+    for (size_t k = 0; k < len; ++k) {
+      links.push_back(static_cast<LinkId>(rng.NextIndex(g.LinkCount())));
+    }
+    seqs.push_back(links);
+    if (rng.NextIndex(2) == 0) seqs.push_back(links);  // planted duplicate
+  }
+  std::vector<PathId> ids;
+  ids.reserve(seqs.size());
+  for (const auto& links : seqs) ids.push_back(store.Intern(links));
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    for (size_t j = 0; j < seqs.size(); ++j) {
+      EXPECT_EQ(ids[i] == ids[j], seqs[i] == seqs[j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// KspGenerator's id and pointer forms must agree, and ids must be stable
+// across further growth (the analogue of the old pointer-stability
+// guarantee).
+TEST(PathStore, KspIdAndPointerFormsAgree) {
+  Graph g = Diamond();
+  PathStore store(&g);
+  KspGenerator gen(&store, 0, 3);
+  PathId first = gen.GetId(0);
+  ASSERT_NE(first, kInvalidPathId);
+  for (size_t k = 1; gen.GetId(k) != kInvalidPathId; ++k) {
+  }
+  EXPECT_EQ(gen.GetId(0), first);  // stable across growth
+  for (size_t k = 0;; ++k) {
+    PathId id = gen.GetId(k);
+    const Path* p = gen.Get(k);
+    if (id == kInvalidPathId) {
+      EXPECT_EQ(p, nullptr);
+      break;
+    }
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(store.Resolve(id).links(), p->links());
+  }
+}
+
+// Generators sharing a KspCache's store intern overlapping paths once; the
+// cache exposes the shared arena.
+TEST(PathStore, CacheGeneratorsShareArena) {
+  Graph g = Diamond();
+  KspCache cache(&g);
+  PathId ab = cache.Get(0, 3)->GetId(0);
+  size_t after_first = cache.store()->intern_misses();
+  // Same pair again: everything already interned.
+  EXPECT_EQ(cache.Get(0, 3)->GetId(0), ab);
+  EXPECT_EQ(cache.store()->intern_misses(), after_first);
+}
+
+// CSR adjacency preserves per-node insertion order under interleaved
+// AddNode/AddLink — shortest-path tie-breaking depends on it.
+TEST(GraphCsr, OutLinksPreserveInsertionOrder) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  LinkId ab1 = g.AddLink(a, b, 1, 1);
+  NodeId c = g.AddNode("C");
+  LinkId ac = g.AddLink(a, c, 1, 1);
+  LinkId ba = g.AddLink(b, a, 1, 1);
+  LinkId ab2 = g.AddLink(a, b, 2, 1);
+  LinkId cb = g.AddLink(c, b, 1, 1);
+
+  std::vector<LinkId> a_out(g.OutLinks(a).begin(), g.OutLinks(a).end());
+  EXPECT_EQ(a_out, (std::vector<LinkId>{ab1, ac, ab2}));
+  std::vector<LinkId> b_out(g.OutLinks(b).begin(), g.OutLinks(b).end());
+  EXPECT_EQ(b_out, (std::vector<LinkId>{ba}));
+  std::vector<LinkId> c_out(g.OutLinks(c).begin(), g.OutLinks(c).end());
+  EXPECT_EQ(c_out, (std::vector<LinkId>{cb}));
+  EXPECT_EQ(g.OutLinks(a).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ldr

@@ -78,8 +78,8 @@ TEST_P(SchemeInvariantsTest, AllocationsAreCompleteAndWellFormed) {
       for (const PathAllocation& pa : out.allocations[a]) {
         EXPECT_GT(pa.fraction, 0) << scheme->name();
         EXPECT_LE(pa.fraction, 1 + 1e-6) << scheme->name();
-        ASSERT_FALSE(pa.path.empty()) << scheme->name();
-        auto nodes = pa.path.Nodes(g);
+        ASSERT_FALSE(out.store->Empty(pa.path)) << scheme->name();
+        auto nodes = out.store->Nodes(pa.path);
         EXPECT_EQ(nodes.front(), sc.aggregates[a].src) << scheme->name();
         EXPECT_EQ(nodes.back(), sc.aggregates[a].dst) << scheme->name();
         total += pa.fraction;

@@ -28,10 +28,11 @@ Graph OneLink(double cap) {
   return g;
 }
 
-RoutingOutcome DirectOutcome(const Graph& g, size_t n_aggs) {
+RoutingOutcome DirectOutcome(PathStore* store, size_t n_aggs) {
   RoutingOutcome out;
+  out.store = store;
   out.allocations.resize(n_aggs);
-  Path direct(std::vector<LinkId>{0});
+  PathId direct = store->Intern(std::vector<LinkId>{0});
   for (size_t a = 0; a < n_aggs; ++a) {
     out.allocations[a].push_back({direct, 1.0});
   }
@@ -40,9 +41,10 @@ RoutingOutcome DirectOutcome(const Graph& g, size_t n_aggs) {
 
 TEST(Replay, NoQueueUnderCapacity) {
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 5)};
   std::vector<std::vector<double>> series{std::vector<double>(100, 5.0)};
-  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(&store, 1), series);
   EXPECT_DOUBLE_EQ(r.worst_queue_ms, 0);
   EXPECT_EQ(r.links_with_queueing, 0u);
   EXPECT_NEAR(r.links[0].mean_utilization, 0.5, 1e-9);
@@ -52,11 +54,12 @@ TEST(Replay, NoQueueUnderCapacity) {
 TEST(Replay, QueueBuildsAndDrains) {
   // 1 period at 20 Gbps into a 10 Gbps link: 1 Gbit backlog = 100 ms.
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
   std::vector<double> s(30, 5.0);
   s[10] = 20.0;
   std::vector<std::vector<double>> series{s};
-  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(&store, 1), series);
   EXPECT_NEAR(r.worst_queue_ms, (20.0 - 10.0) * 0.1 / 10.0 * 1000, 1e-9);
   EXPECT_EQ(r.links_with_queueing, 1u);
   // Queue persists while draining at 5 Gbps arrivals vs 10 Gbps service:
@@ -66,10 +69,12 @@ TEST(Replay, QueueBuildsAndDrains) {
 
 TEST(Replay, FractionsWeightContributions) {
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 40)};
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(1);
-  out.allocations[0].push_back({Path(std::vector<LinkId>{0}), 0.25});
+  out.allocations[0].push_back({store.Intern(std::vector<LinkId>{0}), 0.25});
   std::vector<std::vector<double>> series{std::vector<double>(50, 40.0)};
   ReplayResult r = ReplayTraffic(g, aggs, out, series);
   // Only 10 of 40 Gbps on this link: exactly at capacity, no queue.
@@ -79,10 +84,11 @@ TEST(Replay, FractionsWeightContributions) {
 
 TEST(Replay, ShortSeriesGoSilent) {
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 8), MakeAgg(0, 1, 8)};
   std::vector<std::vector<double>> series{std::vector<double>(10, 8.0),
                                           std::vector<double>(5, 8.0)};
-  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 2), series);
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(&store, 2), series);
   // First 5 periods 16 Gbps (queueing), then 8 Gbps (draining).
   EXPECT_GT(r.worst_queue_ms, 0);
   EXPECT_NEAR(r.links[0].peak_utilization, 1.6, 1e-9);
@@ -90,9 +96,10 @@ TEST(Replay, ShortSeriesGoSilent) {
 
 TEST(Replay, AggregateDelayIncludesQueueing) {
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 12)};
   std::vector<std::vector<double>> series{std::vector<double>(20, 12.0)};
-  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 1), series);
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(&store, 1), series);
   // Propagation 1 ms plus the worst queue on the link.
   EXPECT_NEAR(r.worst_aggregate_delay_ms, 1.0 + r.links[0].max_queue_ms,
               1e-9);
@@ -129,6 +136,7 @@ TEST(Replay, ControllerAcceptedPlacementStaysWithinQueueBudget) {
 // ...and a placement that crams correlated bursts onto one link exceeds it.
 TEST(Replay, OverloadedPlacementExceedsBudget) {
   Graph g = OneLink(10);
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 6), MakeAgg(0, 1, 6)};
   std::vector<double> bursty(1200, 5.0);
   for (size_t i = 0; i < bursty.size(); i += 60) {
@@ -137,7 +145,7 @@ TEST(Replay, OverloadedPlacementExceedsBudget) {
     }
   }
   std::vector<std::vector<double>> series{bursty, bursty};
-  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(g, 2), series);
+  ReplayResult r = ReplayTraffic(g, aggs, DirectOutcome(&store, 2), series);
   EXPECT_GT(r.worst_queue_ms, 10.0);
 }
 

@@ -37,11 +37,11 @@ Aggregate MakeAgg(NodeId s, NodeId d, double gbps) {
   return a;
 }
 
-double TotalDemandDelay(const Graph& g, const std::vector<Aggregate>& aggs,
+double TotalDemandDelay(const std::vector<Aggregate>& aggs,
                         const RoutingOutcome& out) {
   double acc = 0;
   for (size_t i = 0; i < aggs.size(); ++i) {
-    acc += aggs[i].demand_gbps * AggregateDelayMs(g, out.allocations[i]);
+    acc += aggs[i].demand_gbps * AggregateDelayMs(*out.store, out.allocations[i]);
   }
   return acc;
 }
@@ -54,7 +54,7 @@ TEST(SpScheme, RoutesOnShortest) {
   RoutingOutcome out = sp.Route(aggs);
   ASSERT_EQ(out.allocations[0].size(), 1u);
   EXPECT_DOUBLE_EQ(out.allocations[0][0].fraction, 1.0);
-  EXPECT_DOUBLE_EQ(out.allocations[0][0].path.DelayMs(g), 2.0);
+  EXPECT_DOUBLE_EQ(out.store->DelayMs(out.allocations[0][0].path), 2.0);
 }
 
 TEST(LatencyOptimal, FitsOnShortestWhenPossible) {
@@ -65,7 +65,7 @@ TEST(LatencyOptimal, FitsOnShortestWhenPossible) {
   RoutingOutcome out = opt.Route(aggs);
   EXPECT_TRUE(out.feasible);
   ASSERT_EQ(out.allocations[0].size(), 1u);
-  EXPECT_DOUBLE_EQ(out.allocations[0][0].path.DelayMs(g), 2.0);
+  EXPECT_DOUBLE_EQ(out.store->DelayMs(out.allocations[0][0].path), 2.0);
 }
 
 TEST(LatencyOptimal, SplitsWhenShortestIsFull) {
@@ -79,7 +79,7 @@ TEST(LatencyOptimal, SplitsWhenShortestIsFull) {
   // 10 on the 2 ms path, 5 on the 4 ms path; never the 8 ms one.
   double load2 = 0, load4 = 0, load8 = 0;
   for (const PathAllocation& pa : out.allocations[0]) {
-    double d = pa.path.DelayMs(g);
+    double d = out.store->DelayMs(pa.path);
     double gbps = pa.fraction * 15;
     if (d == 2) load2 += gbps;
     if (d == 4) load4 += gbps;
@@ -100,7 +100,7 @@ TEST(LatencyOptimal, HeadroomMovesTraffic) {
   // Effective shortest-path capacity is 7.5; the rest detours.
   double load2 = 0;
   for (const PathAllocation& pa : out.allocations[0]) {
-    if (pa.path.DelayMs(g) == 2) load2 += pa.fraction * 10;
+    if (out.store->DelayMs(pa.path) == 2) load2 += pa.fraction * 10;
   }
   EXPECT_NEAR(load2, 7.5, 1e-4);
 }
@@ -143,10 +143,10 @@ TEST(LatencyOptimal, RttTieBreakMovesLargerRttAggregate) {
   // (2 + 6 detoured). The detoured one must be the larger-RTT s2.
   double s2_detoured = 0, s1_detoured = 0;
   for (const PathAllocation& pa : out.allocations[1]) {
-    if (pa.path.ContainsNode(g, x2)) s2_detoured += pa.fraction;
+    if (out.store->ContainsNode(pa.path, x2)) s2_detoured += pa.fraction;
   }
   for (const PathAllocation& pa : out.allocations[0]) {
-    if (pa.path.ContainsNode(g, x1)) s1_detoured += pa.fraction;
+    if (out.store->ContainsNode(pa.path, x1)) s1_detoured += pa.fraction;
   }
   EXPECT_GT(s2_detoured, 0.5);
   EXPECT_LT(s1_detoured, 1e-6);
@@ -171,7 +171,7 @@ TEST(MinMax, LatencyOptimalHasLowerDelayHigherUtil) {
   LatencyOptimalScheme opt(&g, &cache);
   RoutingOutcome mm = minmax.Route(aggs);
   RoutingOutcome lo = opt.Route(aggs);
-  EXPECT_LT(TotalDemandDelay(g, aggs, lo), TotalDemandDelay(g, aggs, mm));
+  EXPECT_LT(TotalDemandDelay(aggs, lo), TotalDemandDelay(aggs, mm));
   EXPECT_LT(mm.max_level, 1.0);
   // Latency-optimal loads the shortest path fully (util 0.9 on it).
   auto loads = LinkLoads(g, aggs, lo);
@@ -214,7 +214,7 @@ TEST(B4, EqualsShortestPathUnderLowLoad) {
   RoutingOutcome out = b4.Route(aggs);
   EXPECT_TRUE(out.feasible);
   ASSERT_EQ(out.allocations[0].size(), 1u);
-  EXPECT_DOUBLE_EQ(out.allocations[0][0].path.DelayMs(g), 2.0);
+  EXPECT_DOUBLE_EQ(out.store->DelayMs(out.allocations[0][0].path), 2.0);
 }
 
 TEST(B4, OverflowsToNextShortest) {
@@ -226,8 +226,8 @@ TEST(B4, OverflowsToNextShortest) {
   EXPECT_TRUE(out.feasible);
   double load2 = 0, load4 = 0;
   for (const PathAllocation& pa : out.allocations[0]) {
-    if (pa.path.DelayMs(g) == 2) load2 += pa.fraction * 15;
-    if (pa.path.DelayMs(g) == 4) load4 += pa.fraction * 15;
+    if (out.store->DelayMs(pa.path) == 2) load2 += pa.fraction * 15;
+    if (out.store->DelayMs(pa.path) == 4) load4 += pa.fraction * 15;
   }
   EXPECT_NEAR(load2, 10, 1e-6);
   EXPECT_NEAR(load4, 5, 1e-6);
@@ -260,7 +260,7 @@ TEST(B4, SharedBottleneckFillsAtEqualRates) {
   // by then s2 placed 5 of 6 on the short path.
   double s2_short = 0;
   for (const PathAllocation& pa : out.allocations[1]) {
-    if (pa.path.ContainsNode(g, m1)) s2_short += pa.fraction * 6;
+    if (out.store->ContainsNode(pa.path, m1)) s2_short += pa.fraction * 6;
   }
   EXPECT_NEAR(s2_short, 5, 1e-6);
 }
@@ -345,7 +345,7 @@ TEST(B4Pathology, Fig6ExcessiveLatency) {
   EXPECT_GT(b4_eval.total_stretch, opt_eval.total_stretch + 0.5);
   double blue_on_detour = 0;
   for (const PathAllocation& pa : opt_out.allocations[1]) {
-    if (pa.path.ContainsNode(g, xb)) blue_on_detour += pa.fraction;
+    if (opt_out.store->ContainsNode(pa.path, xb)) blue_on_detour += pa.fraction;
   }
   EXPECT_LT(blue_on_detour, 1e-6);
 }
@@ -390,7 +390,7 @@ TEST(LinkBased, MatchesPathBasedOptimum) {
   LinkBasedResult link_out = SolveLinkBased(g, aggs);
   ASSERT_TRUE(link_out.solved);
   EXPECT_NEAR(link_out.max_overload, 1.0, 1e-6);
-  EXPECT_NEAR(link_out.total_delay_gbps_ms, TotalDemandDelay(g, aggs, path_out),
+  EXPECT_NEAR(link_out.total_delay_gbps_ms, TotalDemandDelay(aggs, path_out),
               1e-3);
 }
 
@@ -453,8 +453,8 @@ TEST(IterativeLp, IncrementalMatchesColdRebuild) {
   EXPECT_EQ(warm.lp_rounds, cold.lp_rounds);
   double warm_delay = 0, cold_delay = 0;
   for (size_t a = 0; a < aggs.size(); ++a) {
-    warm_delay += aggs[a].flow_count * AggregateDelayMs(g, warm.allocations[a]);
-    cold_delay += aggs[a].flow_count * AggregateDelayMs(g, cold.allocations[a]);
+    warm_delay += aggs[a].flow_count * AggregateDelayMs(*warm.store, warm.allocations[a]);
+    cold_delay += aggs[a].flow_count * AggregateDelayMs(*cold.store, cold.allocations[a]);
   }
   EXPECT_NEAR(warm_delay, cold_delay, 1e-5 * std::max(1.0, cold_delay));
 }
@@ -496,9 +496,9 @@ TEST(IterativeLp, ReuseContextMatchesFreshCallAfterDemandScaling) {
   EXPECT_LE(warm.max_level, fresh.max_level + 1e-6);
   double warm_delay = 0, fresh_delay = 0;
   for (size_t a = 0; a < aggs.size(); ++a) {
-    warm_delay += aggs[a].flow_count * AggregateDelayMs(g, warm.allocations[a]);
+    warm_delay += aggs[a].flow_count * AggregateDelayMs(*warm.store, warm.allocations[a]);
     fresh_delay +=
-        aggs[a].flow_count * AggregateDelayMs(g, fresh.allocations[a]);
+        aggs[a].flow_count * AggregateDelayMs(*fresh.store, fresh.allocations[a]);
   }
   EXPECT_LE(warm_delay, fresh_delay + 1e-5 * std::max(1.0, fresh_delay));
 }

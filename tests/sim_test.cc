@@ -33,11 +33,13 @@ Graph TwoPath() {
 
 TEST(Evaluate, NoCongestionCleanStretch) {
   Graph g = TwoPath();
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 5)};
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(1);
   auto sp = ShortestPath(g, 0, 1);
-  out.allocations[0].push_back({*sp, 1.0});
+  out.allocations[0].push_back({store.Intern(*sp), 1.0});
   auto apsp = AllPairsShortestDelay(g);
   EvalResult r = Evaluate(g, aggs, out, apsp);
   EXPECT_DOUBLE_EQ(r.congested_fraction, 0.0);
@@ -48,11 +50,13 @@ TEST(Evaluate, NoCongestionCleanStretch) {
 
 TEST(Evaluate, DetectsOverload) {
   Graph g = TwoPath();
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 15)};  // 15 > 10 on direct
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(1);
   auto sp = ShortestPath(g, 0, 1);
-  out.allocations[0].push_back({*sp, 1.0});
+  out.allocations[0].push_back({store.Intern(*sp), 1.0});
   auto apsp = AllPairsShortestDelay(g);
   EvalResult r = Evaluate(g, aggs, out, apsp);
   EXPECT_DOUBLE_EQ(r.congested_fraction, 1.0);
@@ -62,8 +66,10 @@ TEST(Evaluate, DetectsOverload) {
 
 TEST(Evaluate, StretchAccountsForSplit) {
   Graph g = TwoPath();
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 10)};
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(1);
   auto direct = ShortestPath(g, 0, 1);
   ExclusionSet excl;
@@ -72,8 +78,8 @@ TEST(Evaluate, StretchAccountsForSplit) {
   excl.links[1] = true;
   auto detour = ShortestPath(g, 0, 1, excl);
   ASSERT_TRUE(detour.has_value());
-  out.allocations[0].push_back({*direct, 0.5});
-  out.allocations[0].push_back({*detour, 0.5});
+  out.allocations[0].push_back({store.Intern(*direct), 0.5});
+  out.allocations[0].push_back({store.Intern(*detour), 0.5});
   auto apsp = AllPairsShortestDelay(g);
   EvalResult r = Evaluate(g, aggs, out, apsp);
   // Mean delay = 0.5*1 + 0.5*3 = 2; stretch 2.
@@ -83,11 +89,13 @@ TEST(Evaluate, StretchAccountsForSplit) {
 
 TEST(Evaluate, MultipleAggregatesCongestedFraction) {
   Graph g = TwoPath();
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 15), MakeAgg(0, 2, 1)};
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(2);
-  out.allocations[0].push_back({*ShortestPath(g, 0, 1), 1.0});
-  out.allocations[1].push_back({*ShortestPath(g, 0, 2), 1.0});
+  out.allocations[0].push_back({store.Intern(*ShortestPath(g, 0, 1)), 1.0});
+  out.allocations[1].push_back({store.Intern(*ShortestPath(g, 0, 2)), 1.0});
   auto apsp = AllPairsShortestDelay(g);
   EvalResult r = Evaluate(g, aggs, out, apsp);
   EXPECT_NEAR(r.congested_fraction, 0.5, 1e-9);
@@ -95,12 +103,14 @@ TEST(Evaluate, MultipleAggregatesCongestedFraction) {
 
 TEST(Evaluate, LinkLoadsSumAllocations) {
   Graph g = TwoPath();
+  PathStore store(&g);
   std::vector<Aggregate> aggs{MakeAgg(0, 1, 8), MakeAgg(0, 1, 4)};
   RoutingOutcome out;
+  out.store = &store;
   out.allocations.resize(2);
   auto sp = ShortestPath(g, 0, 1);
-  out.allocations[0].push_back({*sp, 1.0});
-  out.allocations[1].push_back({*sp, 0.5});
+  out.allocations[0].push_back({store.Intern(*sp), 1.0});
+  out.allocations[1].push_back({store.Intern(*sp), 0.5});
   auto loads = LinkLoads(g, aggs, out);
   EXPECT_NEAR(loads[0], 8 + 2, 1e-9);
 }

@@ -67,10 +67,10 @@ TEST(ClassWeights, PriorityClassKeepsShortPath) {
   // Class 0 entirely on the 2 ms route.
   double class0_short = 0, class1_short = 0;
   for (const PathAllocation& pa : out.allocations[0]) {
-    if (pa.path.DelayMs(g) == 2) class0_short += pa.fraction;
+    if (out.store->DelayMs(pa.path) == 2) class0_short += pa.fraction;
   }
   for (const PathAllocation& pa : out.allocations[1]) {
-    if (pa.path.DelayMs(g) == 2) class1_short += pa.fraction;
+    if (out.store->DelayMs(pa.path) == 2) class1_short += pa.fraction;
   }
   EXPECT_NEAR(class0_short, 1.0, 1e-6);
   EXPECT_NEAR(class1_short, 0.25, 1e-4);  // only the 2 Gbps that fit remain
@@ -93,7 +93,7 @@ TEST(ClassWeights, WeightsDecideNotOrder) {
   ASSERT_TRUE(out.feasible);
   double class1_short = 0;
   for (const PathAllocation& pa : out.allocations[1]) {
-    if (pa.path.DelayMs(g) == 2) class1_short += pa.fraction;
+    if (out.store->DelayMs(pa.path) == 2) class1_short += pa.fraction;
   }
   EXPECT_NEAR(class1_short, 1.0, 1e-6);
 }

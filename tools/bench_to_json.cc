@@ -11,6 +11,10 @@
 //                     (incremental solver across rounds) vs cold
 //   thread_scaling    RunTopology over a bench-corpus slice with
 //                     LDR_THREADS=1 vs LDR_THREADS=4
+//   path_store        corpus wall-clock plus PathStore interning telemetry
+//                     (hit rate == fraction of path requests served without
+//                     a new arena copy; the per-instance allocation copies
+//                     the handle refactor removed)
 //
 // Timings are medians over several repetitions, in milliseconds.
 #include <algorithm>
@@ -127,7 +131,9 @@ WarmCold BenchIterativeLoop(int side, int reps) {
 // --- thread_scaling ---------------------------------------------------------
 
 double TimeCorpusMs(const std::vector<Topology>& corpus,
-                    const CorpusRunOptions& opts, const char* threads) {
+                    const CorpusRunOptions& opts, const char* threads,
+                    uint64_t* intern_hits = nullptr,
+                    uint64_t* intern_misses = nullptr) {
   setenv("LDR_THREADS", threads, 1);
   double t0 = NowMs();
   std::vector<TopologyRun> runs = RunCorpus(corpus, opts);
@@ -135,6 +141,10 @@ double TimeCorpusMs(const std::vector<Topology>& corpus,
   unsetenv("LDR_THREADS");
   if (runs.size() != corpus.size()) {
     std::fprintf(stderr, "bench_to_json: corpus run dropped topologies\n");
+  }
+  for (const TopologyRun& run : runs) {
+    if (intern_hits != nullptr) *intern_hits += run.path_intern_hits;
+    if (intern_misses != nullptr) *intern_misses += run.path_intern_misses;
   }
   return elapsed;
 }
@@ -158,8 +168,14 @@ int main(int argc, char** argv) {
   copts.scheme_ids = {kSchemeOptimal, kSchemeMinMax};
   copts.workload.num_instances = 4;
   copts.max_nodes = 40;
-  double t1 = TimeCorpusMs(corpus, copts, "1");
+  uint64_t intern_hits = 0, intern_misses = 0;
+  double t1 = TimeCorpusMs(corpus, copts, "1", &intern_hits, &intern_misses);
   double t4 = TimeCorpusMs(corpus, copts, "4");
+  double hit_rate =
+      intern_hits + intern_misses > 0
+          ? static_cast<double>(intern_hits) /
+                static_cast<double>(intern_hits + intern_misses)
+          : 0;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -180,9 +196,16 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  \"thread_scaling\": {\"threads1_ms\": %.1f, "
                "\"threads4_ms\": %.1f, \"speedup\": %.2f, "
-               "\"topologies\": %zu, \"hardware_threads\": %u}\n",
+               "\"topologies\": %zu, \"hardware_threads\": %u},\n",
                t1, t4, t4 > 0 ? t1 / t4 : 0, corpus.size(),
                std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"path_store\": {\"corpus_ms\": %.1f, "
+               "\"path_requests\": %llu, \"unique_paths\": %llu, "
+               "\"intern_hit_rate\": %.4f}\n",
+               t1,
+               static_cast<unsigned long long>(intern_hits + intern_misses),
+               static_cast<unsigned long long>(intern_misses), hit_rate);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -190,9 +213,12 @@ int main(int argc, char** argv) {
   std::printf(
       "lp_resolve    warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
-      "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n",
+      "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n"
+      "path_store    %llu requests -> %llu unique paths  hit rate %.1f%%\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
-      t4 > 0 ? t1 / t4 : 0);
+      t4 > 0 ? t1 / t4 : 0,
+      static_cast<unsigned long long>(intern_hits + intern_misses),
+      static_cast<unsigned long long>(intern_misses), hit_rate * 100);
   return 0;
 }

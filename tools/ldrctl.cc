@@ -183,8 +183,8 @@ int CmdRoute(const Topology& t, int argc, char** argv) {
                 aggs[a].traffic_class);
     for (const PathAllocation& pa : out.allocations[a]) {
       std::printf("    %5.1f%%  %.2f ms  %s\n", pa.fraction * 100,
-                  pa.path.DelayMs(t.graph),
-                  pa.path.ToString(t.graph).c_str());
+                  out.store->DelayMs(pa.path),
+                  out.store->ToString(pa.path).c_str());
     }
   }
   return 0;
