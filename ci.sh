@@ -8,8 +8,11 @@ cd "$(dirname "$0")"
 
 BUILD_DIR="${1:-build}"
 
+# CI semantics: always start from a cold configure, so a stale vendored
+# build tree can never fake a passing clean build.
 if [ -e "$BUILD_DIR/CMakeCache.txt" ]; then
-  echo "ci.sh: reusing existing $BUILD_DIR (delete it for a cold run)" >&2
+  echo "ci.sh: removing existing $BUILD_DIR for a cold configure" >&2
+  rm -rf "$BUILD_DIR"
 fi
 
 cmake -B "$BUILD_DIR" -S .

@@ -32,10 +32,6 @@ KspGenerator::KspGenerator(const Graph* g, NodeId src, NodeId dst,
                    std::move(excl)) {}
 
 PathId KspGenerator::GetId(size_t k) {
-  if (k < produced_.size()) {
-    store_->NoteHandleReuse();
-    return produced_[k];
-  }
   while (produced_.size() <= k) {
     if (!ProduceNext()) return kInvalidPathId;
   }

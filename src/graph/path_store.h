@@ -96,18 +96,12 @@ class PathStore {
   }
 
   // Interning telemetry: hits are Intern() calls answered by an existing
-  // entry — the deep copies the arena avoided. misses == size().
+  // entry (hash-cons dedup); misses == size(), the unique paths that cost
+  // an arena copy. The corpus runner pairs size() with the count of
+  // PathAllocation handles produced to report how many per-instance deep
+  // copies the arena replaced.
   uint64_t intern_hits() const { return hits_; }
   uint64_t intern_misses() const { return meta_.size(); }
-
-  // Handle-reuse telemetry, noted by KspGenerator::GetId when a path
-  // request is answered from already-produced ids (no Yen work, no intern,
-  // no copy). Together with intern_hits this is the numerator of the
-  // "path requests served from the arena" hit rate bench_to_json records.
-  // Not synchronized: stores are per-worker, like the KspCaches that own
-  // them.
-  void NoteHandleReuse() const { ++reuse_hits_; }
-  uint64_t reuse_hits() const { return reuse_hits_; }
 
  private:
   struct Meta {
@@ -126,7 +120,6 @@ class PathStore {
   std::unordered_map<uint64_t, std::vector<PathId>> index_;
   std::vector<std::vector<PathId>> on_link_;
   uint64_t hits_ = 0;
-  mutable uint64_t reuse_hits_ = 0;
 };
 
 }  // namespace ldr

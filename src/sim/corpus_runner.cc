@@ -104,6 +104,11 @@ void EvaluateInstance(const Topology& topology, RoutingScheme* scheme,
   series->weighted_delay_ms[slot] = eval.weighted_delay_ms;
   series->feasible[slot] = out.feasible;
   series->solve_ms[slot] = out.solve_ms;
+  uint32_t refs = 0;
+  for (const auto& alloc : out.allocations) {
+    refs += static_cast<uint32_t>(alloc.size());
+  }
+  series->allocation_refs[slot] = refs;
 }
 
 }  // namespace
@@ -131,6 +136,7 @@ TopologyRun RunTopologyOnWorkloads(
     series.weighted_delay_ms.resize(workloads.size());
     series.feasible.resize(workloads.size());
     series.solve_ms.resize(workloads.size());
+    series.allocation_refs.resize(workloads.size());
     run.schemes.push_back(std::move(series));
   }
 
@@ -147,9 +153,7 @@ TopologyRun RunTopologyOnWorkloads(
                          &series);
       }
     }
-    run.path_intern_hits =
-        cache.store()->intern_hits() + cache.store()->reuse_hits();
-    run.path_intern_misses = cache.store()->intern_misses();
+    run.path_unique_stored = cache.store()->intern_misses();
   } else {
     // Parallel: instances are independent optimizations. Each worker keeps
     // one KspCache for all the instances and schemes it processes (Yen
@@ -170,9 +174,12 @@ TopologyRun RunTopologyOnWorkloads(
     });
     for (const std::unique_ptr<KspCache>& cache : caches) {
       if (cache == nullptr) continue;
-      run.path_intern_hits +=
-          cache->store()->intern_hits() + cache->store()->reuse_hits();
-      run.path_intern_misses += cache->store()->intern_misses();
+      run.path_unique_stored += cache->store()->intern_misses();
+    }
+  }
+  for (const SchemeSeries& series : run.schemes) {
+    for (uint32_t refs : series.allocation_refs) {
+      run.path_allocation_refs += refs;
     }
   }
   return run;

@@ -4,6 +4,7 @@
 #ifndef LDR_SIM_CORPUS_RUNNER_H_
 #define LDR_SIM_CORPUS_RUNNER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -45,6 +46,9 @@ struct SchemeSeries {
   // runner, and vector<bool>'s bit packing would make adjacent writes race.
   std::vector<char> feasible;
   std::vector<double> solve_ms;
+  // PathAllocation handles the instance's outcome held — each was an owning
+  // deep-copied Path before the PathStore refactor.
+  std::vector<uint32_t> allocation_refs;
 };
 
 struct TopologyRun {
@@ -53,12 +57,17 @@ struct TopologyRun {
   size_t nodes = 0;
   size_t links = 0;
   std::vector<SchemeSeries> schemes;
-  // PathStore telemetry summed over the runner's caches: misses are unique
-  // paths stored (one arena copy each); hits are path requests answered
-  // from the arena (generator handle reuse + hash-cons hits) — i.e. the
-  // per-instance path copies the arena avoided.
-  uint64_t path_intern_hits = 0;
-  uint64_t path_intern_misses = 0;
+  // PathStore telemetry: path_unique_stored is the arena population summed
+  // over the runner's caches (one stored copy per unique path *per worker*
+  // — arenas are per-worker, so at LDR_THREADS>1 paths discovered by
+  // several workers count once each; compare runs at the same thread count,
+  // as bench_to_json does with its LDR_THREADS=1 pass);
+  // path_allocation_refs is the total number of PathAllocation handles the
+  // schemes produced across all instances — each of which was an owning
+  // deep-copied Path before the arena, and which is thread-count-invariant
+  // like the SchemeSeries. refs >> unique is the interning win.
+  uint64_t path_allocation_refs = 0;
+  uint64_t path_unique_stored = 0;
 };
 
 struct CorpusRunOptions {

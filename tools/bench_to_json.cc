@@ -11,10 +11,11 @@
 //                     (incremental solver across rounds) vs cold
 //   thread_scaling    RunTopology over a bench-corpus slice with
 //                     LDR_THREADS=1 vs LDR_THREADS=4
-//   path_store        corpus wall-clock plus PathStore interning telemetry
-//                     (hit rate == fraction of path requests served without
-//                     a new arena copy; the per-instance allocation copies
-//                     the handle refactor removed)
+//   path_store        corpus wall-clock plus PathStore interning telemetry:
+//                     allocation_refs is how many PathAllocation handles the
+//                     corpus produced (each an owning deep-copied Path before
+//                     the arena), unique_paths how many distinct paths were
+//                     actually stored; hit rate = 1 - unique/refs
 //
 // Timings are medians over several repetitions, in milliseconds.
 #include <algorithm>
@@ -132,8 +133,8 @@ WarmCold BenchIterativeLoop(int side, int reps) {
 
 double TimeCorpusMs(const std::vector<Topology>& corpus,
                     const CorpusRunOptions& opts, const char* threads,
-                    uint64_t* intern_hits = nullptr,
-                    uint64_t* intern_misses = nullptr) {
+                    uint64_t* allocation_refs = nullptr,
+                    uint64_t* unique_paths = nullptr) {
   setenv("LDR_THREADS", threads, 1);
   double t0 = NowMs();
   std::vector<TopologyRun> runs = RunCorpus(corpus, opts);
@@ -143,8 +144,8 @@ double TimeCorpusMs(const std::vector<Topology>& corpus,
     std::fprintf(stderr, "bench_to_json: corpus run dropped topologies\n");
   }
   for (const TopologyRun& run : runs) {
-    if (intern_hits != nullptr) *intern_hits += run.path_intern_hits;
-    if (intern_misses != nullptr) *intern_misses += run.path_intern_misses;
+    if (allocation_refs != nullptr) *allocation_refs += run.path_allocation_refs;
+    if (unique_paths != nullptr) *unique_paths += run.path_unique_stored;
   }
   return elapsed;
 }
@@ -168,13 +169,13 @@ int main(int argc, char** argv) {
   copts.scheme_ids = {kSchemeOptimal, kSchemeMinMax};
   copts.workload.num_instances = 4;
   copts.max_nodes = 40;
-  uint64_t intern_hits = 0, intern_misses = 0;
-  double t1 = TimeCorpusMs(corpus, copts, "1", &intern_hits, &intern_misses);
+  uint64_t allocation_refs = 0, unique_paths = 0;
+  double t1 = TimeCorpusMs(corpus, copts, "1", &allocation_refs, &unique_paths);
   double t4 = TimeCorpusMs(corpus, copts, "4");
   double hit_rate =
-      intern_hits + intern_misses > 0
-          ? static_cast<double>(intern_hits) /
-                static_cast<double>(intern_hits + intern_misses)
+      allocation_refs > unique_paths
+          ? 1.0 - static_cast<double>(unique_paths) /
+                      static_cast<double>(allocation_refs)
           : 0;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -201,11 +202,10 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency());
   std::fprintf(f,
                "  \"path_store\": {\"corpus_ms\": %.1f, "
-               "\"path_requests\": %llu, \"unique_paths\": %llu, "
+               "\"allocation_refs\": %llu, \"unique_paths\": %llu, "
                "\"intern_hit_rate\": %.4f}\n",
-               t1,
-               static_cast<unsigned long long>(intern_hits + intern_misses),
-               static_cast<unsigned long long>(intern_misses), hit_rate);
+               t1, static_cast<unsigned long long>(allocation_refs),
+               static_cast<unsigned long long>(unique_paths), hit_rate);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -214,11 +214,12 @@ int main(int argc, char** argv) {
       "lp_resolve    warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n"
-      "path_store    %llu requests -> %llu unique paths  hit rate %.1f%%\n",
+      "path_store    %llu allocation refs -> %llu unique paths  "
+      "hit rate %.1f%%\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
       t4 > 0 ? t1 / t4 : 0,
-      static_cast<unsigned long long>(intern_hits + intern_misses),
-      static_cast<unsigned long long>(intern_misses), hit_rate * 100);
+      static_cast<unsigned long long>(allocation_refs),
+      static_cast<unsigned long long>(unique_paths), hit_rate * 100);
   return 0;
 }
