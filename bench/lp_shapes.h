@@ -104,8 +104,10 @@ struct WarmLp {
   std::vector<int> link_rows;  // per link
 };
 
-inline WarmLp BuildSolverBase(const RoutingLpSpec& spec) {
+inline WarmLp BuildSolverBase(const RoutingLpSpec& spec,
+                              const lp::SolveOptions& options = {}) {
   WarmLp warm;
+  warm.solver = lp::Solver(options);
   int omax = warm.solver.AddVariable(1, lp::kInfinity, 1e6);
   std::vector<std::vector<std::pair<int, double>>> link_terms(
       static_cast<size_t>(spec.links));

@@ -2,11 +2,41 @@
 # Tier-1 CI: configure, build, and test from a clean checkout — proving the
 # repo builds without any vendored build tree (build/ is gitignored).
 #
-# Usage: ./ci.sh [build-dir]   (default: build)
+# Usage: ./ci.sh [--sanitize] [build-dir]   (default build dir: build)
+#
+#   --sanitize   build the suite with ASan+UBSan (see LDR_SANITIZE in
+#                CMakeLists.txt) so pivot/pricing numerics bugs — tiny-pivot
+#                divisions, stale-index reads in the incremental LP tableau —
+#                surface as hard failures instead of silent corruption. Uses
+#                build-asan as the default build dir so a sanitized tree
+#                never masquerades as the plain one.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize)
+      SANITIZE=1
+      ;;
+    -*)
+      echo "ci.sh: unknown flag '$arg'" >&2
+      exit 2
+      ;;
+    *)
+      if [ -n "$BUILD_DIR" ]; then
+        echo "ci.sh: build dir given twice ('$BUILD_DIR', '$arg')" >&2
+        exit 2
+      fi
+      BUILD_DIR="$arg"
+      ;;
+  esac
+done
+
+if [ -z "$BUILD_DIR" ]; then
+  if [ "$SANITIZE" = 1 ]; then BUILD_DIR=build-asan; else BUILD_DIR=build; fi
+fi
 
 # CI semantics: always start from a cold configure, so a stale vendored
 # build tree can never fake a passing clean build.
@@ -15,6 +45,14 @@ if [ -e "$BUILD_DIR/CMakeCache.txt" ]; then
   rm -rf "$BUILD_DIR"
 fi
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+if [ "$SANITIZE" = 1 ]; then
+  CMAKE_ARGS+=(-DLDR_SANITIZE=ON)
+  # Make UBSan abort (and print) instead of silently continuing.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,7 +1,6 @@
 #include "lp/lp.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
 
@@ -220,8 +219,24 @@ class Solver::Impl {
   void Invalidate() { factor_valid_ = false; }
 
   Solution Solve() {
+    Solution sol = SolveImpl();
+    sol.columns_priced = columns_priced_;
+    sol.pivot_recoveries = pivot_recoveries_;
+    return sol;
+  }
+
+ private:
+  Solution SolveImpl() {
     Solution sol;
     iter_ = 0;
+    columns_priced_ = 0;
+    pivot_recoveries_ = 0;
+    // Mutations between Solve() calls (AddColumn/AddRow/AddToRow/SetRhs/
+    // AddToObjective) are not tracked against the duals; rebuilding them
+    // lazily once per Solve is far cheaper than one old-style dense pricing
+    // pass and bounds inter-call drift.
+    y1_valid_ = false;
+    y2_valid_ = false;
     int limit = opt_.max_iters > 0
                     ? opt_.max_iters
                     : 200 + 40 * static_cast<int>(m_ + n_);
@@ -264,7 +279,7 @@ class Solver::Impl {
     int degenerate_run = 0;
     while (iter_ < limit) {
       if (!HasInfeasibleBasic()) break;
-      ComputePhase1Costs();
+      EnsurePhase1Duals();
       if (!Iterate(/*phase1=*/true, &degenerate_run)) {
         sol.status = Status::kInfeasible;
         sol.iterations = iter_;
@@ -280,24 +295,37 @@ class Solver::Impl {
     // Phase 2: optimize the real objective.
     degenerate_run = 0;
     while (iter_ < limit) {
-      ComputePhase2Costs();
+      if (!y2_valid_) RebuildPhase2Duals();
       int entering = 0;
-      bool found = ChooseEntering(degenerate_run >= kBlandThreshold, &entering);
+      double d_enter = 0;
+      bool found = ChooseEntering(/*phase1=*/false,
+                                  degenerate_run >= kBlandThreshold, &entering,
+                                  &d_enter);
       if (!found) {
         sol.status = Status::kOptimal;
         break;
       }
-      StepResult r = Step(entering, /*phase1=*/false, &degenerate_run);
+      StepResult r = Step(entering, d_enter, /*phase1=*/false, &degenerate_run);
       if (r == StepResult::kUnbounded) {
         sol.status = Status::kUnbounded;
         sol.iterations = iter_;
         return sol;
       }
+      if (r == StepResult::kStuck) {
+        // Numerical breakdown (recovery refactorization went singular):
+        // report failure — callers rebuild from scratch on !ok().
+        sol.status = Status::kIterLimit;
+        sol.iterations = iter_;
+        return sol;
+      }
       // Feasibility must be preserved in phase 2; if numerics broke it,
-      // re-enter phase 1 rather than returning garbage.
+      // re-enter phase 1 rather than returning garbage. This check also
+      // covers kRecovered: a forced refactorization recomputes xb_ from the
+      // exact columns (and may demote basics), which can surface bound
+      // violations that must be repaired before optimality is declared.
       if (HasInfeasibleBasic()) {
         while (iter_ < limit && HasInfeasibleBasic()) {
-          ComputePhase1Costs();
+          EnsurePhase1Duals();
           if (!Iterate(true, &degenerate_run)) {
             sol.status = Status::kInfeasible;
             sol.iterations = iter_;
@@ -326,8 +354,20 @@ class Solver::Impl {
  private:
   static constexpr int kBlandThreshold = 60;
   static constexpr long kMinAutoRefactorInterval = 4096;
+  static constexpr double kMinPivot = 1e-12;
+  // Ratio-test tie handling: the most any basic variable may be pushed past
+  // its bound (in value, not step length) to let a larger pivot win a tie.
+  static constexpr double kTieTol = 1e-9;
 
-  enum class StepResult { kPivoted, kBoundFlip, kUnbounded, kStuck };
+  enum class StepResult {
+    kPivoted,
+    kBoundFlip,
+    kUnbounded,
+    kStuck,
+    // A numerically-zero pivot was detected and the tableau rebuilt from the
+    // exact sparse columns; the caller must re-price and retry.
+    kRecovered,
+  };
 
   static void AppendToSparse(std::vector<std::pair<int, double>>* col, int row,
                              double delta) {
@@ -384,9 +424,15 @@ class Solver::Impl {
     return ref >= 0 ? vrow_[static_cast<size_t>(ref)]
                     : srow_[static_cast<size_t>(~ref)];
   }
-  double DualSignedCost(int ref) const {
-    return ref >= 0 ? d_[static_cast<size_t>(ref)]
-                    : ds_[static_cast<size_t>(~ref)];
+  int BasicRowOf(int ref) const {
+    return ref >= 0 ? vrow_[static_cast<size_t>(ref)]
+                    : srow_[static_cast<size_t>(~ref)];
+  }
+  bool IsBasic(int ref) const { return BasicRowOf(ref) >= 0; }
+  // Scan position -> column ref, in the fixed structural-then-slack order
+  // the pricing sweeps (and Bland's rule) walk.
+  int RefAt(size_t p) const {
+    return p < n_ ? static_cast<int>(p) : ~static_cast<int>(p - n_);
   }
 
   // A basic variable counts as infeasible when it violates a bound by more
@@ -406,65 +452,98 @@ class Solver::Impl {
     return false;
   }
 
-  // Phase-1 reduced costs: d_j = -sum_i grad_i * T[i][j], where grad is the
-  // subgradient of total infeasibility w.r.t. each basic value. A nonbasic
-  // variable improves infeasibility if moving up with d_j < 0 (at lower /
-  // free) or moving down with d_j > 0 (at upper / free).
-  void ComputePhase1Costs() {
-    grad_rows_.clear();
-    for (size_t i = 0; i < m_; ++i) {
-      if (!BasicViolated(i)) continue;
-      grad_rows_.emplace_back(i, xb_[i] < LoOf(basis_[i]) ? -1.0 : 1.0);
-    }
-    d_.assign(n_, 0.0);
-    ds_.assign(m_, 0.0);
-    for (size_t j = 0; j < n_; ++j) {
-      if (vrow_[j] >= 0) continue;
-      double acc = 0;
-      const double* col = tcol_[j].data();
-      for (const auto& [i, g] : grad_rows_) acc -= g * col[i];
-      d_[j] = acc;
-    }
-    for (size_t k = 0; k < m_; ++k) {
-      if (srow_[k] >= 0) continue;
-      double acc = 0;
-      const double* col = bcol_[k].data();
-      for (const auto& [i, g] : grad_rows_) acc -= g * col[i];
-      ds_[k] = acc;
-    }
-  }
+  // --- dual values -----------------------------------------------------------
+  // Pricing never touches the dense tableau columns. Instead the solver
+  // maintains dual vectors against which any column prices sparsely:
+  //
+  //   phase 2:  y2 = c_B^T B^-1, so d_j = c_j - y2^T A_j
+  //   phase 1:  y1 = g^T B^-1 where g is the per-row subgradient of total
+  //             bound infeasibility (+-1 on violated rows), so d_j = -y1^T A_j
+  //
+  // Both are read off the explicit B^-1 in the slack block when (re)built,
+  // and updated per pivot with y += d_enter * (row r of the new B^-1) — the
+  // standard revised-simplex dual update; for y1 the blocking row's
+  // subgradient change cancels against the basis change, so the same one-line
+  // update is exact as long as no *other* row's violation state flips. Since
+  // that can only happen through tolerance-edge landings, phase 1 re-scans the
+  // subgradient each iteration (O(m), already paid by the feasibility check)
+  // and rebuilds y1 only when the scan disagrees with the cached g1_.
 
-  // Phase-2 reduced costs: d_j = c_j - c_B^T B^-1 A_j, computed as column
-  // dot products against the (usually sparse) basic-cost vector.
-  void ComputePhase2Costs() {
-    grad_rows_.clear();
+  void RebuildPhase2Duals() {
+    dual_rows_.clear();
     for (size_t i = 0; i < m_; ++i) {
       double cb = CostOf(basis_[i]);
-      if (cb != 0) grad_rows_.emplace_back(i, cb);
+      if (cb != 0) dual_rows_.emplace_back(i, cb);
     }
-    d_.assign(n_, 0.0);
-    ds_.assign(m_, 0.0);
-    for (size_t j = 0; j < n_; ++j) {
-      if (vrow_[j] >= 0) continue;
-      double acc = cost_[j];
-      const double* col = tcol_[j].data();
-      for (const auto& [i, cb] : grad_rows_) acc -= cb * col[i];
-      d_[j] = acc;
-    }
+    y2_.assign(m_, 0.0);
     for (size_t k = 0; k < m_; ++k) {
-      if (srow_[k] >= 0) continue;
       double acc = 0;
       const double* col = bcol_[k].data();
-      for (const auto& [i, cb] : grad_rows_) acc -= cb * col[i];
-      ds_[k] = acc;
+      for (const auto& [i, cb] : dual_rows_) acc += cb * col[i];
+      y2_[k] = acc;
     }
+    y2_valid_ = true;
   }
 
-  // Scores one nonbasic ref for entering; returns 0 if ineligible.
-  double EnteringScore(int ref) const {
+  void RebuildPhase1Duals() {
+    g1_.assign(m_, 0);
+    dual_rows_.clear();
+    for (size_t i = 0; i < m_; ++i) {
+      if (!BasicViolated(i)) continue;
+      int8_t g = xb_[i] < LoOf(basis_[i]) ? -1 : 1;
+      g1_[i] = g;
+      dual_rows_.emplace_back(i, g);
+    }
+    y1_.assign(m_, 0.0);
+    for (size_t k = 0; k < m_; ++k) {
+      double acc = 0;
+      const double* col = bcol_[k].data();
+      for (const auto& [i, g] : dual_rows_) acc += g * col[i];
+      y1_[k] = acc;
+    }
+    y1_valid_ = true;
+  }
+
+  void EnsurePhase1Duals() {
+    bool dirty = !y1_valid_ || g1_.size() != m_;
+    if (!dirty) {
+      for (size_t i = 0; i < m_; ++i) {
+        int8_t g = 0;
+        if (BasicViolated(i)) g = xb_[i] < LoOf(basis_[i]) ? -1 : 1;
+        if (g != g1_[i]) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (dirty) RebuildPhase1Duals();
+  }
+
+  // Reduced cost of one nonbasic ref against the *sparse original* column
+  // (a slack's column is e_k): O(nnz) per column, independent of m.
+  double ReducedCost(bool phase1, int ref) {
+    ++columns_priced_;
+    if (phase1) {
+      if (ref < 0) return -y1_[static_cast<size_t>(~ref)];
+      double acc = 0;
+      for (const auto& [r, c] : acol_[static_cast<size_t>(ref)]) {
+        acc -= y1_[static_cast<size_t>(r)] * c;
+      }
+      return acc;
+    }
+    if (ref < 0) return -y2_[static_cast<size_t>(~ref)];
+    double acc = cost_[static_cast<size_t>(ref)];
+    for (const auto& [r, c] : acol_[static_cast<size_t>(ref)]) {
+      acc -= y2_[static_cast<size_t>(r)] * c;
+    }
+    return acc;
+  }
+
+  // Scores one nonbasic ref for entering given its reduced cost; returns 0
+  // if ineligible.
+  double EnteringScore(int ref, double d) const {
     double lo = LoOf(ref), hi = HiOf(ref);
     if (lo == hi) return 0;  // fixed variable can never move
-    double d = DualSignedCost(ref);
     VarState st = ref >= 0 ? vstate_[static_cast<size_t>(ref)]
                            : sstate_[static_cast<size_t>(~ref)];
     switch (st) {
@@ -479,41 +558,131 @@ class Solver::Impl {
     }
   }
 
-  // Picks an entering variable by Dantzig pricing (or Bland when asked:
-  // first eligible ref in the fixed structural-then-slack order). Returns
-  // false if no improving variable exists.
-  bool ChooseEntering(bool bland, int* entering) const {
+  size_t CandidateCap() const {
+    if (opt_.pricing.candidate_list > 0) {
+      return static_cast<size_t>(opt_.pricing.candidate_list);
+    }
+    return std::min<size_t>(64, std::max<size_t>(8, n_ / 16));
+  }
+  size_t SweepSize(size_t total) const {
+    if (opt_.pricing.sweep > 0) return static_cast<size_t>(opt_.pricing.sweep);
+    return std::max<size_t>(128, total / 8);
+  }
+
+  // Picks an entering variable; on success fills *entering and its exact
+  // current reduced cost *d_enter.
+  //
+  //   bland     first eligible ref in fixed structural-then-slack order (the
+  //             anti-cycling rule needs the global first, so it always does a
+  //             full ordered scan).
+  //   kDantzig  full sweep every iteration, best score wins.
+  //   kPartial  re-price the candidate list (each O(nnz)); when it runs dry,
+  //             refresh it with rotating partial sweeps, escalating window by
+  //             window until something improves. Only a sweep that wraps the
+  //             entire column space finding nothing declares optimality —
+  //             exactly the certificate a full Dantzig sweep produces.
+  bool ChooseEntering(bool phase1, bool bland, int* entering, double* d_enter) {
+    const size_t total = n_ + m_;
+    if (total == 0) return false;
+    if (bland) {
+      for (size_t p = 0; p < total; ++p) {
+        int ref = RefAt(p);
+        if (IsBasic(ref)) continue;
+        double d = ReducedCost(phase1, ref);
+        if (EnteringScore(ref, d) > opt_.tol) {
+          *entering = ref;
+          *d_enter = d;
+          return true;
+        }
+      }
+      return false;
+    }
+    if (opt_.pricing.mode == PricingMode::kDantzig) {
+      bool found = false;
+      double best = opt_.tol;
+      for (size_t p = 0; p < total; ++p) {
+        int ref = RefAt(p);
+        if (IsBasic(ref)) continue;
+        double d = ReducedCost(phase1, ref);
+        double score = EnteringScore(ref, d);
+        if (score > best) {
+          best = score;
+          *entering = ref;
+          *d_enter = d;
+          found = true;
+        }
+      }
+      return found;
+    }
+
+    // Partial pricing. 1: re-price the surviving candidates.
     bool found = false;
-    double best_score = opt_.tol;
-    for (size_t j = 0; j < n_; ++j) {
-      if (vrow_[j] >= 0) continue;
-      double score = EnteringScore(static_cast<int>(j));
-      if (score > best_score) {
-        *entering = static_cast<int>(j);
-        best_score = score;
+    double best = opt_.tol;
+    size_t w = 0;
+    for (int ref : cand_) {
+      if (IsBasic(ref)) continue;  // entered the basis since; drop
+      double d = ReducedCost(phase1, ref);
+      double score = EnteringScore(ref, d);
+      if (score <= opt_.tol) continue;  // no longer improving; drop
+      cand_[w++] = ref;
+      if (score > best) {
+        best = score;
+        *entering = ref;
+        *d_enter = d;
         found = true;
-        if (bland) return true;
       }
     }
-    for (size_t k = 0; k < m_; ++k) {
-      if (srow_[k] >= 0) continue;
-      double score = EnteringScore(~static_cast<int>(k));
-      if (score > best_score) {
-        *entering = ~static_cast<int>(k);
-        best_score = score;
-        found = true;
-        if (bland) return true;
+    cand_.resize(w);
+    if (found) return true;
+
+    // 2: the list ran dry — refresh with rotating sweeps. fresh_ collects
+    // (score, ref, d) so the best CandidateCap() survivors seed the list.
+    const size_t sweep = SweepSize(total);
+    fresh_.clear();
+    size_t scanned = 0;
+    if (sweep_pos_ >= total) sweep_pos_ = 0;
+    while (scanned < total) {
+      size_t chunk = std::min(sweep, total - scanned);
+      for (size_t t = 0; t < chunk; ++t) {
+        int ref = RefAt(sweep_pos_);
+        sweep_pos_ = (sweep_pos_ + 1) % total;
+        if (IsBasic(ref)) continue;
+        double d = ReducedCost(phase1, ref);
+        double score = EnteringScore(ref, d);
+        if (score > opt_.tol) fresh_.push_back({score, ref, d});
       }
+      scanned += chunk;
+      if (!fresh_.empty()) break;
     }
-    return found;
+    if (fresh_.empty()) return false;  // full wrap, nothing improving: optimal
+
+    size_t cap = CandidateCap();
+    if (fresh_.size() > cap) {
+      std::partial_sort(fresh_.begin(), fresh_.begin() + static_cast<long>(cap),
+                        fresh_.end(), [](const Fresh& a, const Fresh& b) {
+                          return a.score > b.score;
+                        });
+      fresh_.resize(cap);
+    }
+    cand_.clear();
+    const Fresh* top = &fresh_[0];
+    for (const Fresh& f : fresh_) {
+      cand_.push_back(f.ref);
+      if (f.score > top->score) top = &f;
+    }
+    *entering = top->ref;
+    *d_enter = top->d;
+    return true;
   }
 
   bool Iterate(bool phase1, int* degenerate_run) {
     int entering = 0;
-    if (!ChooseEntering(*degenerate_run >= kBlandThreshold, &entering)) {
+    double d_enter = 0;
+    if (!ChooseEntering(phase1, *degenerate_run >= kBlandThreshold, &entering,
+                        &d_enter)) {
       return false;  // stuck while still infeasible
     }
-    StepResult r = Step(entering, phase1, degenerate_run);
+    StepResult r = Step(entering, d_enter, phase1, degenerate_run);
     if (r == StepResult::kUnbounded || r == StepResult::kStuck) return false;
     return true;
   }
@@ -522,11 +691,17 @@ class Solver::Impl {
   // become, per column c: c[i] -= (c[r]/pivot) * old_entering[i], then
   // c[r] = c[r]/pivot — columns with c[r] == 0 are untouched, which is the
   // sparsity win over the old dense row-major sweep.
-  void RawPivot(size_t r, int enter_ref) {
-    ++updates_since_refactor_;
+  //
+  // Returns false — touching nothing — when the pivot element is numerically
+  // zero (or NaN). This used to be an assert, which vanishes in NDEBUG
+  // builds and let a release binary divide by ~0 and poison every tableau
+  // column; callers now recover (Step forces a refactorization, Refactorize
+  // flags the basis singular) instead of corrupting state.
+  bool RawPivot(size_t r, int enter_ref) {
     std::vector<double>& ecol = Col(enter_ref);
     double pivot = ecol[r];
-    assert(std::abs(pivot) > 1e-12);
+    if (!(std::abs(pivot) > kMinPivot)) return false;
+    ++updates_since_refactor_;
     pivot_copy_ = ecol;
     double inv = 1.0 / pivot;
     const double* pc = pivot_copy_.data();
@@ -543,9 +718,11 @@ class Solver::Impl {
     for (auto& c : bcol_) update(c);
     std::fill(ecol.begin(), ecol.end(), 0.0);
     ecol[r] = 1.0;
+    return true;
   }
 
-  StepResult Step(int entering, bool phase1, int* degenerate_run) {
+  StepResult Step(int entering, double d_enter, bool phase1,
+                  int* degenerate_run) {
     ++iter_;
     VarState est = StateOf(entering);
     double dir;
@@ -557,7 +734,7 @@ class Solver::Impl {
         dir = -1;
         break;
       case VarState::kFree:
-        dir = DualSignedCost(entering) < 0 ? 1 : -1;
+        dir = d_enter < 0 ? 1 : -1;
         break;
       default:
         return StepResult::kStuck;
@@ -566,16 +743,27 @@ class Solver::Impl {
     const std::vector<double>& ecol = Col(entering);
     double elo = LoOf(entering), ehi = HiOf(entering);
 
-    // Ratio test: how far can the entering variable move?
-    double t_max = kInfinity;
-    int leave_row = -1;
-    double leave_bound = 0;  // bound the leaving variable lands on
-    double best_pivot = 0;
     // Entering variable's own opposite bound.
     double own_range =
         (std::isfinite(elo) && std::isfinite(ehi)) ? ehi - elo : kInfinity;
-    if (own_range < t_max) t_max = own_range;
 
+    // Ratio test, two passes (Harris-style). Pass 1 computes every basic
+    // row's exact blocking step, the true minimum, and the largest step the
+    // entering variable may take without pushing ANY row more than kTieTol
+    // past its bound: t_cap = min_i (t_i + kTieTol / |alpha_i|) — each row's
+    // tie window is relative to its own rate, so a row moving at 1e6/step
+    // contributes a window of 1e-15 while a slow row stays generous. Pass 2
+    // picks the largest pivot magnitude among rows blocking within t_cap —
+    // and then steps by the *chosen row's own* blocking ratio, so the
+    // leaving variable lands exactly on the bound it is pinned to and every
+    // other row overshoots by at most kTieTol in value, well inside the
+    // feasibility tolerance. (The old single-pass version kept the smaller
+    // step of a tied pair while pinning the larger-ratio row at a bound it
+    // never reached, silently injecting bound infeasibility.)
+    rt_.assign(m_, kInfinity);  // per-row blocking step
+    rb_.assign(m_, 0.0);        // per-row bound landed on
+    double t_row_min = kInfinity;
+    double t_cap = kInfinity;
     for (size_t i = 0; i < m_; ++i) {
       double alpha = ecol[i];
       if (std::abs(alpha) < 1e-10) continue;
@@ -609,21 +797,65 @@ class Solver::Impl {
       }
       if (t_block == kInfinity) continue;
       t_block = std::max(t_block, 0.0);
-      // Harris-style tie handling: among near-minimal ratios prefer the
-      // largest pivot magnitude for stability.
-      if (t_block < t_max - 1e-9 ||
-          (t_block < t_max + 1e-9 && std::abs(alpha) > best_pivot)) {
-        t_max = std::min(t_max, t_block);
-        leave_row = static_cast<int>(i);
-        leave_bound = bound;
-        best_pivot = std::abs(alpha);
-      }
+      rt_[i] = t_block;
+      rb_[i] = bound;
+      t_row_min = std::min(t_row_min, t_block);
+      t_cap = std::min(t_cap, t_block + kTieTol / std::abs(alpha));
     }
+    // The entering variable moves at rate 1: bound its own-range overshoot
+    // the same way.
+    t_cap = std::min(t_cap, own_range + kTieTol);
 
-    if (t_max == kInfinity) {
+    if (t_row_min == kInfinity && own_range == kInfinity) {
       // In phase 1 an unbounded improving ray cannot happen (infeasibility
       // is bounded below by 0); treat as stuck.
       return phase1 ? StepResult::kStuck : StepResult::kUnbounded;
+    }
+
+    double t_max;
+    int leave_row = -1;
+    double leave_bound = 0;  // bound the leaving variable lands on
+    if (own_range <= t_row_min) {
+      // No row blocks before the entering variable's opposite bound: a
+      // bound flip, moving exactly own_range, keeps every basic in range.
+      t_max = own_range;
+    } else {
+      double best_pivot = 0;
+      for (size_t i = 0; i < m_; ++i) {
+        if (rt_[i] > t_cap) continue;
+        double mag = std::abs(ecol[i]);
+        if (mag > best_pivot) {
+          best_pivot = mag;
+          leave_row = static_cast<int>(i);
+        }
+      }
+      if (leave_row < 0) {
+        // t_cap can exclude every row only through floating-point edge
+        // cases (the minimizing row always satisfies rt <= t_cap in exact
+        // arithmetic); fall back to the exact minimum-ratio row.
+        double best_t = kInfinity;
+        for (size_t i = 0; i < m_; ++i) {
+          if (rt_[i] < best_t) {
+            best_t = rt_[i];
+            leave_row = static_cast<int>(i);
+          }
+        }
+      }
+      size_t lr = static_cast<size_t>(leave_row);
+      t_max = rt_[lr];
+      leave_bound = rb_[lr];
+    }
+
+    if (leave_row >= 0 && !(std::abs(ecol[static_cast<size_t>(leave_row)]) >
+                            kMinPivot)) {
+      // About to pivot on a numerically zero (or NaN) element — tableau
+      // drift a NDEBUG build would previously have divided by. Rebuild from
+      // the exact sparse columns and let the caller re-price against the
+      // fresh factorization instead of poisoning the basis.
+      ++pivot_recoveries_;
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
     }
 
     if (t_max <= 1e-12) {
@@ -653,7 +885,13 @@ class Solver::Impl {
     // the bound it hit.
     size_t r = static_cast<size_t>(leave_row);
     int leaving = basis_[r];
-    RawPivot(r, entering);
+    if (!RawPivot(r, entering)) {
+      // Unreachable given the pre-check above, but never corrupt state.
+      ++pivot_recoveries_;
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+    }
 
     StateOf(leaving) = (leave_bound == LoOf(leaving)) ? VarState::kAtLower
                                                       : VarState::kAtUpper;
@@ -664,6 +902,28 @@ class Solver::Impl {
     basis_[r] = entering;
     StateOf(entering) = VarState::kBasic;
     BasicRowOf(entering) = static_cast<int>(r);
+
+    // Dual maintenance: a pivot at row r with entering reduced cost d shifts
+    // the duals by d * (row r of the *new* B^-1) — for y1 the blocking row's
+    // subgradient change cancels against the basis change (see the dual
+    // section above), so both phases share the one-line update. Row r of
+    // B^-1 reads as bcol_[k][r] across k.
+    if (phase1) {
+      if (y1_valid_) {
+        for (size_t k = 0; k < m_; ++k) y1_[k] += d_enter * bcol_[k][r];
+        g1_[r] = 0;  // the entering variable sits feasible in row r
+      }
+      if (y2_valid_) {
+        // Keep the phase-2 duals exact through phase-1 pivots so a repair
+        // excursion doesn't force a rebuild: the entering column's phase-2
+        // reduced cost prices sparsely against the pre-update y2.
+        double d2 = ReducedCost(/*phase1=*/false, entering);
+        for (size_t k = 0; k < m_; ++k) y2_[k] += d2 * bcol_[k][r];
+      }
+    } else {
+      for (size_t k = 0; k < m_; ++k) y2_[k] += d_enter * bcol_[k][r];
+      y1_valid_ = false;  // phase-1 duals go stale with the basis change
+    }
     return StepResult::kPivoted;
   }
 
@@ -727,8 +987,8 @@ class Solver::Impl {
           }
         }
       }
-      if (std::abs(Col(ref)[i]) > 1e-12) {
-        RawPivot(i, ref);
+      if (RawPivot(i, ref)) {
+        // established
       } else {
         // No usable pivot anywhere: the column recorded basic is not e_i,
         // so the tableau invariant is broken. Flag it so Solve() reports a
@@ -768,6 +1028,10 @@ class Solver::Impl {
     }
     factor_valid_ = true;
     updates_since_refactor_ = 0;  // counts from this exact rebuild
+    // The basis may have been re-established differently; both dual vectors
+    // are stale until their phase rebuilds them.
+    y1_valid_ = false;
+    y2_valid_ = false;
   }
 
   static constexpr int kNoRef = std::numeric_limits<int>::min();
@@ -836,9 +1100,31 @@ class Solver::Impl {
   std::vector<int> vrow_, srow_;  // ref -> basic row, -1 if nonbasic
   std::vector<double> xb_;     // basic variable values
 
+  // Dual values for lazy sparse pricing (see the dual section above).
+  std::vector<double> y2_;  // c_B^T B^-1
+  std::vector<double> y1_;  // g^T B^-1, g = phase-1 infeasibility subgradient
+  std::vector<int8_t> g1_;  // cached subgradient y1_ was built/updated for
+  bool y1_valid_ = false;
+  bool y2_valid_ = false;
+
+  // Partial-pricing state: the bounded candidate list and the rotating
+  // cursor the refresh sweeps resume from.
+  std::vector<int> cand_;
+  size_t sweep_pos_ = 0;
+  struct Fresh {
+    double score;
+    int ref;
+    double d;
+  };
+  std::vector<Fresh> fresh_;
+
+  // Telemetry surfaced through Solution.
+  long columns_priced_ = 0;
+  int pivot_recoveries_ = 0;
+
   // Scratch buffers reused across iterations.
-  std::vector<double> d_, ds_;  // reduced costs (structural / slack)
-  std::vector<std::pair<size_t, double>> grad_rows_;
+  std::vector<double> rt_, rb_;  // ratio test: per-row step / bound landed on
+  std::vector<std::pair<size_t, double>> dual_rows_;  // rebuild scratch
   std::vector<double> pivot_copy_;
   int iter_ = 0;
 };

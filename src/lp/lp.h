@@ -83,10 +83,35 @@ class Problem {
   std::vector<Row> rows_;
 };
 
+// Entering-variable pricing policy. Reduced costs are always computed from
+// incrementally maintained dual values y = c_B^T B^-1 (phase 2) or the
+// phase-1 subgradient duals, priced lazily against the *sparse original*
+// column as c_j - y^T A_j — never against the dense tableau column. The mode
+// controls how many columns get priced per iteration:
+//
+//   kPartial  (default) a bounded candidate list is re-priced each iteration;
+//             when it runs dry, rotating partial sweeps refresh it, escalating
+//             to a full sweep only to prove optimality. Prices O(list * nnz)
+//             columns per iteration instead of all n + m.
+//   kDantzig  classic full pricing: every nonbasic column priced every
+//             iteration (the A/B baseline; still dual-based, so it shares the
+//             same numerics as kPartial).
+enum class PricingMode { kPartial, kDantzig };
+
+struct PricingOptions {
+  PricingMode mode = PricingMode::kPartial;
+  // Candidate-list capacity. 0 means automatic: clamp(n/16, 8, 64).
+  int candidate_list = 0;
+  // Columns scanned per partial refresh sweep before checking whether the
+  // sweep found anything. 0 means automatic: max(128, (n + m) / 8).
+  int sweep = 0;
+};
+
 struct SolveOptions {
   double tol = 1e-7;
   // 0 means automatic: 200 + 40 * (rows + variables).
   int max_iters = 0;
+  PricingOptions pricing;
   // Periodic refactorization for long-lived solvers (controller epochs):
   // once this many incremental tableau updates — pivots plus structural
   // mutations priced through B^-1 — have accumulated since the last
@@ -103,6 +128,14 @@ struct Solution {
   double objective = 0;
   std::vector<double> values;  // one per variable; empty unless optimal
   int iterations = 0;
+  // Pricing telemetry: nonbasic columns whose reduced cost was evaluated
+  // over the whole solve (candidate re-pricing + refresh sweeps + optimality
+  // sweeps). columns_priced / iterations is the per-iteration pricing load
+  // the partial mode exists to shrink.
+  long columns_priced = 0;
+  // Pivots that hit a numerically-zero tableau pivot and recovered by forced
+  // refactorization instead of corrupting the basis.
+  int pivot_recoveries = 0;
 
   bool ok() const { return status == Status::kOptimal; }
 };

@@ -30,6 +30,12 @@ double ClassWeight(const std::vector<double>& class_weights,
   return class_weights[std::min(c, class_weights.size() - 1)];
 }
 
+lp::SolveOptions SolverOptionsFor(const RoutingLpOptions& opts) {
+  lp::SolveOptions so;
+  so.pricing = opts.pricing;
+  return so;
+}
+
 }  // namespace
 
 double AggregateDelayMs(const PathStore& store,
@@ -145,7 +151,9 @@ RoutingLpResult SolveRoutingLp(
     problem.AddRow(lp::RowType::kEq, 1.0, std::move(row));
   }
 
-  lp::Solution sol = lp::Solve(problem);
+  lp::Solution sol = lp::Solve(problem, SolverOptionsFor(opts));
+  result.columns_priced = sol.columns_priced;
+  result.iterations = sol.iterations;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
     // unbounded above); failure here means a numerical breakdown.
@@ -199,7 +207,11 @@ RoutingLpResult SolveRoutingLp(
 IncrementalRoutingLp::IncrementalRoutingLp(
     const PathStore& store, const std::vector<Aggregate>& aggregates,
     const RoutingLpOptions& opts)
-    : store_(&store), g_(&store.graph()), opts_(opts), aggs_(aggregates) {
+    : store_(&store),
+      g_(&store.graph()),
+      opts_(opts),
+      aggs_(aggregates),
+      solver_(SolverOptionsFor(opts)) {
   cap_scale_ = 1.0 - opts_.headroom;
   size_t num_links = g_->LinkCount();
   npaths_.assign(aggs_.size(), 0);
@@ -320,6 +332,8 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   EnsureLinkRows();
 
   lp::Solution sol = solver_.Solve();
+  result.columns_priced = sol.columns_priced;
+  result.iterations = sol.iterations;
   if (!sol.ok()) {
     result.solved = false;
     return result;
@@ -510,6 +524,8 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   for (; round < opts.max_rounds; ++round) {
     res = ilp != nullptr ? ilp->Solve(paths)
                          : SolveRoutingLp(store, aggregates, paths, opts.lp);
+    outcome.lp_columns_priced += res.columns_priced;
+    outcome.lp_iterations += res.iterations;
     if (!res.solved) break;
 
     bool feasible_now =

@@ -48,6 +48,10 @@ struct RoutingLpOptions {
   // last entry when c is out of range). With {10, 1}, class-0 traffic wins
   // contended short paths over class-1 traffic. Empty = all classes equal.
   std::vector<double> class_weights;
+  // Entering-variable pricing policy handed to the underlying lp::Solver
+  // (partial candidate-list pricing by default; kDantzig full sweeps are the
+  // A/B baseline the benches compare against).
+  lp::PricingOptions pricing;
 };
 
 // Result of one LP solve over explicit path sets.
@@ -62,6 +66,10 @@ struct RoutingLpResult {
   // Per-link overload/utilization implied by the solution (same scale as
   // omax), indexed by LinkId.
   std::vector<double> link_level;
+  // Simplex telemetry from this solve (see lp::Solution): how many nonbasic
+  // columns were priced and how many iterations ran.
+  long columns_priced = 0;
+  int iterations = 0;
 };
 
 // Path sets are interned ids into `store` (delays cached at intern time;

@@ -40,6 +40,12 @@ struct RoutingOutcome {
   // true capacities by sim::Evaluate.
   bool feasible = true;
   int lp_rounds = 0;       // iterative path-growth rounds (LP schemes)
+  // Simplex pricing telemetry accumulated over all LP rounds: columns whose
+  // reduced cost was evaluated, and simplex iterations run. The ratio is the
+  // per-iteration pricing load partial pricing shrinks (0/0 for non-LP
+  // schemes).
+  long lp_columns_priced = 0;
+  long lp_iterations = 0;
   double solve_ms = 0;     // wall-clock of the routing computation
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.

@@ -697,6 +697,143 @@ TEST(LpSolver, PeriodicRefactorizationBoundsDriftAcrossEpochs) {
   }
 }
 
+// Regression for the Harris ratio-test tie window: two blocking rows whose
+// ratios differ by 5e-10 — inside the tie window — with the larger ratio
+// carrying a 1e6-times-larger pivot. The tie break must pick the stable
+// pivot AND step that row's exact ratio so the leaving variable lands on
+// the bound it is pinned at. The old single-pass test kept the smaller
+// step while pinning the big-pivot equality slack at a bound it was
+// (ratio gap) * 1e6 = 5e-4 short of, so the returned point violated the
+// equality row by that much.
+TEST(Lp, HarrisTieWindowDoesNotInjectBoundInfeasibility) {
+  Problem p;
+  int x = p.AddVariable(0, 10, -1);
+  int z = p.AddVariable(0, 10, 0);
+  double rhs = 1e6 * (1.0 + 5e-10);
+  p.AddRow(RowType::kLe, 1.0, {{x, 1.0}});
+  p.AddRow(RowType::kEq, rhs, {{x, 1e6}, {z, 1.0}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok()) << ToString(s.status);
+  // The equality must be honored absolutely; the tied <= row may be overshot
+  // by at most the tie window, which the feasibility tolerance absorbs.
+  EXPECT_NEAR(1e6 * s.values[0] + s.values[1], rhs, 1e-5);
+  EXPECT_LE(s.values[0], 1.0 + 1e-6);
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+}
+
+// Variant where BOTH tied rows carry huge pivots (1e6 and 2e6): stepping
+// the larger-pivot row's larger ratio would overshoot the other row by
+// (ratio gap) * 1e6 = 5e-4 — far beyond the feasibility tolerance. The
+// per-row tie window (kTieTol / |alpha|) must exclude the larger-ratio row
+// and step the true minimum, leaving both equalities exactly satisfied
+// without a repair excursion.
+TEST(Lp, HarrisTieWindowBoundsOvershootWithSymmetricLargePivots) {
+  Problem p;
+  int x = p.AddVariable(0, 10, -1);
+  int z1 = p.AddVariable(0, 10, 0);
+  int z2 = p.AddVariable(0, 10, 0);
+  double rhs1 = 1e6 * 1.0;
+  double rhs2 = 2e6 * (1.0 + 5e-10);
+  p.AddRow(RowType::kEq, rhs1, {{x, 1e6}, {z1, 1.0}});
+  p.AddRow(RowType::kEq, rhs2, {{x, 2e6}, {z2, 1.0}});
+  Solution s = Solve(p);
+  ASSERT_TRUE(s.ok()) << ToString(s.status);
+  EXPECT_NEAR(1e6 * s.values[0] + s.values[1], rhs1, 1e-5);
+  EXPECT_NEAR(2e6 * s.values[0] + s.values[2], rhs2, 1e-5);
+}
+
+// The same tie shape recreated across warm re-solves: every warm objective
+// must match a cold rebuild of the mutated problem, i.e. the tie handling
+// leaves no residual inconsistency behind for later pivots to amplify.
+TEST(LpSolver, TieWindowWarmResolvesMatchCold) {
+  const double tie = 1e6 * (1.0 + 5e-10);
+  auto cold = [&](double cap) {
+    Problem p;
+    int x = p.AddVariable(0, 10, -1);
+    int y = p.AddVariable(0, 10, -1);
+    p.AddRow(RowType::kLe, cap, {{x, 1}, {y, 1}});
+    p.AddRow(RowType::kLe, tie, {{x, 1e6}});
+    p.AddRow(RowType::kLe, tie, {{y, 1e6}});
+    Solution s = Solve(p);
+    EXPECT_TRUE(s.ok()) << ToString(s.status);
+    return s.objective;
+  };
+  Solver solver;
+  int x = solver.AddVariable(0, 10, -1);
+  int y = solver.AddVariable(0, 10, -1);
+  int cap_row = solver.AddRow(RowType::kLe, 2.0, {{x, 1}, {y, 1}});
+  solver.AddRow(RowType::kLe, tie, {{x, 1e6}});
+  solver.AddRow(RowType::kLe, tie, {{y, 1e6}});
+  for (double cap : {2.0, 1.5, 1.75, 1.0, 2.0}) {
+    solver.SetRhs(cap_row, cap);
+    Solution warm = solver.Solve();
+    ASSERT_TRUE(warm.ok()) << ToString(warm.status) << " cap " << cap;
+    EXPECT_NEAR(warm.objective, cold(cap), 1e-6) << "cap " << cap;
+  }
+}
+
+// Hardening regression for the runtime tiny-pivot guard: with the periodic
+// refactorization guard disabled and coefficient scales spanning ten orders
+// of magnitude, a long mutation/re-solve epoch must never corrupt state —
+// every warm solve matches a cold rebuild. If tableau drift ever produces a
+// numerically-zero pivot, the solver must recover through forced
+// refactorization (counted in Solution::pivot_recoveries) instead of
+// dividing by it, which is what the old NDEBUG-stripped assert allowed.
+TEST(LpSolver, PathologicalScalesStayConsistentWithRefactorGuardDisabled) {
+  SolveOptions opt;
+  opt.refactor_interval = -1;  // never refactorize on schedule
+  Rng rng(4242);
+  Solver solver(opt);
+  const int n = 12, m = 8;
+  std::vector<double> obj(n);
+  std::vector<std::vector<std::pair<int, double>>> rows(m);
+  std::vector<double> rhs(m);
+  for (int j = 0; j < n; ++j) {
+    obj[static_cast<size_t>(j)] = rng.Uniform(-2, 2);
+    solver.AddVariable(0, 4, obj[static_cast<size_t>(j)]);
+  }
+  for (int i = 0; i < m; ++i) {
+    // Mix 1e-5 .. 1e5 coefficient scales to stress the pivot magnitudes.
+    double scale = std::pow(10.0, rng.Uniform(-5, 5));
+    for (int j = 0; j < n; ++j) {
+      rows[static_cast<size_t>(i)].emplace_back(
+          j, scale * rng.Uniform(0.1, 1.5));
+    }
+    rhs[static_cast<size_t>(i)] = scale * rng.Uniform(4, 12);
+    solver.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)],
+                  rows[static_cast<size_t>(i)]);
+  }
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    int r = static_cast<int>(rng.NextIndex(m));
+    double scale = std::abs(rhs[static_cast<size_t>(r)]) + 1.0;
+    rhs[static_cast<size_t>(r)] =
+        std::max(0.5, rhs[static_cast<size_t>(r)] +
+                          scale * rng.Uniform(-0.05, 0.05));
+    solver.SetRhs(r, rhs[static_cast<size_t>(r)]);
+    int r2 = static_cast<int>(rng.NextIndex(m));
+    int v = static_cast<int>(rng.NextIndex(n));
+    double delta = rng.Uniform(-0.01, 0.01);
+    solver.AddToRow(r2, v, delta);
+    for (auto& [var, c] : rows[static_cast<size_t>(r2)]) {
+      if (var == v) c += delta;
+    }
+    Solution warm = solver.Solve();
+    ASSERT_TRUE(warm.ok()) << ToString(warm.status) << " epoch " << epoch;
+    if (epoch % 12 != 0) continue;
+    Problem p;
+    for (int j = 0; j < n; ++j) p.AddVariable(0, 4, obj[static_cast<size_t>(j)]);
+    for (int i = 0; i < m; ++i) {
+      p.AddRow(RowType::kLe, rhs[static_cast<size_t>(i)],
+               rows[static_cast<size_t>(i)]);
+    }
+    Solution cold = Solve(p);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-5 * (1 + std::abs(cold.objective)))
+        << "epoch " << epoch;
+  }
+}
+
 TEST(Lp, ModerateSizePerformance) {
   // A ~100x300 LP should solve quickly and correctly: min sum x_j subject to
   // random cover rows; optimum well-defined and feasible.

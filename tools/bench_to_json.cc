@@ -10,18 +10,27 @@
 //   iterative_loop    the full IterativeLpRoute path-growth loop, warm
 //                     (incremental solver across rounds) vs cold
 //   thread_scaling    RunTopology over a bench-corpus slice with
-//                     LDR_THREADS=1 vs LDR_THREADS=4
+//                     LDR_THREADS=1 vs LDR_THREADS=4 (speedup is meaningless
+//                     on a 1-core container; see invalid_single_core)
 //   path_store        corpus wall-clock plus PathStore interning telemetry:
 //                     allocation_refs is how many PathAllocation handles the
 //                     corpus produced (each an owning deep-copied Path before
 //                     the arena), unique_paths how many distinct paths were
 //                     actually stored; hit rate = 1 - unique/refs
+//   lp_pricing        full-Dantzig vs partial (candidate-list) pricing A/B:
+//                     routing-shaped LPs solved cold both ways, plus the
+//                     Fig. 13 loop over a warm-cache corpus slice, recording
+//                     columns priced per simplex iteration and wall-clock;
+//                     objectives must agree (the lp_pricing_test property
+//                     asserts the same parity in ctest)
 //
 // Timings are medians over several repetitions, in milliseconds.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -150,6 +159,101 @@ double TimeCorpusMs(const std::vector<Topology>& corpus,
   return elapsed;
 }
 
+// --- lp_pricing -------------------------------------------------------------
+
+struct PricingRun {
+  double ms = 0;
+  long columns = 0;      // total columns priced
+  long iters = 0;        // total simplex iterations
+  long solved = 0;       // instances that reached optimal
+  double objective = 0;  // summed objectives / max levels (parity fingerprint)
+  double per_iter() const {
+    return iters > 0 ? static_cast<double>(columns) / static_cast<double>(iters)
+                     : 0;
+  }
+};
+
+// Parity holds only when both modes solved the same number of instances,
+// at least one, AND the objective fingerprints agree — a failed solve must
+// not silently drop out of one side's sum.
+bool PricingParity(const PricingRun& a, const PricingRun& b) {
+  return a.solved == b.solved && a.solved > 0 &&
+         std::abs(a.objective - b.objective) <=
+             1e-5 * (1 + std::abs(a.objective));
+}
+
+// Cold solves of routing-shaped LPs under one pricing mode.
+PricingRun BenchPricingShapes(lp::PricingMode mode, int aggregates, int links,
+                              int reps) {
+  PricingRun out;
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    auto spec = bench::RoutingLpSpec::Random(21 + static_cast<uint64_t>(r),
+                                             aggregates, links);
+    lp::Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+    lp::SolveOptions so;
+    so.pricing.mode = mode;
+    double t0 = NowMs();
+    lp::Solution s = lp::Solve(p, so);
+    times.push_back(NowMs() - t0);
+    if (s.ok()) {
+      out.columns += s.columns_priced;
+      out.iters += s.iterations;
+      out.objective += s.objective;
+      ++out.solved;
+    }
+  }
+  if (!times.empty()) out.ms = MedianMs(times);
+  return out;
+}
+
+// The Fig. 13 loop over small corpus topologies with pre-warmed KSP caches,
+// so the timed passes measure LP work rather than Yen's algorithm. Both
+// pricing modes run against the same caches and workloads.
+struct CorpusPricingFixture {
+  std::vector<Topology> corpus;  // owns the graphs tops/caches point into
+  std::vector<const Topology*> tops;
+  std::vector<std::unique_ptr<KspCache>> caches;
+  std::vector<std::vector<Aggregate>> workloads;
+};
+
+CorpusPricingFixture MakePricingFixture(std::vector<Topology> corpus) {
+  CorpusPricingFixture f;
+  f.corpus = std::move(corpus);
+  for (const Topology& t : f.corpus) {
+    if (t.graph.NodeCount() > 40) continue;
+    auto cache = std::make_unique<KspCache>(&t.graph);
+    WorkloadOptions wopts;
+    wopts.num_instances = 1;
+    wopts.seed = 91;
+    f.workloads.push_back(MakeScaledWorkloads(t, cache.get(), wopts)[0]);
+    f.tops.push_back(&t);
+    f.caches.push_back(std::move(cache));
+  }
+  for (size_t i = 0; i < f.tops.size(); ++i) {
+    IterativeOptions opts;
+    IterativeLpRoute(f.tops[i]->graph, f.workloads[i], f.caches[i].get(), opts);
+  }
+  return f;
+}
+
+PricingRun BenchPricingCorpus(CorpusPricingFixture* f, lp::PricingMode mode) {
+  PricingRun out;
+  double t0 = NowMs();
+  for (size_t i = 0; i < f->tops.size(); ++i) {
+    IterativeOptions opts;
+    opts.lp.pricing.mode = mode;
+    RoutingOutcome o = IterativeLpRoute(f->tops[i]->graph, f->workloads[i],
+                                        f->caches[i].get(), opts);
+    out.columns += o.lp_columns_priced;
+    out.iters += o.lp_iterations;
+    out.objective += o.max_level;
+    ++out.solved;
+  }
+  out.ms = NowMs() - t0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +266,28 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bench_to_json: iterative_loop...\n");
   WarmCold loop_small = BenchIterativeLoop(4, 5);
   WarmCold loop_large = BenchIterativeLoop(6, 3);
+
+  std::fprintf(stderr, "bench_to_json: lp_pricing...\n");
+  PricingRun shape_full =
+      BenchPricingShapes(lp::PricingMode::kDantzig, 120, 60, 5);
+  PricingRun shape_partial =
+      BenchPricingShapes(lp::PricingMode::kPartial, 120, 60, 5);
+  CorpusPricingFixture fixture = MakePricingFixture(BenchCorpus(8));
+  PricingRun corpus_full = BenchPricingCorpus(&fixture, lp::PricingMode::kDantzig);
+  PricingRun corpus_partial =
+      BenchPricingCorpus(&fixture, lp::PricingMode::kPartial);
+  bool pricing_parity = PricingParity(shape_full, shape_partial) &&
+                        PricingParity(corpus_full, corpus_partial);
+  if (!pricing_parity) {
+    std::fprintf(stderr,
+                 "bench_to_json: full/partial pricing mismatch "
+                 "(shapes %g vs %g over %ld/%ld solved, corpus %g vs %g "
+                 "over %ld/%ld solved)\n",
+                 shape_full.objective, shape_partial.objective,
+                 shape_full.solved, shape_partial.solved,
+                 corpus_full.objective, corpus_partial.objective,
+                 corpus_full.solved, corpus_partial.solved);
+  }
 
   std::fprintf(stderr, "bench_to_json: thread_scaling...\n");
   std::vector<Topology> corpus = BenchCorpus(/*small_stride=*/8);
@@ -194,18 +320,39 @@ int main(int argc, char** argv) {
   emit_wc("lp_resolve_large", resolve_large, true);
   emit_wc("iterative_loop_small", loop_small, true);
   emit_wc("iterative_loop_large", loop_large, true);
+  // A 1-core container cannot exhibit thread scaling: the measured ~1.0
+  // "speedup" is pure scheduling noise, so mark it invalid instead of
+  // letting it masquerade as a regression baseline.
+  unsigned hw_threads = std::thread::hardware_concurrency();
+  bool single_core = hw_threads <= 1;
   std::fprintf(f,
                "  \"thread_scaling\": {\"threads1_ms\": %.1f, "
                "\"threads4_ms\": %.1f, \"speedup\": %.2f, "
-               "\"topologies\": %zu, \"hardware_threads\": %u},\n",
-               t1, t4, t4 > 0 ? t1 / t4 : 0, corpus.size(),
-               std::thread::hardware_concurrency());
+               "\"topologies\": %zu, \"hardware_threads\": %u%s},\n",
+               t1, t4, t4 > 0 ? t1 / t4 : 0, corpus.size(), hw_threads,
+               single_core ? ", \"invalid_single_core\": true" : "");
   std::fprintf(f,
                "  \"path_store\": {\"corpus_ms\": %.1f, "
                "\"allocation_refs\": %llu, \"unique_paths\": %llu, "
-               "\"intern_hit_rate\": %.4f}\n",
+               "\"intern_hit_rate\": %.4f},\n",
                t1, static_cast<unsigned long long>(allocation_refs),
                static_cast<unsigned long long>(unique_paths), hit_rate);
+  auto emit_pricing = [&](const char* name, const PricingRun& pr, bool comma) {
+    std::fprintf(f,
+                 "    \"%s\": {\"ms\": %.3f, \"columns_priced\": %ld, "
+                 "\"iterations\": %ld, \"columns_per_iteration\": %.1f, "
+                 "\"solved\": %ld}%s\n",
+                 name, pr.ms, pr.columns, pr.iters, pr.per_iter(), pr.solved,
+                 comma ? "," : "");
+  };
+  std::fprintf(f, "  \"lp_pricing\": {\n");
+  emit_pricing("shape_full", shape_full, true);
+  emit_pricing("shape_partial", shape_partial, true);
+  emit_pricing("corpus_full", corpus_full, true);
+  emit_pricing("corpus_partial", corpus_partial, true);
+  std::fprintf(f, "    \"objective_parity\": %s\n",
+               pricing_parity ? "true" : "false");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -215,11 +362,16 @@ int main(int argc, char** argv) {
       "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n"
       "path_store    %llu allocation refs -> %llu unique paths  "
-      "hit rate %.1f%%\n",
+      "hit rate %.1f%%\n"
+      "lp_pricing    shapes %.1f -> %.1f cols/iter (%.3f -> %.3f ms)  "
+      "corpus %.1f -> %.1f cols/iter (%.1f -> %.1f ms)  parity %s\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
       t4 > 0 ? t1 / t4 : 0,
       static_cast<unsigned long long>(allocation_refs),
-      static_cast<unsigned long long>(unique_paths), hit_rate * 100);
+      static_cast<unsigned long long>(unique_paths), hit_rate * 100,
+      shape_full.per_iter(), shape_partial.per_iter(), shape_full.ms,
+      shape_partial.ms, corpus_full.per_iter(), corpus_partial.per_iter(),
+      corpus_full.ms, corpus_partial.ms, pricing_parity ? "yes" : "NO");
   return 0;
 }
