@@ -1,0 +1,67 @@
+// The Fig. 21 failure/recovery fixture, shared by bench/fig21_failure_timeline
+// and tools/bench_to_json's `scenario` section so the JSON records the same
+// experiment the figure plots (one definition: same topology, seed, load,
+// link choice, and event schedule — the two cannot drift).
+//
+// Setup: GtsLike with one traffic-matrix instance scaled to 0.5 MinMax
+// utilization (the failure must be survivable), steady measured traffic at
+// the aggregate demands, and the busiest link of the initial latency-optimal
+// placement — the most disruptive single-cable event for this traffic —
+// failing in both directions at `down_epoch` and recovering at `up_epoch`.
+#ifndef LDR_BENCH_FAILURE_SCENARIO_H_
+#define LDR_BENCH_FAILURE_SCENARIO_H_
+
+#include <vector>
+
+#include "routing/lp_routing.h"
+#include "sim/evaluate.h"
+#include "sim/scenario_engine.h"
+#include "sim/workload.h"
+#include "topology/zoo_corpus.h"
+
+namespace ldr::bench {
+
+struct FailureTimelineFixture {
+  Topology zoo;
+  Scenario scenario;
+  LinkId busiest = kInvalidLink;
+  double busiest_util = 0;
+};
+
+inline FailureTimelineFixture MakeFailureTimeline(int epochs = 12,
+                                                  int down_epoch = 3,
+                                                  int up_epoch = 7) {
+  FailureTimelineFixture f;
+  f.zoo = GtsLike();
+  KspCache cache(&f.zoo.graph);
+  WorkloadOptions wopts;
+  wopts.num_instances = 1;
+  wopts.target_utilization = 0.5;
+  wopts.seed = 33;
+  std::vector<Aggregate> aggs = MakeScaledWorkloads(f.zoo, &cache, wopts)[0];
+
+  IterativeOptions iopts;
+  RoutingOutcome initial = IterativeLpRoute(f.zoo.graph, aggs, &cache, iopts);
+  std::vector<double> loads = LinkLoads(f.zoo.graph, aggs, initial);
+  for (size_t l = 0; l < loads.size(); ++l) {
+    double cap = f.zoo.graph.link(static_cast<LinkId>(l)).capacity_gbps;
+    if (cap <= 0) continue;
+    if (loads[l] / cap > f.busiest_util) {
+      f.busiest_util = loads[l] / cap;
+      f.busiest = static_cast<LinkId>(l);
+    }
+  }
+
+  f.scenario.name = "fig21-down-up";
+  f.scenario.aggregates = aggs;
+  f.scenario.epochs = epochs;
+  f.scenario.series_100ms =
+      ConstantScenarioTraffic(aggs, epochs, f.scenario.epoch_sec);
+  // No-op (event-free scenario) when no link carried load.
+  f.scenario.AddLinkFlap(f.zoo.graph, f.busiest, down_epoch, up_epoch);
+  return f;
+}
+
+}  // namespace ldr::bench
+
+#endif  // LDR_BENCH_FAILURE_SCENARIO_H_

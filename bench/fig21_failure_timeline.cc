@@ -1,0 +1,87 @@
+// Fig. 21 (repo extension, no paper counterpart): a failure/recovery
+// timeline on a zoo topology. The paper evaluates LDR one optimization at a
+// time; this bench drives its *controller loop* — and the B4 / SP baselines
+// — through the canonical operational what-if: the busiest cable of the
+// initial LDR placement fails at minute 3 and is repaired at minute 7 of a
+// 12-minute scenario with steady measured traffic.
+//
+// Per-epoch rows per driver: realized congestion, max stretch, worst
+// queueing, route churn, and (LDR) warm/cold LP epochs and solve times.
+// Summary rows: reconvergence epochs per event, warm/cold solve medians
+// (the same numbers bench_to_json records in BENCH_lp.json "scenario"),
+// and the event-free churn maximum, which must be 0.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/failure_scenario.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ldr;
+  std::printf("# Fig 21: LinkDown/LinkUp timeline, LDR vs B4 vs SP\n");
+  std::printf(
+      "# rows: <metric>:<driver>  <epoch>  <value>  |  "
+      "reconverge:<driver>:<event>  <event-epoch>  <epochs-to-clean>\n");
+
+  bench::FailureTimelineFixture fixture = bench::MakeFailureTimeline();
+  const Topology& zoo = fixture.zoo;
+  if (fixture.busiest == kInvalidLink) {
+    std::fprintf(stderr, "fig21: no loaded link to fail\n");
+    return 1;
+  }
+  bench::Note("fig21: %s, failing link %d (%s, util %.2f) + reverse %d",
+              zoo.name.c_str(), fixture.busiest,
+              zoo.graph.node_name(zoo.graph.link(fixture.busiest).src).c_str(),
+              fixture.busiest_util, zoo.graph.ReverseLink(fixture.busiest));
+
+  auto run_driver = [&](const std::string& scheme_id, bool incremental) {
+    ScenarioEngineOptions opts;
+    opts.scheme_id = scheme_id;
+    opts.incremental = incremental;
+    ScenarioEngine engine(zoo, fixture.scenario, opts);
+    return engine.Run();
+  };
+
+  for (const char* id : {"", "B4", "SP"}) {
+    ScenarioReport report = run_driver(id, /*incremental=*/true);
+    const std::string& label = report.driver;
+    bench::Note("fig21: %s done (%zu warm / %zu cold epochs)", label.c_str(),
+                report.warm_epochs, report.cold_epochs);
+    for (const ScenarioEpochReport& er : report.epochs) {
+      PrintSeriesRow("congestion:" + label, er.epoch, er.congested_fraction);
+      PrintSeriesRow("max_stretch:" + label, er.epoch, er.max_stretch);
+      PrintSeriesRow("queue_ms:" + label, er.epoch, er.worst_queue_ms);
+      PrintSeriesRow("churn:" + label, er.epoch, er.route_churn);
+      PrintSeriesRow("solve_ms:" + label, er.epoch, er.solve_ms);
+      if (label == "LDR") {
+        PrintSeriesRow("mux_ok:" + label, er.epoch, er.multiplex_ok ? 1 : 0);
+        PrintSeriesRow("warm:" + label, er.epoch, er.warm ? 1 : 0);
+      }
+    }
+    for (const ScenarioEventReport& evr : report.events) {
+      std::string kind =
+          evr.event.type == ScenarioEvent::Type::kLinkDown ? "down" : "up";
+      PrintSeriesRow("reconverge:" + label + ":" + kind, evr.event.epoch,
+                     evr.reconverge_epochs);
+    }
+    PrintSeriesRow("churn_event_free_max:" + label, 0,
+                   report.EventFreeChurnMax());
+
+    if (label == "LDR") {
+      // Warm-vs-cold epoch A/B: the incremental=false engine rebuilds the
+      // LP every epoch; placements must match, only solve time may move.
+      ScenarioReport cold = run_driver("", /*incremental=*/false);
+      bool parity = PlacementParity(report, cold);
+      if (!parity) {
+        bench::Note("fig21: WARM/COLD PLACEMENT MISMATCH");
+      }
+      PrintSeriesRow("solve_warm_median_ms:LDR", 0,
+                     report.WarmSolveMsMedian());
+      PrintSeriesRow("solve_cold_median_ms:LDR", 0, cold.ColdSolveMsMedian());
+      PrintSeriesRow("warm_cold_parity:LDR", 0, parity ? 1 : 0);
+      PrintSeriesRow("ksp_evictions:LDR", 0,
+                     static_cast<double>(report.ksp_evictions));
+    }
+  }
+  return 0;
+}

@@ -56,3 +56,18 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Scenario determinism probe: the ScenarioEngine is serial by design and
+# must produce byte-identical reports at any LDR_THREADS setting. The
+# walkthrough prints a full failure/recovery/surge timeline (timings go to
+# stderr, so stdout is diffable).
+PROBE_1=$(mktemp)
+PROBE_4=$(mktemp)
+trap 'rm -f "$PROBE_1" "$PROBE_4"' EXIT
+LDR_THREADS=1 "$BUILD_DIR/scenario_walkthrough" > "$PROBE_1" 2>/dev/null
+LDR_THREADS=4 "$BUILD_DIR/scenario_walkthrough" > "$PROBE_4" 2>/dev/null
+if ! diff -u "$PROBE_1" "$PROBE_4" >&2; then
+  echo "ci.sh: scenario determinism probe FAILED (LDR_THREADS=1 vs 4)" >&2
+  exit 1
+fi
+echo "ci.sh: scenario determinism probe OK" >&2

@@ -18,6 +18,7 @@ LinkId Graph::AddLink(NodeId src, NodeId dst, double delay_ms,
   l.delay_ms = delay_ms;
   l.capacity_gbps = capacity_gbps;
   links_.push_back(l);
+  link_down_.push_back(0);
   LinkId id = static_cast<LinkId>(links_.size() - 1);
   // Splice the id at the end of src's CSR run. O(nodes + links) per add —
   // construction is a cold path; the win is the flat, always-valid adjacency
@@ -44,15 +45,20 @@ NodeId Graph::FindNode(const std::string& name) const {
 }
 
 LinkId Graph::ReverseLink(LinkId id) const {
+  // Physical-identity query: a masked-down reverse direction still exists
+  // as a cable (scenario code looks it up mid-outage to restore it), so
+  // this walks the raw adjacency, not the operational view.
   const Link& l = link(id);
-  for (LinkId cand : OutLinks(l.dst)) {
+  for (LinkId cand : AllOutLinks(l.dst)) {
     if (link(cand).dst == l.src) return cand;
   }
   return kInvalidLink;
 }
 
 bool Graph::HasLink(NodeId src, NodeId dst) const {
-  for (LinkId cand : OutLinks(src)) {
+  // Physical-identity query, like ReverseLink: topology evolution asks it
+  // to avoid re-adding an existing cable, down or not.
+  for (LinkId cand : AllOutLinks(src)) {
     if (link(cand).dst == dst) return true;
   }
   return false;

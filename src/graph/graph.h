@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,70 @@ class LinkSpan {
   size_t size_ = 0;
 };
 
+// Iteration view over a node's *usable* out-links: the CSR run with any
+// administratively-down links (Graph::SetLinkDown) skipped at iteration
+// time. When no link in the graph is down the mask pointer is null and the
+// iterator degenerates to plain pointer increments, so the masking costs the
+// common case nothing and the CSR array is never rebuilt.
+class OutLinkRange {
+ public:
+  class Iterator {
+   public:
+    Iterator(const LinkId* p, const LinkId* end, const char* down)
+        : p_(p), end_(end), down_(down) {
+      Skip();
+    }
+    LinkId operator*() const { return *p_; }
+    Iterator& operator++() {
+      ++p_;
+      Skip();
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const Iterator& o) const { return p_ != o.p_; }
+
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = LinkId;
+    using difference_type = ptrdiff_t;
+    using pointer = const LinkId*;
+    using reference = LinkId;
+
+   private:
+    void Skip() {
+      if (down_ == nullptr) return;
+      while (p_ != end_ && down_[static_cast<size_t>(*p_)]) ++p_;
+    }
+    const LinkId* p_;
+    const LinkId* end_;
+    const char* down_;  // null when no link in the graph is down
+  };
+
+  OutLinkRange(const LinkId* data, size_t size, const char* down)
+      : data_(data), size_(size), down_(down) {}
+
+  Iterator begin() const { return Iterator(data_, data_ + size_, down_); }
+  Iterator end() const {
+    return Iterator(data_ + size_, data_ + size_, down_);
+  }
+  // Number of usable links in the run. O(1) when nothing is down, O(run)
+  // otherwise.
+  size_t size() const {
+    if (down_ == nullptr) return size_;
+    size_t n = 0;
+    for (LinkId id : *this) {
+      (void)id;
+      ++n;
+    }
+    return n;
+  }
+  bool empty() const { return begin() == end(); }
+
+ private:
+  const LinkId* data_;
+  size_t size_;
+  const char* down_;
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -73,21 +138,50 @@ class Graph {
   // Returns kInvalidNode if no node has this name.
   NodeId FindNode(const std::string& name) const;
 
-  // Outgoing link ids of `node`, in insertion order. The adjacency is kept
-  // in CSR form (one flat id array + per-node offsets); every AddLink
-  // re-establishes the invariant, so the span is always valid and reads are
-  // lock-free in the parallel corpus runner.
-  LinkSpan OutLinks(NodeId node) const {
+  // Usable outgoing link ids of `node`, in insertion order, skipping links
+  // masked down by SetLinkDown. The adjacency is kept in CSR form (one flat
+  // id array + per-node offsets); every AddLink re-establishes the
+  // invariant, so the view is always valid and reads are lock-free in the
+  // parallel corpus runner. With no links down this is a plain span walk.
+  OutLinkRange OutLinks(NodeId node) const {
+    size_t v = static_cast<size_t>(node);
+    return OutLinkRange(csr_links_.data() + csr_offsets_[v],
+                        csr_offsets_[v + 1] - csr_offsets_[v],
+                        down_count_ > 0 ? link_down_.data() : nullptr);
+  }
+
+  // The raw CSR run including masked links — for code that must see the
+  // physical adjacency (serialization, topology evolution) rather than the
+  // operational one.
+  LinkSpan AllOutLinks(NodeId node) const {
     size_t v = static_cast<size_t>(node);
     return LinkSpan(csr_links_.data() + csr_offsets_[v],
                     csr_offsets_[v + 1] - csr_offsets_[v]);
   }
 
+  // Administrative link masking — the cheap "link fails at t" primitive of
+  // the scenario engine. A down link stays in the link table (ids, delays
+  // and capacities are untouched; Path/PathStore spans referring to it stay
+  // resolvable) but disappears from OutLinks, and with it from Dijkstra, Yen
+  // and every routing scheme. No CSR rebuild happens in either direction.
+  void SetLinkDown(LinkId id, bool down) {
+    char& slot = link_down_[static_cast<size_t>(id)];
+    if (slot == static_cast<char>(down)) return;
+    slot = static_cast<char>(down);
+    down_count_ += down ? 1 : -1;
+  }
+  bool IsLinkDown(LinkId id) const {
+    return link_down_[static_cast<size_t>(id)] != 0;
+  }
+  size_t DownLinkCount() const { return down_count_; }
+
   // The opposite-direction link (same endpoints, swapped), or kInvalidLink.
-  // When several exist, the first added is returned.
+  // When several exist, the first added is returned. A physical-identity
+  // query: sees masked-down links (callers restore cables by id mid-outage).
   LinkId ReverseLink(LinkId id) const;
 
-  // True if a link src->dst exists.
+  // True if a link src->dst exists, down or not (physical identity, like
+  // ReverseLink — topology evolution must not re-add a masked cable).
   bool HasLink(NodeId src, NodeId dst) const;
 
   // Mutators used by topology evolution experiments (§8 / Fig. 20).
@@ -110,6 +204,11 @@ class Graph {
   // parallel phase.
   std::vector<size_t> csr_offsets_ = {0};  // NodeCount()+1 entries
   std::vector<LinkId> csr_links_;          // LinkCount() entries
+  // Administrative mask (SetLinkDown): char, not bool, so OutLinkRange can
+  // hold a raw pointer into it. down_count_ keeps the no-mask fast path an
+  // integer compare.
+  std::vector<char> link_down_;            // LinkCount() entries
+  size_t down_count_ = 0;
 };
 
 // An explicit path: an ordered list of link ids, where link i's dst is

@@ -108,14 +108,80 @@ void KspGenerator::GenerateCandidatesFromLast() {
 bool KspGenerator::ProduceNext() {
   if (produced_.empty()) return false;  // never had a shortest path
   GenerateCandidatesFromLast();
-  if (candidates_.empty()) {
-    exhausted_ = true;
-    return false;
+  // Pop-time mask guard. KspCache::InvalidateLink evicts any generator
+  // holding a candidate that crosses a downed link, so cache users never
+  // reach this with a masked candidate; the guard is defense in depth for
+  // standalone generators whose graph is masked without invalidation — it
+  // guarantees no masked path is ever *produced* (though such a generator
+  // may under-produce, since the discarded candidate's spur search is not
+  // re-run; eviction is the complete answer). A discarded candidate stays
+  // in seen_ — under the mask it is not a path at all, and should the link
+  // come back up the whole generator is rebuilt anyway (KspCache contract).
+  while (!candidates_.empty()) {
+    auto it = candidates_.begin();
+    bool usable = true;
+    if (g_->DownLinkCount() > 0) {  // mask-free hot path: no per-link scan
+      for (LinkId l : it->links) {
+        if (g_->IsLinkDown(l)) {
+          usable = false;
+          break;
+        }
+      }
+    }
+    if (!usable) {
+      candidates_.erase(it);
+      continue;
+    }
+    produced_.push_back(store_->Intern(it->links));
+    candidates_.erase(it);
+    return true;
   }
-  auto it = candidates_.begin();
-  produced_.push_back(store_->Intern(it->links));
-  candidates_.erase(it);
-  return true;
+  exhausted_ = true;
+  return false;
+}
+
+bool KspGenerator::AnyCandidateCrosses(LinkId link) const {
+  for (const Candidate& c : candidates_) {
+    for (LinkId l : c.links) {
+      if (l == link) return true;
+    }
+  }
+  return false;
+}
+
+bool KspGenerator::HasProduced(PathId id) const {
+  return std::find(produced_.begin(), produced_.end(), id) != produced_.end();
+}
+
+size_t KspCache::InvalidateLink(LinkId link) {
+  size_t evicted = 0;
+  // Produced-path side via the reverse index: cheap, no generator scan.
+  // The index lists every path ever interned on the link, including ones
+  // only an earlier (already-evicted) generation of the pair produced —
+  // HasProduced keeps a rebuilt generator that now avoids the link alive
+  // through repeated failures of it.
+  for (PathId pid : store_.PathsOnLink(link)) {
+    LinkSpan links = store_.Links(pid);
+    if (links.empty()) continue;
+    NodeId src = g_->link(links.front()).src;
+    NodeId dst = g_->link(links.back()).dst;
+    auto it = generators_.find(Key(src, dst));
+    if (it == generators_.end() || !it->second->HasProduced(pid)) continue;
+    generators_.erase(it);
+    ++evicted;
+  }
+  // Candidate-queue side: survivors holding a queued spur result that
+  // crosses the link must go too (see the header contract) — candidates are
+  // not interned, so this half needs the scan.
+  for (auto it = generators_.begin(); it != generators_.end();) {
+    if (it->second->AnyCandidateCrosses(link)) {
+      it = generators_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 KspGenerator* KspCache::Get(NodeId src, NodeId dst) {

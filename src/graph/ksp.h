@@ -53,6 +53,18 @@ class KspGenerator {
   // Number of paths produced so far.
   size_t ProducedCount() const { return produced_.size(); }
 
+  // True if any *queued candidate* path crosses `link`. Produced paths are
+  // interned, so the cache answers that side through the store's reverse
+  // index; this covers the non-interned half of the generator's state for
+  // KspCache::InvalidateLink's eviction decision.
+  bool AnyCandidateCrosses(LinkId link) const;
+
+  // True if this generator produced the interned path `id`. The reverse
+  // index outlives generators (the arena never shrinks), so InvalidateLink
+  // must distinguish "this pair's *current* generator produced a crossing
+  // path" from "some earlier, already-evicted generation did".
+  bool HasProduced(PathId id) const;
+
   // True once the path space is known to be exhausted.
   bool Exhausted() const { return exhausted_ && candidates_.empty(); }
 
@@ -107,6 +119,26 @@ class KspCache {
 
   void Clear() { generators_.clear(); }
   size_t size() const { return generators_.size(); }
+
+  // Topology-change invalidation for a link that just went down: evicts
+  // exactly the generators whose state references the link — a *produced*
+  // path crossing it (found through the store's reverse index, not by
+  // scanning generators) or a queued *candidate* crossing it (Yen's spur
+  // searches record only the single best spur per position, so a masked
+  // candidate cannot simply be discarded: the spur that produced it is
+  // never re-run, and a valid masked-graph path could be lost for good).
+  // Survivors reference the link nowhere, and for them the mask changes
+  // nothing: a down link only removes paths, so every recorded spur result
+  // that avoids it is still the best for its position, production order and
+  // completeness both hold. The arena itself is never shrunk — PathIds stay
+  // stable for warm LP column identity — stale interned paths are simply
+  // never produced again. Returns the eviction count.
+  //
+  // A link coming back up is the opposite case: the restored link can create
+  // *shorter* paths for arbitrary pairs, which would violate the production
+  // order of any generator, so callers must Clear() — the store (and its
+  // cached delays, which masking never touches) survives either way.
+  size_t InvalidateLink(LinkId link);
 
  private:
   static uint64_t Key(NodeId src, NodeId dst) {

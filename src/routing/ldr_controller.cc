@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "traffic/predictor.h"
 #include "traffic/trace.h"
 
 namespace ldr {
@@ -10,51 +9,97 @@ namespace ldr {
 std::vector<double> PredictDemands(
     const std::vector<std::vector<double>>& history_100ms,
     const LdrControllerOptions& opts) {
-  std::vector<double> demand(history_100ms.size(), 0.0);
-  for (size_t a = 0; a < history_100ms.size(); ++a) {
-    std::vector<double> minutes = PerMinuteMeans(history_100ms[a], 10.0);
-    if (minutes.empty() && !history_100ms[a].empty()) {
-      // Less than a minute of data: use what there is.
-      double s = 0;
-      for (double v : history_100ms[a]) s += v;
-      minutes.push_back(s / static_cast<double>(history_100ms[a].size()));
+  // One-shot = the persistent step on fresh predictors; one implementation,
+  // so the wrapper's bit-for-bit equivalence cannot drift.
+  std::vector<MeanRatePredictor> fresh;
+  return AdvancePredictors(&fresh, history_100ms, opts);
+}
+
+std::vector<double> AdvancePredictors(
+    std::vector<MeanRatePredictor>* predictors,
+    const std::vector<std::vector<double>>& segment_100ms,
+    const LdrControllerOptions& opts) {
+  if (predictors->size() != segment_100ms.size()) {
+    predictors->assign(segment_100ms.size(),
+                       MeanRatePredictor(opts.predictor_decay,
+                                         opts.predictor_hedge));
+  }
+  std::vector<double> demand(segment_100ms.size(), 0.0);
+  for (size_t a = 0; a < segment_100ms.size(); ++a) {
+    for (double m : PerMinuteMeansOrMean(segment_100ms[a], 10.0)) {
+      (*predictors)[a].Update(m);
     }
-    MeanRatePredictor pred(opts.predictor_decay, opts.predictor_hedge);
-    for (double m : minutes) pred.Update(m);
-    demand[a] = pred.prediction();
+    demand[a] = (*predictors)[a].prediction();
   }
   return demand;
 }
 
-LdrControllerResult RunLdrController(
-    const Graph& g, const std::vector<Aggregate>& aggregates,
-    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
-    const LdrControllerOptions& opts) {
+LdrController::LdrController(const Graph* graph, KspCache* cache,
+                             const LdrControllerOptions& opts)
+    : g_(graph), cache_(cache), opts_(opts) {}
+
+void LdrController::OnLinkDown(LinkId link) {
+  ksp_evictions_ += cache_->InvalidateLink(link);
+  DropWarmState();
+}
+
+void LdrController::OnLinkUp(LinkId) {
+  // A restored link can create shorter paths for any pair; every
+  // generator's production order is suspect, so clear them all. The store
+  // (stable PathIds, cached delays) survives.
+  cache_->Clear();
+  DropWarmState();
+}
+
+void LdrController::OnCapacityChange() {
+  // Path identities and delays are untouched; only the LP's capacity rows
+  // are stale, and those are cheapest rebuilt cold.
+  DropWarmState();
+}
+
+void LdrController::DropWarmState() {
+  reuse_.lp.reset();
+  reuse_.paths.clear();
+}
+
+LdrControllerResult LdrController::RunEpoch(
+    const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<double>>& segment_100ms) {
+  const Graph& g = *g_;
   LdrControllerResult result;
 
-  // (1) Predict each aggregate's next-minute mean (Algorithm 1), feeding
-  // the predictor one update per full minute of history. Hoisted out of the
-  // retry loop: the measured history never changes across rounds.
-  result.demand_estimate_gbps = PredictDemands(history_100ms, opts);
+  // (1) Predict each aggregate's next-minute mean (Algorithm 1). The
+  // predictors persist: this epoch's update starts from last epoch's
+  // prediction, so the 2%-per-minute decay spans reconfigurations exactly
+  // as in the deployed loop. Hoisted out of the retry loop: the measured
+  // segment never changes across rounds.
+  result.demand_estimate_gbps =
+      AdvancePredictors(&predictors_, segment_100ms, opts_);
 
   std::vector<Aggregate> working = aggregates;
   for (size_t a = 0; a < working.size(); ++a) {
     working[a].demand_gbps = result.demand_estimate_gbps[a];
   }
 
-  // The LP and grown path sets persist across retry rounds: re-optimizing
-  // after a headroom tweak re-enters the solver warm with demand deltas
-  // instead of rebuilding the Fig. 12 problem from scratch.
-  LpReuseContext reuse;
-  const PathStore& store = *cache->store();
+  // The LP and grown path sets persist across retry rounds AND across
+  // epochs: re-optimizing after a headroom tweak — or for the next minute's
+  // demands — re-enters the solver warm with demand deltas instead of
+  // rebuilding the Fig. 12 problem from scratch. A topology delta between
+  // epochs drops this state (see the On* hooks), making the next epoch a
+  // cold one. Whether warm re-entry actually happened is read off the first
+  // round's outcome (IterativeLpRoute makes — and reports — that decision).
+  const PathStore& store = *cache_->store();
   std::vector<std::vector<WeightedSeries>> on_link(g.LinkCount());
   std::vector<size_t> on_link_count(g.LinkCount());
   std::vector<bool> failing(g.LinkCount());
 
-  for (int round = 0; round < opts.max_rounds; ++round) {
+  for (int round = 0; round < opts_.max_rounds; ++round) {
     result.rounds = round + 1;
     // (2) Latency-optimal placement for current Ba estimates.
-    result.outcome = IterativeLpRoute(g, working, cache, opts.routing, &reuse);
+    result.outcome =
+        IterativeLpRoute(g, working, cache_, opts_.routing, &reuse_);
+    result.solve_ms_total += result.outcome.solve_ms;
+    if (round == 0) result.warm_epoch = result.outcome.reused_warm;
 
     // (3) Appraise multiplexing per link using the *measured* last-minute
     // series (not the estimates). Count contributions first so the scatter
@@ -77,7 +122,7 @@ LdrControllerResult RunLdrController(
         if (pa.fraction <= 1e-9) continue;
         for (LinkId l : store.Links(pa.path)) {
           on_link[static_cast<size_t>(l)].push_back(
-              {&history_100ms[a], pa.fraction});
+              {&segment_100ms[a], pa.fraction});
         }
       }
     }
@@ -87,7 +132,7 @@ LdrControllerResult RunLdrController(
       if (on_link[l].empty()) continue;
       LinkCheckResult check = CheckLinkMultiplexing(
           on_link[l], g.link(static_cast<LinkId>(l)).capacity_gbps,
-          opts.multiplex);
+          opts_.multiplex);
       if (!check.pass) {
         failing[l] = true;
         ++fail_count;
@@ -120,12 +165,24 @@ LdrControllerResult RunLdrController(
         }
       }
       if (crosses) {
-        working[a].demand_gbps *= opts.scale_up;
+        working[a].demand_gbps *= opts_.scale_up;
         result.demand_estimate_gbps[a] = working[a].demand_gbps;
       }
     }
   }
   return result;
+}
+
+LdrControllerResult RunLdrController(
+    const Graph& g, const std::vector<Aggregate>& aggregates,
+    const std::vector<std::vector<double>>& history_100ms, KspCache* cache,
+    const LdrControllerOptions& opts) {
+  // One-epoch wrapper: a fresh controller fed the entire history as a
+  // single segment reproduces the original one-shot behavior exactly (the
+  // fresh predictors see the same per-minute means PredictDemands computes,
+  // and the LP context starts cold).
+  LdrController controller(&g, cache, opts);
+  return controller.RunEpoch(aggregates, history_100ms);
 }
 
 }  // namespace ldr

@@ -10,6 +10,15 @@
 //   (4) where a link fails, scale up the demand estimate Ba of the
 //       aggregates crossing it — adding headroom only where it is needed,
 //       "for those aggregates that don't multiplex well" — and re-optimize.
+//
+// The paper's controller is not a one-shot optimizer: it runs this loop
+// every minute against live measurements, and consecutive minutes share
+// almost all state. LdrController is that persistent form — it owns the
+// per-aggregate predictor states and the warm LP context across epochs, and
+// takes topology deltas (link down/up, capacity change) between epochs. The
+// free RunLdrController function remains as the one-epoch wrapper every
+// pre-engine caller uses: a fresh controller driven for a single epoch over
+// the full history, bit-for-bit the original behavior.
 #ifndef LDR_ROUTING_LDR_CONTROLLER_H_
 #define LDR_ROUTING_LDR_CONTROLLER_H_
 
@@ -20,6 +29,7 @@
 #include "routing/scheme.h"
 #include "tm/traffic_matrix.h"
 #include "traffic/multiplex.h"
+#include "traffic/predictor.h"
 
 namespace ldr {
 
@@ -39,6 +49,14 @@ struct LdrControllerResult {
   int rounds = 0;
   bool multiplex_ok = false;  // all links passed in the final round
   size_t failing_links_last_round = 0;
+  // Routing wall-clock summed over *all* optimize rounds of the epoch
+  // (outcome.solve_ms covers only the final round's re-optimization).
+  double solve_ms_total = 0;
+  // True when this epoch re-entered the previous epoch's live LP with
+  // demand deltas instead of rebuilding it (always false for the one-epoch
+  // RunLdrController wrapper and for the first epoch after a topology
+  // delta).
+  bool warm_epoch = false;
 };
 
 // Algorithm 1 demand prediction for every aggregate: per-minute means of
@@ -47,6 +65,76 @@ struct LdrControllerResult {
 std::vector<double> PredictDemands(
     const std::vector<std::vector<double>>& history_100ms,
     const LdrControllerOptions& opts);
+
+// The persistent form of the same step: feeds one epoch's measured segment
+// into long-lived per-aggregate predictors (resetting them if the aggregate
+// count changed) and returns the demand estimates. Shared by
+// LdrController::RunEpoch and the scenario engine's baseline drivers, so
+// every driver in a scenario sees identical demand inputs.
+std::vector<double> AdvancePredictors(
+    std::vector<MeanRatePredictor>* predictors,
+    const std::vector<std::vector<double>>& segment_100ms,
+    const LdrControllerOptions& opts);
+
+// Persistent controller: one instance per (graph, cache), driven epoch by
+// epoch. State carried across RunEpoch calls: per-aggregate predictors
+// (Algorithm 1 decay needs the previous prediction), the warm LP plus grown
+// path sets (LpReuseContext), and the KSP cache it was handed. The scenario
+// engine owns one of these and threads topology deltas through the
+// OnLinkDown / OnLinkUp / OnCapacityChange hooks, which invalidate exactly
+// as much of that state as the delta requires:
+//
+//   demand change      nothing — RunEpoch pushes demand deltas warm
+//   capacity change    LP dropped (capacities are baked into its rows);
+//                      predictors and KSP cache survive (delays unchanged)
+//   link down          LP dropped + targeted KSP eviction of the pairs
+//                      whose produced paths cross the link
+//                      (KspCache::InvalidateLink over the reverse index)
+//   link up            LP dropped + all generators cleared (a restored link
+//                      can shorten any pair's k-th path); the PathStore
+//                      arena survives, so rediscovered paths keep their ids
+class LdrController {
+ public:
+  // graph and cache must outlive the controller; the cache must be built
+  // over `graph`.
+  LdrController(const Graph* graph, KspCache* cache,
+                const LdrControllerOptions& opts = {});
+
+  // One controller epoch over the minute(s) measured since the last call:
+  // feeds `segment_100ms` (one series per aggregate, 100 ms bins) to the
+  // persistent predictors, then runs the optimize/appraise/scale-up loop,
+  // re-entering the LP warm when no topology delta intervened. The
+  // aggregate set must be the same (src/dst/flow_count) across epochs for
+  // warm re-entry; demand_gbps fields are ignored as always.
+  LdrControllerResult RunEpoch(
+      const std::vector<Aggregate>& aggregates,
+      const std::vector<std::vector<double>>& segment_100ms);
+
+  // Topology deltas (see table above). The caller flips the graph state
+  // (Graph::SetLinkDown / SetCapacity) itself; these hooks reconcile the
+  // controller's cached state with it.
+  void OnLinkDown(LinkId link);
+  void OnLinkUp(LinkId link);
+  void OnCapacityChange();
+
+  // Drops the warm LP so the next epoch rebuilds from scratch — the
+  // cold-epoch baseline the scenario engine's incremental=false mode and
+  // the warm-vs-cold benches use.
+  void DropWarmState();
+
+  // Generators evicted by OnLinkDown calls so far (telemetry).
+  size_t ksp_evictions() const { return ksp_evictions_; }
+
+  const LdrControllerOptions& options() const { return opts_; }
+
+ private:
+  const Graph* g_;
+  KspCache* cache_;
+  LdrControllerOptions opts_;
+  std::vector<MeanRatePredictor> predictors_;
+  LpReuseContext reuse_;
+  size_t ksp_evictions_ = 0;
+};
 
 // `history_100ms[a]`: aggregate a's measured rate series at 100 ms
 // granularity (at least one minute; multiple minutes drive the predictor

@@ -470,6 +470,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     paths = reuse->paths;
     reuse->lp->UpdateDemands(aggregates);
     ilp = reuse->lp.get();
+    outcome.reused_warm = true;
   } else {
     paths.resize(aggregates.size());
     for (size_t a = 0; a < aggregates.size(); ++a) {

@@ -40,6 +40,11 @@ struct RoutingOutcome {
   // true capacities by sim::Evaluate.
   bool feasible = true;
   int lp_rounds = 0;       // iterative path-growth rounds (LP schemes)
+  // LP schemes with an LpReuseContext: true when this call re-entered the
+  // previous call's live solver with demand deltas instead of rebuilding —
+  // set by the one place that makes that decision (IterativeLpRoute), so
+  // warm/cold telemetry upstream cannot drift from the actual behavior.
+  bool reused_warm = false;
   // Simplex pricing telemetry accumulated over all LP rounds: columns whose
   // reduced cost was evaluated, and simplex iterations run. The ratio is the
   // per-iteration pricing load partial pricing shrinks (0/0 for non-LP

@@ -1,0 +1,376 @@
+#include "sim/scenario_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "graph/shortest_path.h"
+#include "sim/corpus_runner.h"
+#include "sim/evaluate.h"
+#include "traffic/trace.h"
+#include "util/stats.h"
+
+namespace ldr {
+
+namespace {
+
+// (aggregate, path) -> fraction, for churn comparison. PathIds are stable
+// across epochs — the engine's PathStore arena survives every invalidation
+// — so id equality is placement equality.
+using AllocationMap = std::unordered_map<uint64_t, double>;
+
+AllocationMap FlattenAllocations(
+    const std::vector<std::vector<PathAllocation>>& allocations) {
+  AllocationMap out;
+  for (size_t a = 0; a < allocations.size(); ++a) {
+    for (const PathAllocation& pa : allocations[a]) {
+      uint64_t key = (static_cast<uint64_t>(a) << 32) |
+                     static_cast<uint32_t>(pa.path);
+      out[key] += pa.fraction;
+    }
+  }
+  return out;
+}
+
+// Order-independent placement fingerprint: XOR of per-key FNV hashes of the
+// *flattened* map, so keys are unique and the XOR can never cancel two
+// identical entries against each other (a list-level hash would fingerprint
+// a duplicated (aggregate, path) entry the same as its absence).
+uint64_t HashAllocations(const AllocationMap& allocations) {
+  uint64_t acc = 0;
+  for (const auto& [key, fraction] : allocations) {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+    };
+    mix(key);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(fraction), "double is 64-bit");
+    std::memcpy(&bits, &fraction, sizeof(bits));
+    mix(bits);
+    acc ^= h;
+  }
+  return acc;
+}
+
+// Fraction of (aggregate, path) entries — over the union of both epochs —
+// whose routed fraction moved by more than 1e-9.
+double RouteChurn(const AllocationMap& prev, const AllocationMap& cur) {
+  size_t union_size = 0;
+  size_t changed = 0;
+  for (const auto& [key, f] : cur) {
+    ++union_size;
+    auto it = prev.find(key);
+    double before = it == prev.end() ? 0.0 : it->second;
+    if (std::abs(f - before) > 1e-9) ++changed;
+  }
+  for (const auto& [key, f] : prev) {
+    if (cur.find(key) != cur.end()) continue;
+    ++union_size;
+    if (std::abs(f) > 1e-9) ++changed;
+  }
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(changed) / static_cast<double>(union_size);
+}
+
+}  // namespace
+
+void Scenario::AddLinkFlap(const Graph& graph, LinkId link, int down_epoch,
+                           int up_epoch) {
+  if (link < 0 || static_cast<size_t>(link) >= graph.LinkCount()) return;
+  for (LinkId l : {link, graph.ReverseLink(link)}) {
+    if (l == kInvalidLink) continue;
+    ScenarioEvent down;
+    down.type = ScenarioEvent::Type::kLinkDown;
+    down.epoch = down_epoch;
+    down.link = l;
+    events.push_back(down);
+    ScenarioEvent up;
+    up.type = ScenarioEvent::Type::kLinkUp;
+    up.epoch = up_epoch;
+    up.link = l;
+    events.push_back(up);
+  }
+}
+
+std::vector<std::vector<double>> ConstantScenarioTraffic(
+    const std::vector<Aggregate>& aggregates, int epochs, double epoch_sec,
+    double utilization) {
+  size_t samples = static_cast<size_t>(epochs * epoch_sec * 10.0 + 0.5);
+  std::vector<std::vector<double>> series(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    series[a].assign(samples, aggregates[a].demand_gbps * utilization);
+  }
+  return series;
+}
+
+double ScenarioReport::WarmSolveMsMedian() const {
+  std::vector<double> v;
+  for (const ScenarioEpochReport& er : epochs) {
+    if (er.warm && !er.event_epoch) v.push_back(er.solve_ms);
+  }
+  return Median(std::move(v));
+}
+
+double ScenarioReport::ColdSolveMsMedian() const {
+  std::vector<double> v;
+  for (const ScenarioEpochReport& er : epochs) {
+    if (!er.warm && !er.event_epoch) v.push_back(er.solve_ms);
+  }
+  return Median(std::move(v));
+}
+
+double ScenarioReport::EventFreeChurnMax() const {
+  double churn = 0;
+  for (const ScenarioEpochReport& er : epochs) {
+    if (er.epoch == 0 || er.event_epoch) continue;
+    churn = std::max(churn, er.route_churn);
+  }
+  return churn;
+}
+
+bool PlacementParity(const ScenarioReport& a, const ScenarioReport& b) {
+  if (a.epochs.size() != b.epochs.size()) return false;
+  for (size_t e = 0; e < a.epochs.size(); ++e) {
+    if (a.epochs[e].allocation_hash != b.epochs[e].allocation_hash) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioEngine::ScenarioEngine(const Topology& topology, Scenario scenario,
+                               ScenarioEngineOptions opts)
+    : scenario_(std::move(scenario)),
+      opts_(std::move(opts)),
+      graph_(topology.graph),
+      cache_(&graph_) {
+  if (opts_.scheme_id.empty()) {
+    // Note incremental=false does NOT flip IterativeOptions::incremental:
+    // cold epochs must run the same LP construction a post-event cold start
+    // runs (a fresh IncrementalRoutingLp), differing only in never keeping
+    // it — otherwise degenerate optima could differ bitwise between the two
+    // engines and the parity check would compare builders, not warmth.
+    controller_ =
+        std::make_unique<LdrController>(&graph_, &cache_, opts_.controller);
+  } else {
+    scheme_ = MakeScheme(opts_.scheme_id, &graph_, &cache_);
+  }
+}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+bool ScenarioEngine::EventValid(const ScenarioEvent& ev) const {
+  // Invalid events are ignored everywhere — not applied, not epoch-marking,
+  // not reported — so they cannot skew the event-free churn/solve
+  // populations or fabricate reconvergence entries. Two ways to be invalid:
+  // an epoch outside the scenario (the apply loop would never fire it), or
+  // a link-typed event naming no real link (a default-constructed
+  // ScenarioEvent or an unguarded ReverseLink() miss would otherwise index
+  // the mask array at SIZE_MAX).
+  if (ev.epoch < 0 || ev.epoch >= scenario_.epochs) return false;
+  if (ev.type == ScenarioEvent::Type::kDemandSurge) {
+    // A surge must actually surge something: positive window, and a target
+    // that is either the documented -1 ("every aggregate") or a real index.
+    return ev.duration_epochs > 0 && ev.aggregate >= -1 &&
+           (ev.aggregate < 0 ||
+            static_cast<size_t>(ev.aggregate) < scenario_.aggregates.size());
+  }
+  return ev.link >= 0 && static_cast<size_t>(ev.link) < graph_.LinkCount();
+}
+
+void ScenarioEngine::ApplyEvent(const ScenarioEvent& ev) {
+  switch (ev.type) {
+    case ScenarioEvent::Type::kLinkDown:
+      graph_.SetLinkDown(ev.link, true);
+      if (controller_ != nullptr) {
+        controller_->OnLinkDown(ev.link);
+      } else {
+        scheme_ksp_evictions_ += cache_.InvalidateLink(ev.link);
+      }
+      sp_dirty_ = true;
+      break;
+    case ScenarioEvent::Type::kLinkUp:
+      graph_.SetLinkDown(ev.link, false);
+      if (controller_ != nullptr) {
+        controller_->OnLinkUp(ev.link);
+      } else {
+        cache_.Clear();
+      }
+      sp_dirty_ = true;
+      break;
+    case ScenarioEvent::Type::kCapacityScale:
+      graph_.SetCapacity(ev.link, graph_.link(ev.link).capacity_gbps *
+                                      ev.factor);
+      if (controller_ != nullptr) controller_->OnCapacityChange();
+      // Delays are untouched: the stretch denominators stay valid.
+      break;
+    case ScenarioEvent::Type::kDemandSurge:
+      // Handled by EpochSegment; the demand delta flows into the LP warm.
+      break;
+  }
+}
+
+std::vector<std::vector<double>> ScenarioEngine::EpochSegment(
+    int epoch) const {
+  size_t spe = static_cast<size_t>(scenario_.epoch_sec * 10.0 + 0.5);
+  size_t begin = static_cast<size_t>(epoch) * spe;
+  std::vector<std::vector<double>> segment(scenario_.series_100ms.size());
+  for (size_t a = 0; a < scenario_.series_100ms.size(); ++a) {
+    const std::vector<double>& full = scenario_.series_100ms[a];
+    if (begin < full.size()) {
+      size_t end = std::min(full.size(), begin + spe);
+      segment[a].assign(full.begin() + static_cast<ptrdiff_t>(begin),
+                        full.begin() + static_cast<ptrdiff_t>(end));
+    }
+    // A series that has ended reads as *silent*, not as missing: pad with
+    // explicit zeros so the predictors decay toward zero (Algorithm 1)
+    // instead of holding the last estimate forever, and the optimizer-view
+    // metrics describe the same world the replay sees.
+    segment[a].resize(spe, 0.0);
+    for (const ScenarioEvent& ev : scenario_.events) {
+      if (ev.type != ScenarioEvent::Type::kDemandSurge || !EventValid(ev)) {
+        continue;  // invalid events are ignored everywhere, surges included
+      }
+      if (epoch < ev.epoch || epoch >= ev.epoch + ev.duration_epochs) continue;
+      if (ev.aggregate >= 0 && static_cast<size_t>(ev.aggregate) != a) continue;
+      for (double& v : segment[a]) v *= ev.factor;
+    }
+  }
+  return segment;
+}
+
+ScenarioReport ScenarioEngine::Run() {
+  ScenarioReport report;
+  report.scenario = scenario_.name;
+  report.driver = opts_.scheme_id.empty() ? "LDR" : opts_.scheme_id;
+
+  // Which demand surges are active at an epoch — a change in that set makes
+  // the epoch an event epoch even though nothing fires at it (the surge
+  // expiring changes the inputs).
+  auto active_surges = [&](int epoch) {
+    std::vector<size_t> active;
+    if (epoch < 0) return active;
+    for (size_t i = 0; i < scenario_.events.size(); ++i) {
+      const ScenarioEvent& ev = scenario_.events[i];
+      if (ev.type != ScenarioEvent::Type::kDemandSurge || !EventValid(ev)) {
+        continue;
+      }
+      if (epoch >= ev.epoch && epoch < ev.epoch + ev.duration_epochs) {
+        active.push_back(i);
+      }
+    }
+    return active;
+  };
+
+  AllocationMap prev_alloc;
+  for (int e = 0; e < scenario_.epochs; ++e) {
+    bool event_fired = false;
+    for (const ScenarioEvent& ev : scenario_.events) {
+      if (ev.epoch != e || !EventValid(ev)) continue;
+      ApplyEvent(ev);
+      if (ev.type != ScenarioEvent::Type::kDemandSurge) event_fired = true;
+    }
+    bool surge_changed = active_surges(e) != active_surges(e - 1);
+
+    if (!opts_.incremental && controller_ != nullptr) {
+      controller_->DropWarmState();
+    }
+
+    std::vector<std::vector<double>> segment = EpochSegment(e);
+    std::vector<Aggregate> working = scenario_.aggregates;
+
+    ScenarioEpochReport er;
+    er.epoch = e;
+    er.event_epoch = event_fired || surge_changed;
+
+    LdrControllerResult ctrl;
+    RoutingOutcome scheme_outcome;
+    const RoutingOutcome* outcome = nullptr;
+    if (controller_ != nullptr) {
+      ctrl = controller_->RunEpoch(working, segment);
+      for (size_t a = 0; a < working.size(); ++a) {
+        working[a].demand_gbps = ctrl.demand_estimate_gbps[a];
+      }
+      outcome = &ctrl.outcome;
+      er.warm = ctrl.warm_epoch;
+      er.rounds = ctrl.rounds;
+      er.multiplex_ok = ctrl.multiplex_ok;
+      er.failing_links = ctrl.failing_links_last_round;
+      // All rounds' solve time, not just the final re-optimization's —
+      // multi-round (event) epochs must not under-report.
+      er.solve_ms = ctrl.solve_ms_total;
+    } else {
+      // Scheme driver: the same Algorithm 1 demand feed as the controller
+      // (persistent predictors), then a from-scratch Route — B4/SP have no
+      // warm state to keep.
+      std::vector<double> demand =
+          AdvancePredictors(&predictors_, segment, opts_.controller);
+      for (size_t a = 0; a < working.size(); ++a) {
+        working[a].demand_gbps = demand[a];
+      }
+      scheme_outcome = scheme_->Route(working);
+      outcome = &scheme_outcome;
+      er.rounds = 1;
+      er.multiplex_ok = true;  // non-LDR drivers do not appraise
+      er.solve_ms = scheme_outcome.solve_ms;
+    }
+    for (const Aggregate& a : working) er.demand_total_gbps += a.demand_gbps;
+
+    if (sp_dirty_) {
+      sp_delay_ms_ = AllPairsShortestDelay(graph_);
+      sp_dirty_ = false;
+    }
+    EvalResult eval = Evaluate(graph_, working, *outcome, sp_delay_ms_);
+    er.congested_fraction = eval.congested_fraction;
+    er.max_stretch = eval.max_stretch;
+    er.total_stretch = eval.total_stretch;
+    er.overloaded_links = eval.overloaded_links;
+
+    ReplayResult replay =
+        ReplayTraffic(graph_, working, *outcome, segment, opts_.replay);
+    er.worst_queue_ms = replay.worst_queue_ms;
+    er.links_with_queueing = replay.links_with_queueing;
+
+    AllocationMap cur_alloc = FlattenAllocations(outcome->allocations);
+    er.route_churn = e == 0 ? 0.0 : RouteChurn(prev_alloc, cur_alloc);
+    er.allocations = cur_alloc.size();
+    er.allocation_hash = HashAllocations(cur_alloc);
+    prev_alloc = std::move(cur_alloc);
+
+    if (er.warm) {
+      ++report.warm_epochs;
+      report.warm_solve_ms_total += er.solve_ms;
+    } else {
+      ++report.cold_epochs;
+      report.cold_solve_ms_total += er.solve_ms;
+    }
+    report.epochs.push_back(er);
+  }
+
+  // Reconvergence per event: epochs until the first clean placement at or
+  // after the event's epoch.
+  for (const ScenarioEvent& ev : scenario_.events) {
+    if (!EventValid(ev)) continue;  // never applied: no phantom report entry
+    ScenarioEventReport evr;
+    evr.event = ev;
+    for (int e = ev.epoch; e < scenario_.epochs; ++e) {
+      const ScenarioEpochReport& er = report.epochs[static_cast<size_t>(e)];
+      if (er.multiplex_ok && er.congested_fraction == 0) {
+        evr.reconverge_epochs = e - ev.epoch;
+        break;
+      }
+    }
+    report.events.push_back(evr);
+  }
+  report.ksp_evictions = controller_ != nullptr
+                             ? controller_->ksp_evictions()
+                             : scheme_ksp_evictions_;
+  return report;
+}
+
+}  // namespace ldr

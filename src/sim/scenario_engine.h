@@ -1,0 +1,203 @@
+// ScenarioEngine — the discrete-time operational loop the paper's Fig. 11
+// controller actually lives in.
+//
+// Everything below the sim layer optimizes one frozen snapshot: a topology,
+// one traffic matrix, one placement. A Scenario is the missing time axis — a
+// measured traffic timeline cut into controller epochs (one per minute, as
+// deployed) plus an ordered list of operational events: links failing and
+// recovering, capacities being re-provisioned, demand surging. The engine
+// advances the timeline epoch by epoch, keeping the controller state that
+// makes consecutive epochs cheap (per-aggregate predictor states, the
+// KspCache + PathStore arena, the warm LP of LpReuseContext) and reconciling
+// exactly as much of it as each event invalidates (see LdrController's
+// delta hooks). After each reconfiguration the epoch's measured segment is
+// replayed through the installed placement, so every epoch reports both the
+// optimizer's view (congestion/stretch from Evaluate) and the realized one
+// (queueing from replay).
+//
+// The engine is deliberately serial and consults no environment knobs:
+// identical scenarios produce bitwise-identical reports at any LDR_THREADS
+// setting (the ci.sh determinism probe holds it to that).
+#ifndef LDR_SIM_SCENARIO_ENGINE_H_
+#define LDR_SIM_SCENARIO_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/ksp.h"
+#include "routing/ldr_controller.h"
+#include "routing/scheme.h"
+#include "sim/replay.h"
+#include "topology/topology.h"
+
+namespace ldr {
+
+// One operational event, applied at the start of its epoch, before that
+// epoch's reconfiguration — the controller re-optimizes *in response*.
+struct ScenarioEvent {
+  enum class Type {
+    kLinkDown,       // mask `link` out of the topology
+    kLinkUp,         // restore `link`
+    kCapacityScale,  // multiply `link`'s capacity by `factor`
+    kDemandSurge,    // multiply traffic of `aggregate` (-1: all) by `factor`
+                     // for `duration_epochs` epochs
+  };
+
+  Type type = Type::kLinkDown;
+  int epoch = 0;
+  LinkId link = kInvalidLink;  // kLinkDown / kLinkUp / kCapacityScale
+  double factor = 1.0;         // kCapacityScale / kDemandSurge
+  int duration_epochs = 1;     // kDemandSurge
+  int aggregate = -1;          // kDemandSurge; -1 = every aggregate
+};
+
+// A traffic timeline plus events. The aggregate set is fixed for the whole
+// scenario (its demand_gbps fields are ignored — demand comes from the
+// measured series through Algorithm 1, as in the deployed controller);
+// series_100ms[a] is aggregate a's measured rate series at 100 ms bins
+// covering all epochs. Epochs beyond a series' end read it as silent:
+// segments are zero-padded, so predictions decay toward zero rather than
+// holding the last estimate.
+struct Scenario {
+  std::string name;
+  std::vector<Aggregate> aggregates;
+  std::vector<std::vector<double>> series_100ms;
+  int epochs = 10;
+  double epoch_sec = 60;  // controller period; 60 s = the paper's minute
+  std::vector<ScenarioEvent> events;
+
+  // Appends the canonical cable-flap event shape: kLinkDown at `down_epoch`
+  // and kLinkUp at `up_epoch` for `link` and (when the graph resolves one)
+  // its reverse direction — a physical cable failure takes both.
+  void AddLinkFlap(const Graph& graph, LinkId link, int down_epoch,
+                   int up_epoch);
+};
+
+// Builds the constant-rate timeline used by the failure benches and tests:
+// each aggregate transmits at `utilization` times its Scenario demand for
+// the whole scenario, so event-free epochs are exactly stationary (route
+// churn on them must be 0).
+std::vector<std::vector<double>> ConstantScenarioTraffic(
+    const std::vector<Aggregate>& aggregates, int epochs, double epoch_sec,
+    double utilization = 1.0);
+
+struct ScenarioEpochReport {
+  int epoch = 0;
+  // An event fired at this epoch, or a demand surge started/expired — i.e.
+  // the epoch's inputs differ from the previous epoch's beyond measurement.
+  bool event_epoch = false;
+  bool warm = false;      // LP re-entered warm (LDR driver only)
+  double solve_ms = 0;    // routing computation wall-clock
+  int rounds = 0;         // controller optimize/appraise rounds (1 = clean)
+  bool multiplex_ok = false;
+  size_t failing_links = 0;
+  double demand_total_gbps = 0;  // sum of the epoch's demand estimates
+  // Optimizer-view metrics (Evaluate against true capacities; stretch
+  // denominators use the *current* — masked — topology's shortest paths).
+  double congested_fraction = 0;
+  double max_stretch = 1;
+  double total_stretch = 1;
+  size_t overloaded_links = 0;
+  // Realized metrics: the epoch's measured segment replayed through the
+  // installed placement.
+  double worst_queue_ms = 0;
+  size_t links_with_queueing = 0;
+  // Fraction of (aggregate, PathId) allocation entries — over the union of
+  // this epoch's and the previous epoch's — whose fraction changed by more
+  // than 1e-9. 0 on the first epoch.
+  double route_churn = 0;
+  size_t allocations = 0;  // PathAllocation entries installed
+  // Order-independent FNV fingerprint of the installed placement: one hash
+  // per (aggregate, PathId) key with its total fraction bits, XOR-combined
+  // (keys are unique after merging, so entries cannot cancel). Two epochs
+  // with equal hashes installed bitwise-identical placements; the
+  // determinism and warm-vs-cold parity tests compare these.
+  uint64_t allocation_hash = 0;
+};
+
+struct ScenarioEventReport {
+  ScenarioEvent event;
+  // Epochs from the event until the controller regained a clean placement
+  // (multiplex_ok — always true for non-LDR drivers — and no congested
+  // aggregate): 0 = the event's own epoch recovered. -1 = never within the
+  // scenario.
+  int reconverge_epochs = -1;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::string driver;  // "LDR" or the scheme id
+  std::vector<ScenarioEpochReport> epochs;
+  std::vector<ScenarioEventReport> events;
+  // Warm/cold epoch split (cold = LP rebuilt from scratch: the first epoch
+  // and every epoch after a topology delta — or all epochs when
+  // incremental is off).
+  size_t warm_epochs = 0;
+  size_t cold_epochs = 0;
+  double warm_solve_ms_total = 0;
+  double cold_solve_ms_total = 0;
+  size_t ksp_evictions = 0;  // generators evicted by LinkDown invalidation
+
+  // Median solve_ms over warm / cold *event-free* epochs (the comparable
+  // populations: event epochs pay re-optimization work on top of the LP
+  // temperature). 0 when the population is empty.
+  double WarmSolveMsMedian() const;
+  double ColdSolveMsMedian() const;
+  // Max route_churn over event-free epochs (>0 means placements drift
+  // without operational cause).
+  double EventFreeChurnMax() const;
+};
+
+// True when two runs of the same scenario installed bitwise-identical
+// placements every epoch (allocation_hash equality throughout) — the
+// warm-vs-cold A/B contract checked by fig21 and bench_to_json's scenario
+// section: one definition, so the figure and the JSON cannot drift.
+bool PlacementParity(const ScenarioReport& a, const ScenarioReport& b);
+
+struct ScenarioEngineOptions {
+  LdrControllerOptions controller;
+  // Empty: drive the full LDR controller loop. Otherwise a MakeScheme id
+  // ("SP", "B4", ...) re-routed from scratch each epoch on the same
+  // predicted demands — the comparison drivers of the failure benches.
+  std::string scheme_id;
+  // false: drop the warm LP before every epoch, so each one rebuilds cold —
+  // the A/B baseline proving warm epochs change nothing but solve time.
+  bool incremental = true;
+  ReplayOptions replay;
+};
+
+class ScenarioEngine {
+ public:
+  // Copies the topology's graph: events mutate it (masking, capacity), and
+  // the scenario must not bleed into the caller's instance.
+  ScenarioEngine(const Topology& topology, Scenario scenario,
+                 ScenarioEngineOptions opts = {});
+  ~ScenarioEngine();
+
+  // Runs the whole scenario. One call per engine.
+  ScenarioReport Run();
+
+  // The engine's working topology (post-run: final event state).
+  const Graph& graph() const { return graph_; }
+
+ private:
+  bool EventValid(const ScenarioEvent& ev) const;
+  void ApplyEvent(const ScenarioEvent& ev);
+  std::vector<std::vector<double>> EpochSegment(int epoch) const;
+
+  Scenario scenario_;
+  ScenarioEngineOptions opts_;
+  Graph graph_;
+  KspCache cache_;
+  std::unique_ptr<LdrController> controller_;   // LDR driver
+  std::unique_ptr<RoutingScheme> scheme_;       // scheme driver
+  std::vector<MeanRatePredictor> predictors_;   // scheme driver's Algorithm 1
+  std::vector<double> sp_delay_ms_;             // refreshed on mask changes
+  bool sp_dirty_ = true;
+  size_t scheme_ksp_evictions_ = 0;  // scheme driver's LinkDown evictions
+};
+
+}  // namespace ldr
+
+#endif  // LDR_SIM_SCENARIO_ENGINE_H_

@@ -45,6 +45,17 @@ std::vector<double> PerMinuteMeans(const std::vector<double>& samples,
   return out;
 }
 
+std::vector<double> PerMinuteMeansOrMean(const std::vector<double>& samples,
+                                         double samples_per_sec) {
+  std::vector<double> minutes = PerMinuteMeans(samples, samples_per_sec);
+  if (minutes.empty() && !samples.empty()) {
+    double s = 0;
+    for (double v : samples) s += v;
+    minutes.push_back(s / static_cast<double>(samples.size()));
+  }
+  return minutes;
+}
+
 std::vector<double> PerMinuteStdDevs(const std::vector<double>& samples,
                                      double samples_per_sec) {
   size_t per_minute = static_cast<size_t>(60 * samples_per_sec);

@@ -34,6 +34,12 @@ std::vector<double> SynthesizeTraceGbps(const TraceOptions& opts, Rng* rng);
 std::vector<double> PerMinuteMeans(const std::vector<double>& samples,
                                    double samples_per_sec);
 
+// Per-minute means with the short-segment fallback the controller's
+// Algorithm 1 feed uses: a series shorter than one full minute contributes
+// its plain mean as a single entry instead of being dropped.
+std::vector<double> PerMinuteMeansOrMean(const std::vector<double>& samples,
+                                         double samples_per_sec);
+
 // Per-minute standard deviations (population) of a sample series.
 std::vector<double> PerMinuteStdDevs(const std::vector<double>& samples,
                                      double samples_per_sec);

@@ -45,6 +45,58 @@ TEST(Graph, ReverseLink) {
   EXPECT_EQ(g.link(rev).dst, g.link(fwd).src);
 }
 
+TEST(GraphMask, OutLinksSkipDownLinks) {
+  Graph g = Diamond();
+  LinkId ab = 0;  // A->B
+  EXPECT_FALSE(g.IsLinkDown(ab));
+  size_t before = g.OutLinks(0).size();
+  g.SetLinkDown(ab, true);
+  EXPECT_TRUE(g.IsLinkDown(ab));
+  EXPECT_EQ(g.DownLinkCount(), 1u);
+  EXPECT_EQ(g.OutLinks(0).size(), before - 1);
+  for (LinkId l : g.OutLinks(0)) EXPECT_NE(l, ab);
+  // The raw CSR run still sees the physical adjacency.
+  EXPECT_EQ(g.AllOutLinks(0).size(), before);
+  // Masking is idempotent and reversible without a rebuild.
+  g.SetLinkDown(ab, true);
+  EXPECT_EQ(g.DownLinkCount(), 1u);
+  g.SetLinkDown(ab, false);
+  EXPECT_EQ(g.DownLinkCount(), 0u);
+  std::vector<LinkId> out(g.OutLinks(0).begin(), g.OutLinks(0).end());
+  EXPECT_EQ(out.size(), before);
+  EXPECT_EQ(out.front(), ab);  // insertion order intact
+}
+
+TEST(GraphMask, ShortestPathRoutesAroundDownLink) {
+  Graph g = Diamond();
+  auto sp = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 2.0);  // A->B->D
+  g.SetLinkDown(0, true);                 // A->B fails
+  sp = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 4.0);  // A->C->D
+  EXPECT_FALSE(sp->ContainsLink(0));
+  g.SetLinkDown(0, false);
+  sp = ShortestPath(g, 0, 3);
+  EXPECT_DOUBLE_EQ(sp->DelayMs(g), 2.0);  // restored
+}
+
+TEST(GraphMask, DisconnectionUnderMaskIsVisible) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  LinkId ab = g.AddLink(a, b, 1, 10);
+  LinkId ba = g.AddLink(b, a, 1, 10);
+  g.SetLinkDown(ab, true);
+  g.SetLinkDown(ba, true);
+  EXPECT_FALSE(ShortestPath(g, a, b).has_value());
+  // Physical-identity queries still see the cable: HasLink must not let
+  // topology evolution re-add it, and ReverseLink must resolve mid-outage
+  // so a restore event can find the other direction.
+  EXPECT_TRUE(g.HasLink(a, b));
+  EXPECT_EQ(g.ReverseLink(ab), ba);
+}
+
 TEST(Path, DelayBottleneckNodes) {
   Graph g = Diamond();
   auto sp = ShortestPath(g, 0, 3);

@@ -1,0 +1,351 @@
+// Tier-1 coverage for the epoch-driven scenario stack:
+//  - KspCache invalidation under topology change (the LinkDown eviction
+//    contract, including the candidate-queue guard), and the regression
+//    that stale paths are never handed to the LP;
+//  - LdrController as a persistent epoch loop (warm re-entry, delta hooks);
+//  - ScenarioEngine determinism (thread-count-independent, bitwise),
+//    warm-vs-cold epoch parity, and a failure/recovery integration run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/ksp.h"
+#include "graph/shortest_path.h"
+#include "routing/ldr_controller.h"
+#include "sim/scenario_engine.h"
+#include "topology/topology.h"
+
+namespace ldr {
+namespace {
+
+// A-B direct (1 ms, tight) with a roomy A-C-B detour, plus an unrelated
+// C-D spur. Link ids: A->B=0 B->A=1 A->C=2 C->A=3 C->B=4 B->C=5 C->D=6
+// D->C=7.
+Topology FailoverNet(double direct_cap = 10) {
+  Topology t;
+  t.name = "failover-net";
+  NodeId a = t.AddPop("A", 10.0, 10.0);
+  NodeId b = t.AddPop("B", 10.0, 20.0);
+  NodeId c = t.AddPop("C", 20.0, 15.0);
+  NodeId d = t.AddPop("D", 30.0, 15.0);
+  t.AddCable(a, b, direct_cap, 1.0);
+  t.AddCable(a, c, 100, 2.0);
+  t.AddCable(c, b, 100, 2.0);
+  t.AddCable(c, d, 100, 1.0);
+  return t;
+}
+
+Aggregate MakeAgg(NodeId s, NodeId d, double demand) {
+  Aggregate a;
+  a.src = s;
+  a.dst = d;
+  a.demand_gbps = demand;
+  a.flow_count = 10;
+  return a;
+}
+
+Scenario FailureScenario(const Graph& g, int epochs = 10, int down_at = 3,
+                         int up_at = 6) {
+  Scenario s;
+  s.name = "down-up";
+  s.epochs = epochs;
+  // Demands sized so everything is comfortable on the detour too.
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0),
+                  MakeAgg(2, 3, 1.0)};
+  s.series_100ms =
+      ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  // Fail the A<->B cable (both directions), then restore it.
+  s.AddLinkFlap(g, 0, down_at, up_at);
+  return s;
+}
+
+bool AnyAllocationCrosses(const RoutingOutcome& outcome, LinkId link) {
+  for (const auto& allocation : outcome.allocations) {
+    for (const PathAllocation& pa : allocation) {
+      if (pa.fraction <= 1e-9) continue;
+      if (outcome.store->ContainsLink(pa.path, link)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(KspInvalidation, LinkDownEvictsExactlyCrossingPairs) {
+  Topology t = FailoverNet();
+  Graph& g = t.graph;
+  KspCache cache(&g);
+  KspGenerator* gab = cache.Get(0, 1);
+  ASSERT_NE(gab->GetId(0), kInvalidPathId);  // A->B direct
+  KspGenerator* gcd = cache.Get(2, 3);
+  ASSERT_NE(gcd->GetId(0), kInvalidPathId);  // C->D, untouched by A->B
+  ASSERT_EQ(cache.size(), 2u);
+
+  g.SetLinkDown(0, true);  // A->B fails
+  size_t evicted = cache.InvalidateLink(0);
+  EXPECT_EQ(evicted, 1u);  // exactly the (A,B) generator
+  EXPECT_EQ(cache.size(), 1u);
+  // The untouched pair keeps its warm generator object.
+  EXPECT_EQ(cache.Get(2, 3), gcd);
+
+  // A rebuilt (A,B) generator produces only mask-valid paths, and the
+  // store's delay cache still serves them.
+  KspGenerator* fresh = cache.Get(0, 1);
+  for (size_t k = 0;; ++k) {
+    PathId p = fresh->GetId(k);
+    if (p == kInvalidPathId) break;
+    EXPECT_FALSE(cache.store()->ContainsLink(p, 0));
+  }
+  EXPECT_DOUBLE_EQ(cache.store()->DelayMs(fresh->GetId(0)), 4.0);  // A-C-B
+}
+
+// A->B paths in delay order: A-B (1), A-C-B (4), A-C-D-B (4.5), A-E-B (6).
+// Producing the third generates candidates from A-C-B at *two* spur
+// positions in one round — A-E-B at spur A, A-C-D-B at spur C — and pops
+// only A-C-D-B, so A-E-B genuinely remains in the candidate queue: the
+// non-interned half of the generator's state.
+Topology CandidateNet(LinkId* e_to_b) {
+  Topology t;
+  NodeId a = t.AddPop("A", 10, 10), b = t.AddPop("B", 10, 20),
+         c = t.AddPop("C", 20, 15), d = t.AddPop("D", 20, 18),
+         e = t.AddPop("E", 0, 15);
+  t.AddCable(a, b, 10, 1.0);
+  t.AddCable(a, c, 10, 2.0);
+  t.AddCable(c, b, 10, 2.0);
+  t.AddCable(c, d, 10, 1.0);
+  t.AddCable(d, b, 10, 1.5);
+  t.AddCable(a, e, 10, 3.0);
+  LinkId eb = t.AddCable(e, b, 10, 3.0);
+  *e_to_b = t.graph.link(eb).src == e ? eb : t.graph.ReverseLink(eb);
+  return t;
+}
+
+TEST(KspInvalidation, CandidateQueueCrossingEvictsTheGenerator) {
+  // Failing a link that only a *queued candidate* crosses must still evict
+  // the generator: Yen records only the best spur per position, so a
+  // discarded candidate's spur search would never re-run and the masked
+  // path space could be under-produced. Eviction rebuilds it correctly.
+  LinkId e_to_b = kInvalidLink;
+  Topology t = CandidateNet(&e_to_b);
+  Graph& g = t.graph;
+  KspCache cache(&g);
+  KspGenerator* gen = cache.Get(0, 1);
+  ASSERT_NE(gen->GetId(2), kInvalidPathId);  // A-B, A-C-B, A-C-D-B produced
+  ASSERT_FALSE(cache.store()->ContainsLink(gen->GetId(2), e_to_b));
+  KspGenerator* unrelated = cache.Get(2, 3);  // C->D, no state on E-B
+  ASSERT_NE(unrelated->GetId(0), kInvalidPathId);
+
+  g.SetLinkDown(e_to_b, true);
+  // No *produced* (A,B) path crosses e->b, but the queued A-E-B candidate
+  // does: the candidate scan must evict the generator anyway.
+  EXPECT_EQ(cache.InvalidateLink(e_to_b), 1u);
+  EXPECT_EQ(cache.Get(2, 3), unrelated);  // survivor kept
+  KspGenerator* fresh = cache.Get(0, 1);
+  EXPECT_NE(fresh->GetId(2), kInvalidPathId);  // masked space: 3 paths...
+  EXPECT_EQ(fresh->GetId(3), kInvalidPathId);  // ...and no fourth
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_FALSE(cache.store()->ContainsLink(fresh->GetId(k), e_to_b));
+  }
+}
+
+TEST(KspInvalidation, PopTimeGuardCoversUninvalidatedMasks) {
+  // A standalone generator whose graph is masked *without* cache
+  // invalidation must still never produce a path crossing the down link
+  // (it may under-produce — eviction is the complete answer; see ksp.h).
+  LinkId e_to_b = kInvalidLink;
+  Topology t = CandidateNet(&e_to_b);
+  Graph& g = t.graph;
+  KspGenerator gen(&g, 0, 1);
+  ASSERT_NE(gen.GetId(2), kInvalidPathId);  // A-E-B now queued
+  g.SetLinkDown(e_to_b, true);
+  // The queued A-E-B candidate is discarded at pop time, never produced.
+  EXPECT_EQ(gen.GetId(3), kInvalidPathId);
+}
+
+TEST(Controller, StalePathsNeverReachTheLpAfterLinkDown) {
+  Topology t = FailoverNet();
+  Graph& g = t.graph;
+  KspCache cache(&g);
+  LdrController controller(&g, &cache);
+  std::vector<Aggregate> aggs{MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  std::vector<std::vector<double>> segment{
+      std::vector<double>(600, 3.0), std::vector<double>(600, 2.0)};
+
+  LdrControllerResult r1 = controller.RunEpoch(aggs, segment);
+  EXPECT_FALSE(r1.warm_epoch);
+  EXPECT_TRUE(r1.multiplex_ok);
+  // Comfortable direct link: the placement uses it.
+  EXPECT_TRUE(AnyAllocationCrosses(r1.outcome, 0));
+
+  // Second epoch, no deltas: warm re-entry, same placement.
+  LdrControllerResult r2 = controller.RunEpoch(aggs, segment);
+  EXPECT_TRUE(r2.warm_epoch);
+
+  // Fail A->B and B->A. The next epoch must be cold and must never hand a
+  // path crossing the failed links to the LP.
+  for (LinkId l : {LinkId{0}, LinkId{1}}) {
+    g.SetLinkDown(l, true);
+    controller.OnLinkDown(l);
+  }
+  EXPECT_GT(controller.ksp_evictions(), 0u);
+  LdrControllerResult r3 = controller.RunEpoch(aggs, segment);
+  EXPECT_FALSE(r3.warm_epoch);
+  EXPECT_TRUE(r3.multiplex_ok);
+  EXPECT_FALSE(AnyAllocationCrosses(r3.outcome, 0));
+  EXPECT_FALSE(AnyAllocationCrosses(r3.outcome, 1));
+  // And the epoch after the failure re-enters warm again.
+  LdrControllerResult r4 = controller.RunEpoch(aggs, segment);
+  EXPECT_TRUE(r4.warm_epoch);
+}
+
+void ExpectReportsIdentical(const ScenarioReport& x, const ScenarioReport& y) {
+  ASSERT_EQ(x.epochs.size(), y.epochs.size());
+  for (size_t e = 0; e < x.epochs.size(); ++e) {
+    const ScenarioEpochReport& a = x.epochs[e];
+    const ScenarioEpochReport& b = y.epochs[e];
+    EXPECT_EQ(a.event_epoch, b.event_epoch) << "epoch " << e;
+    EXPECT_EQ(a.warm, b.warm) << "epoch " << e;
+    EXPECT_EQ(a.rounds, b.rounds) << "epoch " << e;
+    EXPECT_EQ(a.multiplex_ok, b.multiplex_ok) << "epoch " << e;
+    EXPECT_EQ(a.allocations, b.allocations) << "epoch " << e;
+    EXPECT_EQ(a.allocation_hash, b.allocation_hash) << "epoch " << e;
+    // Bitwise: metrics are pure functions of the placement and segment.
+    EXPECT_EQ(a.demand_total_gbps, b.demand_total_gbps) << "epoch " << e;
+    EXPECT_EQ(a.congested_fraction, b.congested_fraction) << "epoch " << e;
+    EXPECT_EQ(a.max_stretch, b.max_stretch) << "epoch " << e;
+    EXPECT_EQ(a.total_stretch, b.total_stretch) << "epoch " << e;
+    EXPECT_EQ(a.worst_queue_ms, b.worst_queue_ms) << "epoch " << e;
+    EXPECT_EQ(a.route_churn, b.route_churn) << "epoch " << e;
+  }
+  ASSERT_EQ(x.events.size(), y.events.size());
+  for (size_t i = 0; i < x.events.size(); ++i) {
+    EXPECT_EQ(x.events[i].reconverge_epochs, y.events[i].reconverge_epochs);
+  }
+  EXPECT_EQ(x.ksp_evictions, y.ksp_evictions);
+}
+
+TEST(ScenarioEngine, ReportsAreThreadCountInvariant) {
+  // The engine is serial by design; LDR_THREADS must not leak into it.
+  Topology t = FailoverNet();
+  setenv("LDR_THREADS", "1", 1);
+  ScenarioReport r1 = ScenarioEngine(t, FailureScenario(t.graph)).Run();
+  setenv("LDR_THREADS", "4", 1);
+  ScenarioReport r4 = ScenarioEngine(t, FailureScenario(t.graph)).Run();
+  unsetenv("LDR_THREADS");
+  ExpectReportsIdentical(r1, r4);
+}
+
+TEST(ScenarioEngine, WarmEpochsMatchColdEpochsExactly) {
+  // incremental=false rebuilds the LP from scratch every epoch; the warm
+  // engine must install bitwise-identical placements anyway — warmth may
+  // only change solve time.
+  Topology t = FailoverNet();
+  ScenarioEngineOptions warm;
+  ScenarioEngineOptions cold;
+  cold.incremental = false;
+  ScenarioReport rw = ScenarioEngine(t, FailureScenario(t.graph), warm).Run();
+  ScenarioReport rc = ScenarioEngine(t, FailureScenario(t.graph), cold).Run();
+  ASSERT_EQ(rw.epochs.size(), rc.epochs.size());
+  // The warm run actually exercised warm re-entry (all event-free epochs
+  // after the first), the cold run never did.
+  EXPECT_GT(rw.warm_epochs, 0u);
+  EXPECT_EQ(rc.warm_epochs, 0u);
+  for (size_t e = 0; e < rw.epochs.size(); ++e) {
+    EXPECT_EQ(rw.epochs[e].allocation_hash, rc.epochs[e].allocation_hash)
+        << "epoch " << e;
+    EXPECT_EQ(rw.epochs[e].multiplex_ok, rc.epochs[e].multiplex_ok);
+  }
+}
+
+TEST(ScenarioEngine, FailureRecoveryTimeline) {
+  Topology t = FailoverNet();
+  Scenario s = FailureScenario(t.graph, /*epochs=*/10, /*down_at=*/3, /*up_at=*/6);
+  ScenarioEngine engine(t, s);
+  ScenarioReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 10u);
+
+  // Epoch 0 cold; event epochs (3, 6) cold; everything else warm.
+  for (const ScenarioEpochReport& er : report.epochs) {
+    bool expect_warm = er.epoch != 0 && er.epoch != 3 && er.epoch != 6;
+    EXPECT_EQ(er.warm, expect_warm) << "epoch " << er.epoch;
+    EXPECT_EQ(er.event_epoch, er.epoch == 3 || er.epoch == 6);
+    // The detour has room: every epoch must keep a clean placement.
+    EXPECT_TRUE(er.multiplex_ok) << "epoch " << er.epoch;
+    EXPECT_EQ(er.congested_fraction, 0.0) << "epoch " << er.epoch;
+  }
+
+  // Reconvergence: every event recovered within the controller's round
+  // budget worth of epochs (here: immediately).
+  ASSERT_EQ(report.events.size(), 4u);
+  for (const ScenarioEventReport& evr : report.events) {
+    ASSERT_GE(evr.reconverge_epochs, 0);
+    EXPECT_LE(evr.reconverge_epochs, LdrControllerOptions{}.max_rounds);
+  }
+
+  // Route churn: zero on event-free epochs, nonzero exactly when the
+  // placement had to move (failure) and when it moved back (recovery).
+  EXPECT_EQ(report.EventFreeChurnMax(), 0.0);
+  EXPECT_GT(report.epochs[3].route_churn, 0.0);
+  EXPECT_GT(report.epochs[6].route_churn, 0.0);
+
+  // The failure evicted the (A,B)/(B,A) generators through the reverse
+  // index.
+  EXPECT_GT(report.ksp_evictions, 0u);
+
+  // Mask restored at the end of the scenario.
+  EXPECT_EQ(engine.graph().DownLinkCount(), 0u);
+}
+
+TEST(ScenarioEngine, DemandSurgeStaysWarmAndRaisesDemand) {
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "surge";
+  s.epochs = 6;
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  ScenarioEvent surge;
+  surge.type = ScenarioEvent::Type::kDemandSurge;
+  surge.epoch = 2;
+  surge.duration_epochs = 2;
+  surge.factor = 2.0;
+  surge.aggregate = 0;
+  s.events.push_back(surge);
+
+  ScenarioReport report = ScenarioEngine(t, s).Run();
+  ASSERT_EQ(report.epochs.size(), 6u);
+  // A demand delta is not a topology delta: the surge epochs re-enter warm.
+  for (int e = 1; e < 6; ++e) {
+    EXPECT_TRUE(report.epochs[static_cast<size_t>(e)].warm) << "epoch " << e;
+  }
+  // Surge start and expiry are event epochs; demand follows the surge up
+  // (2x immediately) and decays back down afterwards (Algorithm 1).
+  EXPECT_TRUE(report.epochs[2].event_epoch);
+  EXPECT_TRUE(report.epochs[4].event_epoch);
+  EXPECT_FALSE(report.epochs[1].event_epoch);
+  EXPECT_GT(report.epochs[2].demand_total_gbps,
+            report.epochs[1].demand_total_gbps + 2.9);
+  EXPECT_LT(report.epochs[5].demand_total_gbps,
+            report.epochs[4].demand_total_gbps);
+}
+
+TEST(ScenarioEngine, SchemeDriversSurviveFailures) {
+  // B4 and SP re-route from scratch each epoch through the same masked
+  // graph and invalidated cache; during the outage nothing may cross the
+  // failed links.
+  Topology t = FailoverNet();
+  for (const char* id : {"SP", "B4"}) {
+    ScenarioEngineOptions opts;
+    opts.scheme_id = id;
+    ScenarioReport report =
+        ScenarioEngine(t, FailureScenario(t.graph), opts).Run();
+    ASSERT_EQ(report.epochs.size(), 10u);
+    EXPECT_EQ(report.driver, id);
+    for (const ScenarioEpochReport& er : report.epochs) {
+      EXPECT_FALSE(er.warm);  // schemes have no warm LP
+      EXPECT_EQ(er.congested_fraction, 0.0) << id << " epoch " << er.epoch;
+    }
+    EXPECT_EQ(report.EventFreeChurnMax(), 0.0) << id;
+    EXPECT_GT(report.epochs[3].route_churn, 0.0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace ldr

@@ -23,6 +23,15 @@
 //                     columns priced per simplex iteration and wall-clock;
 //                     objectives must agree (the lp_pricing_test property
 //                     asserts the same parity in ctest)
+//   scenario          the fig21 failure/recovery timeline driven by the
+//                     ScenarioEngine on a zoo topology: per-epoch LDR solve
+//                     medians warm (persistent LP across epochs) vs cold
+//                     (LP dropped before every epoch), route churn on
+//                     event-free epochs (must be 0), reconvergence epochs
+//                     after the LinkDown/LinkUp events, and the bitwise
+//                     warm/cold placement parity flag. Timings carry the
+//                     same invalid_single_core marker as thread_scaling on
+//                     1-core containers (scheduling noise, not a baseline).
 //
 // Timings are medians over several repetitions, in milliseconds.
 #include <algorithm>
@@ -35,9 +44,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench/failure_scenario.h"
 #include "bench/lp_shapes.h"
 #include "routing/lp_routing.h"
 #include "sim/corpus_runner.h"
+#include "sim/scenario_engine.h"
 #include "sim/workload.h"
 #include "topology/generators.h"
 #include "util/random.h"
@@ -254,6 +265,75 @@ PricingRun BenchPricingCorpus(CorpusPricingFixture* f, lp::PricingMode mode) {
   return out;
 }
 
+// --- scenario ---------------------------------------------------------------
+
+struct ScenarioBench {
+  int epochs = 0;
+  size_t warm_epochs = 0;
+  double warm_median_ms = 0;
+  double cold_median_ms = 0;
+  double churn_event_free = 0;
+  int reconverge_down = -1;
+  int reconverge_up = -1;
+  bool placement_parity = false;
+  uint64_t ksp_evictions = 0;
+  double speedup() const {
+    return warm_median_ms > 0 ? cold_median_ms / warm_median_ms : 0;
+  }
+};
+
+// The fig21 fixture (bench/failure_scenario.h — one definition shared with
+// the figure bench, so the JSON records the same experiment it plots), run
+// once with the persistent warm LP and once with the LP dropped before
+// every epoch.
+ScenarioBench BenchScenario() {
+  ScenarioBench out;
+  bench::FailureTimelineFixture fixture = bench::MakeFailureTimeline();
+
+  ScenarioEngineOptions warm_opts;
+  ScenarioReport warm =
+      ScenarioEngine(fixture.zoo, fixture.scenario, warm_opts).Run();
+  ScenarioEngineOptions cold_opts;
+  cold_opts.incremental = false;
+  ScenarioReport cold =
+      ScenarioEngine(fixture.zoo, fixture.scenario, cold_opts).Run();
+
+  out.epochs = fixture.scenario.epochs;
+  out.warm_epochs = warm.warm_epochs;
+  out.warm_median_ms = warm.WarmSolveMsMedian();
+  out.cold_median_ms = cold.ColdSolveMsMedian();
+  out.churn_event_free =
+      std::max(warm.EventFreeChurnMax(), cold.EventFreeChurnMax());
+  // Worst case per event type; -1 ("never reconverged") dominates — it must
+  // not be masked by the other direction recovering.
+  auto worst = [](int acc, int v) {
+    return (acc < 0 || v < 0) ? -1 : std::max(acc, v);
+  };
+  bool down_seen = false;
+  bool up_seen = false;
+  for (const ScenarioEventReport& evr : warm.events) {
+    if (evr.event.type == ScenarioEvent::Type::kLinkDown) {
+      out.reconverge_down = down_seen
+                                ? worst(out.reconverge_down,
+                                        evr.reconverge_epochs)
+                                : evr.reconverge_epochs;
+      down_seen = true;
+    } else {
+      out.reconverge_up =
+          up_seen ? worst(out.reconverge_up, evr.reconverge_epochs)
+                  : evr.reconverge_epochs;
+      up_seen = true;
+    }
+  }
+  out.placement_parity = PlacementParity(warm, cold);
+  out.ksp_evictions = warm.ksp_evictions;
+  if (!out.placement_parity) {
+    std::fprintf(stderr,
+                 "bench_to_json: scenario warm/cold placement mismatch\n");
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,6 +368,9 @@ int main(int argc, char** argv) {
                  corpus_full.objective, corpus_partial.objective,
                  corpus_full.solved, corpus_partial.solved);
   }
+
+  std::fprintf(stderr, "bench_to_json: scenario...\n");
+  ScenarioBench scenario = BenchScenario();
 
   std::fprintf(stderr, "bench_to_json: thread_scaling...\n");
   std::vector<Topology> corpus = BenchCorpus(/*small_stride=*/8);
@@ -337,6 +420,22 @@ int main(int argc, char** argv) {
                "\"intern_hit_rate\": %.4f},\n",
                t1, static_cast<unsigned long long>(allocation_refs),
                static_cast<unsigned long long>(unique_paths), hit_rate);
+  // Same 1-core caveat as thread_scaling: epoch solve medians measured on a
+  // loaded single-core container are scheduling noise, so they carry the
+  // same marker instead of becoming a perf baseline.
+  std::fprintf(f,
+               "  \"scenario\": {\"epochs\": %d, \"warm_epochs\": %zu, "
+               "\"warm_median_ms\": %.3f, \"cold_median_ms\": %.3f, "
+               "\"speedup\": %.2f, \"churn_event_free\": %.4f, "
+               "\"reconverge_down_epochs\": %d, \"reconverge_up_epochs\": %d, "
+               "\"placement_parity\": %s, \"ksp_evictions\": %llu%s},\n",
+               scenario.epochs, scenario.warm_epochs, scenario.warm_median_ms,
+               scenario.cold_median_ms, scenario.speedup(),
+               scenario.churn_event_free, scenario.reconverge_down,
+               scenario.reconverge_up,
+               scenario.placement_parity ? "true" : "false",
+               static_cast<unsigned long long>(scenario.ksp_evictions),
+               single_core ? ", \"invalid_single_core\": true" : "");
   auto emit_pricing = [&](const char* name, const PricingRun& pr, bool comma) {
     std::fprintf(f,
                  "    \"%s\": {\"ms\": %.3f, \"columns_priced\": %ld, "
@@ -364,7 +463,9 @@ int main(int argc, char** argv) {
       "path_store    %llu allocation refs -> %llu unique paths  "
       "hit rate %.1f%%\n"
       "lp_pricing    shapes %.1f -> %.1f cols/iter (%.3f -> %.3f ms)  "
-      "corpus %.1f -> %.1f cols/iter (%.1f -> %.1f ms)  parity %s\n",
+      "corpus %.1f -> %.1f cols/iter (%.1f -> %.1f ms)  parity %s\n"
+      "scenario      warm %.3f ms  cold %.3f ms  speedup %.1fx  "
+      "churn %.3f  reconverge down/up %d/%d  parity %s\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
       t4 > 0 ? t1 / t4 : 0,
@@ -372,6 +473,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(unique_paths), hit_rate * 100,
       shape_full.per_iter(), shape_partial.per_iter(), shape_full.ms,
       shape_partial.ms, corpus_full.per_iter(), corpus_partial.per_iter(),
-      corpus_full.ms, corpus_partial.ms, pricing_parity ? "yes" : "NO");
+      corpus_full.ms, corpus_partial.ms, pricing_parity ? "yes" : "NO",
+      scenario.warm_median_ms, scenario.cold_median_ms, scenario.speedup(),
+      scenario.churn_event_free, scenario.reconverge_down,
+      scenario.reconverge_up, scenario.placement_parity ? "yes" : "NO");
   return 0;
 }
