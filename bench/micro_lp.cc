@@ -134,6 +134,29 @@ BENCHMARK(BM_LpPricingCold)
     ->Args({150, 1})
     ->Args({400, 1});
 
+// AddColumn alone (no re-solve): one Fig. 13 growth round appended into a
+// solved warm solver. Under revised-simplex storage there is no tableau
+// column to price the append into, so this is O(1) per column regardless of
+// the row count — the old representation paid O(m·nnz) here.
+void BM_LpAddColumnRound(benchmark::State& state) {
+  int aggregates = static_cast<int>(state.range(0));
+  int links = aggregates / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto spec = ldr::bench::RoutingLpSpec::Random(7, aggregates, links);
+    ldr::bench::WarmLp warm = ldr::bench::BuildSolverBase(spec);
+    Solution base = warm.solver.Solve();
+    benchmark::DoNotOptimize(base.objective);
+    state.ResumeTiming();
+    ldr::bench::AppendGrowth(spec, &warm);
+    benchmark::DoNotOptimize(warm.solver.VariableCount());
+  }
+}
+// Iterations pinned: the timed region is microseconds while each iteration
+// rebuilds and solves the base untimed — letting min_time pick the count
+// would re-run that setup thousands of times.
+BENCHMARK(BM_LpAddColumnRound)->Arg(50)->Arg(150)->Arg(400)->Iterations(32);
+
 void BM_LpResolveCold(benchmark::State& state) {
   int aggregates = static_cast<int>(state.range(0));
   int links = aggregates / 2;

@@ -2,23 +2,33 @@
 # Tier-1 CI: configure, build, and test from a clean checkout — proving the
 # repo builds without any vendored build tree (build/ is gitignored).
 #
-# Usage: ./ci.sh [--sanitize] [build-dir]   (default build dir: build)
+# Usage: ./ci.sh [--sanitize] [--bench-smoke] [build-dir]   (default: build)
 #
 #   --sanitize   build the suite with ASan+UBSan (see LDR_SANITIZE in
 #                CMakeLists.txt) so pivot/pricing numerics bugs — tiny-pivot
-#                divisions, stale-index reads in the incremental LP tableau —
-#                surface as hard failures instead of silent corruption. Uses
-#                build-asan as the default build dir so a sanitized tree
-#                never masquerades as the plain one.
+#                divisions, stale-index reads in the incremental LP basis
+#                inverse and FTRAN paths — surface as hard failures instead
+#                of silent corruption. Uses build-asan as the default build
+#                dir so a sanitized tree never masquerades as the plain one.
+#   --bench-smoke  after the tests, run the micro_lp warm-resolve bench once
+#                and bench_to_json in --smoke mode, failing if any
+#                correctness marker in the emitted JSON — lp_pricing /
+#                lp_revised objective_parity, scenario placement_parity — is
+#                false. Perf refactors cannot silently break the parity
+#                markers the BENCH baseline stands on.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 SANITIZE=0
+BENCH_SMOKE=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
       SANITIZE=1
+      ;;
+    --bench-smoke)
+      BENCH_SMOKE=1
       ;;
     -*)
       echo "ci.sh: unknown flag '$arg'" >&2
@@ -71,3 +81,25 @@ if ! diff -u "$PROBE_1" "$PROBE_4" >&2; then
   exit 1
 fi
 echo "ci.sh: scenario determinism probe OK" >&2
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  # Bench smoke: the solver microbench must run, and the JSON correctness
+  # markers must all be true. bench_to_json --smoke skips the slow corpus
+  # sections but computes every parity flag for real.
+  "$BUILD_DIR/micro_lp" --benchmark_filter='BM_LpResolveWarm/50/0' \
+      --benchmark_min_time=0.05 >&2
+  SMOKE_JSON=$(mktemp)
+  trap 'rm -f "$PROBE_1" "$PROBE_4" "$SMOKE_JSON"' EXIT
+  "$BUILD_DIR/bench_to_json" --smoke "$SMOKE_JSON" >&2
+  for marker in objective_parity placement_parity; do
+    if grep -q "\"$marker\": false" "$SMOKE_JSON"; then
+      echo "ci.sh: bench smoke FAILED ($marker is false)" >&2
+      exit 1
+    fi
+    if ! grep -q "\"$marker\": true" "$SMOKE_JSON"; then
+      echo "ci.sh: bench smoke FAILED ($marker missing from JSON)" >&2
+      exit 1
+    fi
+  done
+  echo "ci.sh: bench smoke OK (objective/placement parity true)" >&2
+fi

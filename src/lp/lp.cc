@@ -59,11 +59,14 @@ void SumDuplicates(std::vector<std::pair<int, double>>* coeffs) {
 }  // namespace
 
 // Column refs: a variable is identified by an int ref — structural j as j,
-// the slack of row k as ~k (= -k-1). The working tableau T = B^-1 * A is
-// stored column-major: tcol_[j] for structural columns, bcol_[k] for slack
-// columns. Since the slack block of A is the identity, bcol_ IS the explicit
-// basis inverse — which is what lets the incremental mutations price new
-// columns (B^-1 a) and new rows without touching the rest of the tableau.
+// the slack of row k as ~k (= -k-1). Revised-simplex storage: the only dense
+// factorized state is bcol_, the m×m explicit basis inverse B^-1 held
+// column-major (bcol_[k] is B^-1·e_k, the tableau column of row k's slack).
+// Structural tableau columns are never materialized — the entering column
+// B^-1·A_j is computed on demand into the ftran_ scratch by a sparse FTRAN
+// against the original columns acol_, and a pivot applies the product-form
+// eta update to B^-1 alone. Everything that used to read the dense tableau
+// (pricing, ratio test, mutations) reads either the duals, ftran_, or B^-1.
 class Solver::Impl {
  public:
   explicit Impl(const SolveOptions& opt) : opt_(opt) {}
@@ -101,18 +104,14 @@ class Solver::Impl {
     vstate_.push_back(st);
     value_.push_back(v);
 
-    tcol_.emplace_back();
-    if (factor_valid_) {
+    // No tableau column to price in: the column joins nonbasic, so the only
+    // factorized state it can touch is the basic values, and only when it
+    // rests at a nonzero bound (never the case for Fig. 13 path columns,
+    // which rest at 0 — that path is O(1) beyond storing the sparse column).
+    if (factor_valid_ && v != 0.0) {
       ++updates_since_refactor_;
-      std::vector<double>& col = tcol_.back();
-      col.assign(m_, 0.0);
-      for (const auto& [r, c] : acol_.back()) {
-        const double* b = bcol_[static_cast<size_t>(r)].data();
-        for (size_t i = 0; i < m_; ++i) col[i] += c * b[i];
-      }
-      if (v != 0.0) {
-        for (size_t i = 0; i < m_; ++i) xb_[i] -= col[i] * v;
-      }
+      Ftran(j);
+      for (size_t i = 0; i < m_; ++i) xb_[i] -= ftran_[i] * v;
     }
     return j;
   }
@@ -133,20 +132,13 @@ class Solver::Impl {
       ++updates_since_refactor_;
       // New basis row: with the new slack joining the basis, the extended
       // B^-1 is [[B^-1, 0], [-w^T B^-1, 1]] where w_i is the new row's
-      // coefficient on the variable basic in row i. New tableau entries:
-      // T[r][j] = a_rj - sum_i w_i T[i][j].
+      // coefficient on the variable basic in row i. Only B^-1 grows — there
+      // are no structural tableau columns to extend, which is what makes
+      // AddRow O(m·(|w|+1)) instead of the old O(n·|w| + m·|w|).
       std::vector<std::pair<size_t, double>> w;
       for (const auto& [var, c] : summed) {
         int br = vrow_[static_cast<size_t>(var)];
         if (br >= 0) w.emplace_back(static_cast<size_t>(br), c);
-      }
-      for (size_t j = 0; j < n_; ++j) {
-        double e = 0.0;
-        for (const auto& [i, wc] : w) e -= wc * tcol_[j][i];
-        tcol_[j].push_back(e);
-      }
-      for (const auto& [var, c] : summed) {
-        tcol_[static_cast<size_t>(var)][static_cast<size_t>(r)] += c;
       }
       for (size_t k = 0; k + 1 < m_; ++k) {
         double e = 0.0;
@@ -185,15 +177,13 @@ class Solver::Impl {
       factor_valid_ = false;
       return;
     }
+    // A nonbasic column has no factorized image to maintain; only the basic
+    // values shift, and only when the column rests at a nonzero bound.
+    double val = value_[v];
+    if (val == 0.0) return;
     ++updates_since_refactor_;
     const double* b = bcol_[static_cast<size_t>(row)].data();
-    double* col = tcol_[v].data();
-    double val = value_[v];
-    for (size_t i = 0; i < m_; ++i) {
-      double d = delta * b[i];
-      col[i] += d;
-      if (val != 0.0) xb_[i] -= d * val;
-    }
+    for (size_t i = 0; i < m_; ++i) xb_[i] -= delta * b[i] * val;
   }
 
   void SetRhs(int row, double rhs) {
@@ -222,6 +212,14 @@ class Solver::Impl {
     Solution sol = SolveImpl();
     sol.columns_priced = columns_priced_;
     sol.pivot_recoveries = pivot_recoveries_;
+    sol.ftran_nnz = ftran_nnz_;
+    sol.pivots = pivots_;
+    // Resident factorized footprint: the B^-1 columns plus their vector
+    // headers — all the dense state the solver keeps (the dropped tableau
+    // was O((n+m)·m) on top of this).
+    size_t bytes = bcol_.capacity() * sizeof(std::vector<double>);
+    for (const auto& c : bcol_) bytes += c.capacity() * sizeof(double);
+    sol.basis_bytes = bytes;
     return sol;
   }
 
@@ -231,6 +229,8 @@ class Solver::Impl {
     iter_ = 0;
     columns_priced_ = 0;
     pivot_recoveries_ = 0;
+    ftran_nnz_ = 0;
+    pivots_ = 0;
     // Mutations between Solve() calls (AddColumn/AddRow/AddToRow/SetRhs/
     // AddToObjective) are not tracked against the duals; rebuilding them
     // lazily once per Solve is far cheaper than one old-style dense pricing
@@ -249,16 +249,20 @@ class Solver::Impl {
       }
     }
 
-    // Periodic refactorization: every incremental update (pivot, priced
-    // column/row, rhs shift) compounds error in the working tableau; a
-    // long-lived controller-epoch solver can run thousands of them without
-    // ever hitting the basic-AddToRow invalidation. Rebuild from the exact
-    // sparse columns once enough drift-accumulating updates have passed.
+    // Periodic refactorization: every incremental update (pivot, appended
+    // row, rhs shift) compounds error in B^-1; a long-lived controller-epoch
+    // solver can run thousands of them without ever hitting the
+    // basic-AddToRow invalidation. Re-establish B^-1 from the exact sparse
+    // columns once enough drift-accumulating updates have passed. With no
+    // tableau to rebuild the re-establishment is O(m²) per basic column, so
+    // the automatic interval runs much tighter than the tableau-era
+    // max(4096, 8(m+n)) — better numerics at negligible amortized cost, and
+    // independent of n.
     long refactor_after =
         opt_.refactor_interval > 0
             ? opt_.refactor_interval
             : std::max<long>(kMinAutoRefactorInterval,
-                             8 * static_cast<long>(m_ + n_));
+                             8 * static_cast<long>(m_));
     if (opt_.refactor_interval >= 0 &&
         updates_since_refactor_ >= refactor_after) {
       factor_valid_ = false;
@@ -267,7 +271,7 @@ class Solver::Impl {
     if (!factor_valid_) Refactorize();
     if (refactor_singular_) {
       // The recorded basis could not be re-established; any result would be
-      // computed against a broken tableau. Report a numerical failure —
+      // computed against a broken factorization. Report a numerical failure —
       // callers rebuild from scratch on !ok().
       sol.status = Status::kIterLimit;
       return sol;
@@ -353,7 +357,7 @@ class Solver::Impl {
 
  private:
   static constexpr int kBlandThreshold = 60;
-  static constexpr long kMinAutoRefactorInterval = 4096;
+  static constexpr long kMinAutoRefactorInterval = 256;
   static constexpr double kMinPivot = 1e-12;
   // Ratio-test tie handling: the most any basic variable may be pushed past
   // its bound (in value, not step length) to let a larger pivot win a tie.
@@ -364,8 +368,8 @@ class Solver::Impl {
     kBoundFlip,
     kUnbounded,
     kStuck,
-    // A numerically-zero pivot was detected and the tableau rebuilt from the
-    // exact sparse columns; the caller must re-price and retry.
+    // A numerically-zero pivot was detected and B^-1 re-established from
+    // the exact sparse columns; the caller must re-price and retry.
     kRecovered,
   };
 
@@ -380,10 +384,26 @@ class Solver::Impl {
     col->emplace_back(row, delta);
   }
 
-  std::vector<double>& Col(int ref) {
-    return ref >= 0 ? tcol_[static_cast<size_t>(ref)]
-                    : bcol_[static_cast<size_t>(~ref)];
+  // Computes ftran_ = B^-1 · A(ref), the entering tableau column, from the
+  // sparse original column in O(m · nnz): a slack's original column is e_k,
+  // so its image is just column k of B^-1 (copied — the eta update in
+  // RawPivot must read the pre-pivot column while it rewrites bcol_[k]).
+  void Ftran(int ref) {
+    if (ref < 0) {
+      const std::vector<double>& b = bcol_[static_cast<size_t>(~ref)];
+      ftran_.assign(b.begin(), b.end());
+      ++ftran_nnz_;
+      return;
+    }
+    ftran_.assign(m_, 0.0);
+    const auto& col = acol_[static_cast<size_t>(ref)];
+    ftran_nnz_ += static_cast<long>(col.size());
+    for (const auto& [r, c] : col) {
+      const double* b = bcol_[static_cast<size_t>(r)].data();
+      for (size_t i = 0; i < m_; ++i) ftran_[i] += c * b[i];
+    }
   }
+
   double LoOf(int ref) const {
     if (ref >= 0) return lo_[static_cast<size_t>(ref)];
     switch (row_type_[static_cast<size_t>(~ref)]) {
@@ -453,7 +473,7 @@ class Solver::Impl {
   }
 
   // --- dual values -----------------------------------------------------------
-  // Pricing never touches the dense tableau columns. Instead the solver
+  // Pricing never materializes tableau columns. Instead the solver
   // maintains dual vectors against which any column prices sparsely:
   //
   //   phase 2:  y2 = c_B^T B^-1, so d_j = c_j - y2^T A_j
@@ -687,37 +707,43 @@ class Solver::Impl {
     return true;
   }
 
-  // Column-major pivot: makes Col(enter_ref) equal e_r. Row operations
-  // become, per column c: c[i] -= (c[r]/pivot) * old_entering[i], then
-  // c[r] = c[r]/pivot — columns with c[r] == 0 are untouched, which is the
-  // sparsity win over the old dense row-major sweep.
+  // Product-form pivot on row r with the FTRAN-ed entering column for
+  // `enter_ref` held in ftran_: B_new^-1 = E · B^-1 where E is the eta
+  // matrix for (r, ftran_). Per B^-1 column c: f = c[r]/pivot;
+  // c[i] -= f·ftran_[i]; c[r] = f — columns with c[r] == 0 are untouched.
+  // Only the m columns of B^-1 are updated, O(m²) total; the old code
+  // additionally swept all n structural tableau columns. An entering
+  // slack's own B^-1 column (the data ftran_ was copied from) becomes e_r
+  // under this update only up to rounding (f = pivot·(1/pivot) ≈ 1), so it
+  // is snapped to an exact e_r afterwards — the same guarantee the old
+  // explicit fill gave, keeping ulp residue from compounding across
+  // slack-entering pivots in long-lived solvers.
   //
   // Returns false — touching nothing — when the pivot element is numerically
   // zero (or NaN). This used to be an assert, which vanishes in NDEBUG
-  // builds and let a release binary divide by ~0 and poison every tableau
-  // column; callers now recover (Step forces a refactorization, Refactorize
+  // builds and let a release binary divide by ~0 and poison the basis
+  // inverse; callers now recover (Step forces a refactorization, Refactorize
   // flags the basis singular) instead of corrupting state.
   bool RawPivot(size_t r, int enter_ref) {
-    std::vector<double>& ecol = Col(enter_ref);
-    double pivot = ecol[r];
+    double pivot = ftran_[r];
     if (!(std::abs(pivot) > kMinPivot)) return false;
     ++updates_since_refactor_;
-    pivot_copy_ = ecol;
+    ++pivots_;
     double inv = 1.0 / pivot;
-    const double* pc = pivot_copy_.data();
-    auto update = [&](std::vector<double>& c) {
-      if (&c == &ecol) return;
+    const double* pc = ftran_.data();
+    for (auto& c : bcol_) {
       double crj = c[r];
-      if (crj == 0) return;
+      if (crj == 0) continue;
       double f = crj * inv;
       double* cd = c.data();
       for (size_t i = 0; i < m_; ++i) cd[i] -= f * pc[i];
       cd[r] = f;
-    };
-    for (auto& c : tcol_) update(c);
-    for (auto& c : bcol_) update(c);
-    std::fill(ecol.begin(), ecol.end(), 0.0);
-    ecol[r] = 1.0;
+    }
+    if (enter_ref < 0) {
+      std::vector<double>& ecol = bcol_[static_cast<size_t>(~enter_ref)];
+      std::fill(ecol.begin(), ecol.end(), 0.0);
+      ecol[r] = 1.0;
+    }
     return true;
   }
 
@@ -740,7 +766,10 @@ class Solver::Impl {
         return StepResult::kStuck;
     }
 
-    const std::vector<double>& ecol = Col(entering);
+    // The entering column exists only for the duration of this step: FTRAN
+    // it into the reused scratch and run the ratio test off that.
+    Ftran(entering);
+    const double* ecol = ftran_.data();
     double elo = LoOf(entering), ehi = HiOf(entering);
 
     // Entering variable's own opposite bound.
@@ -848,8 +877,9 @@ class Solver::Impl {
 
     if (leave_row >= 0 && !(std::abs(ecol[static_cast<size_t>(leave_row)]) >
                             kMinPivot)) {
-      // About to pivot on a numerically zero (or NaN) element — tableau
-      // drift a NDEBUG build would previously have divided by. Rebuild from
+      // About to pivot on a numerically zero (or NaN) element —
+      // factorization drift a NDEBUG build would previously have divided
+      // by. Re-establish B^-1 from
       // the exact sparse columns and let the caller re-price against the
       // fresh factorization instead of poisoning the basis.
       ++pivot_recoveries_;
@@ -927,42 +957,42 @@ class Solver::Impl {
     return StepResult::kPivoted;
   }
 
-  // Rebuilds the tableau from the sparse columns and re-establishes the
-  // recorded basis by Gaussian elimination, falling back to a row's own
+  // Re-establishes B^-1 for the recorded basis from the exact sparse columns
+  // by Gaussian elimination (FTRAN each desired basic column against the
+  // partially built inverse, then eta-pivot), falling back to a row's own
   // slack (or any usable column) where the recorded basic column has gone
-  // numerically singular.
+  // numerically singular. O(m²) per basic column — there is no O(m²·n)
+  // tableau rebuild any more, which is what lets refactor_interval run
+  // tight.
   void Refactorize() {
     refactor_singular_ = false;
-    for (size_t j = 0; j < n_; ++j) {
-      tcol_[j].assign(m_, 0.0);
-      for (const auto& [r, c] : acol_[j]) {
-        tcol_[j][static_cast<size_t>(r)] += c;
-      }
-    }
     for (size_t k = 0; k < m_; ++k) {
       bcol_[k].assign(m_, 0.0);
       bcol_[k][k] = 1.0;
     }
 
-    std::vector<int> desired = basis_;
+    desired_ = basis_;
     vrow_.assign(n_, -1);
     srow_.assign(m_, -1);
 
     for (size_t i = 0; i < m_; ++i) {
-      int ref = desired[i];
+      int ref = desired_[i];
       // A ref an earlier row already established (possible when a fallback
       // stole a later row's slack) is off limits — and must NOT be demoted,
       // since it is legitimately basic elsewhere.
       bool available = BasicRowOf(ref) < 0;
-      // A slack basic in its own row needs no pivot: its column is still
-      // e_i (pivots on other rows cannot disturb it).
+      // A slack basic in its own row needs no pivot: its inverse column is
+      // still e_i (pivots on other rows cannot disturb it).
       if (available && ref < 0 && static_cast<size_t>(~ref) == i) {
         basis_[i] = ref;
         BasicRowOf(ref) = static_cast<int>(i);
         StateOf(ref) = VarState::kBasic;
         continue;
       }
-      if (!available || std::abs(Col(ref)[i]) <= 1e-9) {
+      // The candidate column under the partial factorization: exactly what
+      // the old working tableau held at this point, computed on demand.
+      if (available) Ftran(ref);
+      if (!available || std::abs(ftran_[i]) <= 1e-9) {
         // Demote the unusable recorded basic to a nonbasic bound and use
         // this row's own slack instead, provided neither is claimed
         // elsewhere.
@@ -970,10 +1000,12 @@ class Solver::Impl {
         ref = ~static_cast<int>(i);
         bool slack_free = BasicRowOf(ref) < 0;
         for (size_t i2 = i; slack_free && i2 < m_; ++i2) {
-          if (desired[i2] == ref) slack_free = false;
+          if (desired_[i2] == ref) slack_free = false;
         }
-        if (!slack_free || std::abs(Col(ref)[i]) <= 1e-9) {
-          ref = FindPivotColumn(i, desired);
+        if (slack_free) Ftran(ref);
+        if (!slack_free || std::abs(ftran_[i]) <= 1e-9) {
+          ref = FindPivotColumn(i, desired_);
+          if (ref != kNoRef) Ftran(ref);
         }
         if (ref == kNoRef) {
           // Singular beyond repair in this row: fall back to any unclaimed
@@ -985,15 +1017,17 @@ class Solver::Impl {
           for (size_t k = 0; BasicRowOf(ref) >= 0 && k < m_; ++k) {
             if (srow_[k] < 0) ref = ~static_cast<int>(k);
           }
+          Ftran(ref);
         }
       }
       if (RawPivot(i, ref)) {
         // established
       } else {
         // No usable pivot anywhere: the column recorded basic is not e_i,
-        // so the tableau invariant is broken. Flag it so Solve() reports a
-        // numerical failure instead of optimizing over an inconsistent
-        // basis (callers treat that as breakdown and rebuild cold).
+        // so the factorization invariant is broken. Flag it so Solve()
+        // reports a numerical failure instead of optimizing over an
+        // inconsistent basis (callers treat that as breakdown and rebuild
+        // cold).
         refactor_singular_ = true;
       }
       basis_[i] = ref;
@@ -1013,18 +1047,22 @@ class Solver::Impl {
       }
     }
 
-    // x_B = B^-1 b - sum over nonbasic columns of T[:,j] * x_j (nonbasic
-    // slacks rest at 0 and drop out).
-    xb_.assign(m_, 0.0);
-    for (size_t k = 0; k < m_; ++k) {
-      if (rhs_[k] == 0) continue;
-      const double* col = bcol_[k].data();
-      for (size_t i = 0; i < m_; ++i) xb_[i] += col[i] * rhs_[k];
-    }
+    // x_B = B^-1 · (b - sum over nonbasic structural columns of A_j x_j)
+    // (nonbasic slacks rest at 0 and drop out). The net right-hand side is
+    // accumulated sparsely first so the dense pass is one O(m²) product
+    // instead of per-column O(m) sweeps over all n columns.
+    net_rhs_ = rhs_;
     for (size_t j = 0; j < n_; ++j) {
       if (vrow_[j] >= 0 || value_[j] == 0) continue;
-      const double* col = tcol_[j].data();
-      for (size_t i = 0; i < m_; ++i) xb_[i] -= col[i] * value_[j];
+      for (const auto& [r, c] : acol_[j]) {
+        net_rhs_[static_cast<size_t>(r)] -= c * value_[j];
+      }
+    }
+    xb_.assign(m_, 0.0);
+    for (size_t k = 0; k < m_; ++k) {
+      if (net_rhs_[k] == 0) continue;
+      const double* col = bcol_[k].data();
+      for (size_t i = 0; i < m_; ++i) xb_[i] += col[i] * net_rhs_[k];
     }
     factor_valid_ = true;
     updates_since_refactor_ = 0;  // counts from this exact rebuild
@@ -1037,23 +1075,34 @@ class Solver::Impl {
   static constexpr int kNoRef = std::numeric_limits<int>::min();
 
   // Picks a nonbasic, not-later-desired column with the largest pivot
-  // magnitude in row i (refactorization fallback).
+  // magnitude in row i (refactorization fallback). The pivot magnitude of
+  // column j is (B^-1 A_j)[i] = (row i of B^-1) · A_j, so one BTRAN — a
+  // gather of row i across the column-major B^-1 — prices every candidate
+  // by a sparse dot in O(nnz) instead of a dense tableau read.
   int FindPivotColumn(size_t i, const std::vector<int>& desired) {
+    btran_.resize(m_);
+    for (size_t k = 0; k < m_; ++k) btran_[k] = bcol_[k][i];
     int best = kNoRef;
     double best_mag = 1e-9;
-    auto consider = [&](int ref) {
+    auto consider = [&](int ref, double pivot) {
       if (BasicRowOf(ref) >= 0) return;
       for (size_t i2 = i + 1; i2 < m_; ++i2) {
         if (desired[i2] == ref) return;
       }
-      double mag = std::abs(Col(ref)[i]);
+      double mag = std::abs(pivot);
       if (mag > best_mag) {
         best_mag = mag;
         best = ref;
       }
     };
-    for (size_t j = 0; j < n_; ++j) consider(static_cast<int>(j));
-    for (size_t k = 0; k < m_; ++k) consider(~static_cast<int>(k));
+    for (size_t j = 0; j < n_; ++j) {
+      double pivot = 0;
+      for (const auto& [r, c] : acol_[j]) {
+        pivot += btran_[static_cast<size_t>(r)] * c;
+      }
+      consider(static_cast<int>(j), pivot);
+    }
+    for (size_t k = 0; k < m_; ++k) consider(~static_cast<int>(k), btran_[k]);
     return best;
   }
 
@@ -1086,14 +1135,15 @@ class Solver::Impl {
   std::vector<RowType> row_type_;
   std::vector<double> rhs_;
 
-  // Factorized working state.
+  // Factorized working state: B^-1 is the ONLY dense factorization kept —
+  // structural columns live solely in sparse acol_ and are FTRAN-ed on
+  // demand (revised simplex).
   bool factor_valid_ = true;
   bool refactor_singular_ = false;  // last Refactorize failed a pivot
-  // Drift-accumulating updates applied to the tableau since the last exact
-  // rebuild (see SolveOptions::refactor_interval).
+  // Drift-accumulating updates applied to B^-1 since the last exact rebuild
+  // (see SolveOptions::refactor_interval).
   long updates_since_refactor_ = 0;
-  std::vector<std::vector<double>> tcol_;  // structural tableau columns
-  std::vector<std::vector<double>> bcol_;  // slack columns == B^-1
+  std::vector<std::vector<double>> bcol_;  // explicit B^-1, column-major
   std::vector<VarState> vstate_, sstate_;
   std::vector<double> value_;  // nonbasic structural values
   std::vector<int> basis_;     // per row: basic column ref
@@ -1121,11 +1171,18 @@ class Solver::Impl {
   // Telemetry surfaced through Solution.
   long columns_priced_ = 0;
   int pivot_recoveries_ = 0;
+  long ftran_nnz_ = 0;
+  int pivots_ = 0;
 
-  // Scratch buffers reused across iterations.
+  // Scratch buffers reused across iterations — the simplex inner loop
+  // (FTRAN, ratio test, pivot) allocates nothing once these reach capacity
+  // (asserted by LpSolver.WarmResolveInnerLoopIsAllocationFree).
+  std::vector<double> ftran_;    // entering column B^-1·A_j of the live Step
+  std::vector<double> btran_;    // row-of-B^-1 gather (refactor fallback)
   std::vector<double> rt_, rb_;  // ratio test: per-row step / bound landed on
   std::vector<std::pair<size_t, double>> dual_rows_;  // rebuild scratch
-  std::vector<double> pivot_copy_;
+  std::vector<int> desired_;     // Refactorize: recorded basis snapshot
+  std::vector<double> net_rhs_;  // Refactorize: rhs net of nonbasic values
   int iter_ = 0;
 };
 

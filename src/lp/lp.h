@@ -20,13 +20,27 @@
 //
 //   * Solve(problem): one-shot solve of an immutable Problem description.
 //   * Solver: a long-lived object that keeps its factorized basis and bound
-//     state alive across calls. Constraint columns are stored sparsely; the
-//     working tableau B^-1·A is materialized column-major, with the slack
-//     block doubling as an explicit B^-1, so the structural deltas the
-//     Fig. 13 path-growth loop needs — AddColumn, AddRow, AddToRow, SetRhs —
-//     cost O(m·nnz) instead of a rebuild, and Solve() warm-starts primal
-//     simplex from the previous optimal basis (typically a handful of pivots
-//     instead of a full cold solve).
+//     state alive across calls.
+//
+// Storage contract (revised simplex, PR 5): the solver holds the *sparse
+// original* columns A_j plus one dense m×m factorization — the explicit
+// basis inverse B^-1. No working tableau B^-1·A is ever materialized: since
+// pricing runs off incrementally maintained duals (PR 3), a dense structural
+// column would only ever be read for the *entering* variable, so the
+// entering column is computed on demand by a sparse FTRAN B^-1·A_j in
+// O(m·nnz(A_j)) and a pivot updates only B^-1 (product-form eta update,
+// O(m²)). That drops per-pivot work from the tableau form's O((n+m)·m) to
+// O(m²) and solver memory from O((n+m)·m) to O(m²) — for routing-shaped LPs
+// (hundreds of path columns over a few dozen capacity rows, n ≫ m) the
+// dominant remaining cost after partial pricing. The structural deltas the
+// Fig. 13 path-growth loop needs are correspondingly cheap: AddColumn is
+// O(1) (there is no tableau column to price in; the new column rests
+// nonbasic), AddRow/AddToRow/SetRhs touch only B^-1 and the basic values,
+// and refactorization re-establishes B^-1 alone in O(m²·m) worst case
+// instead of rebuilding an O(m²·n) tableau — which is also why the
+// refactor_interval drift guard can run much tighter than it could before.
+// Solve() warm-starts primal simplex from the previous optimal basis
+// (typically a handful of pivots instead of a full cold solve).
 #ifndef LDR_LP_LP_H_
 #define LDR_LP_LP_H_
 
@@ -113,13 +127,15 @@ struct SolveOptions {
   int max_iters = 0;
   PricingOptions pricing;
   // Periodic refactorization for long-lived solvers (controller epochs):
-  // once this many incremental tableau updates — pivots plus structural
-  // mutations priced through B^-1 — have accumulated since the last
-  // factorization, the next Solve() rebuilds the tableau from the exact
-  // sparse columns before optimizing, bounding floating-point drift.
-  // 0 means automatic: max(4096, 8 * (rows + variables)), sized so a warm
-  // re-solve never pays the O(m^2 n) rebuild but a solver kept across many
-  // controller epochs periodically does. Negative disables the guard.
+  // once this many incremental B^-1 updates — pivots plus structural
+  // mutations folded into the factorization — have accumulated since the
+  // last exact factorization, the next Solve() re-establishes B^-1 from the
+  // recorded basis and the exact sparse columns before optimizing, bounding
+  // floating-point drift. Re-establishment costs O(m²) per basic column
+  // (there is no tableau to rebuild), so the automatic interval is far
+  // tighter than the old tableau-era guard: 0 means max(256, 8 * rows) —
+  // better numerics at negligible amortized cost. Negative disables the
+  // guard.
   int refactor_interval = 0;
 };
 
@@ -133,9 +149,20 @@ struct Solution {
   // sweeps). columns_priced / iterations is the per-iteration pricing load
   // the partial mode exists to shrink.
   long columns_priced = 0;
-  // Pivots that hit a numerically-zero tableau pivot and recovered by forced
+  // Pivots that hit a numerically-zero pivot element and recovered by forced
   // refactorization instead of corrupting the basis.
   int pivot_recoveries = 0;
+  // Revised-simplex work/memory telemetry:
+  // Resident bytes of the factorized state (the m×m B^-1 storage) at the end
+  // of the solve — the footprint the dropped dense tableau used to dwarf.
+  size_t basis_bytes = 0;
+  // Total sparse input nonzeros fed through FTRAN (entering-column solves
+  // B^-1·A_j) over the whole solve; each costs O(m) work per nonzero.
+  long ftran_nnz = 0;
+  // Eta pivots applied to B^-1 over the solve: simplex basis changes
+  // (iterations minus bound flips) plus refactorization re-establishment
+  // pivots. Each costs O(m²) — the count the per-pivot win multiplies.
+  int pivots = 0;
 
   bool ok() const { return status == Status::kOptimal; }
 };
@@ -143,7 +170,7 @@ struct Solution {
 // A reusable simplex instance. The problem is grown in place through the
 // mutation calls below; every Solve() re-optimizes warm from the basis the
 // previous Solve() ended in. Mutations keep the factorization alive where
-// they can (new columns are priced through the explicit B^-1; new rows
+// they can (new columns join nonbasic without touching B^-1; new rows
 // extend the basis with their own slack); the ones that would invalidate it
 // (touching a basic variable's constraint coefficients) just mark the basis
 // for refactorization at the next Solve().
@@ -167,7 +194,9 @@ class Solver {
   // ((row index, coefficient) pairs; duplicates are summed). The new column
   // enters nonbasic at its bound nearest zero, so a previously optimal basis
   // stays primal feasible — this is the warm path the Fig. 13 loop hits when
-  // it appends path columns.
+  // it appends path columns. O(1) beyond storing the sparse column: with no
+  // working tableau there is nothing to price the column into (an FTRAN runs
+  // only if the resting bound is nonzero, to adjust the basic values).
   int AddColumn(double lo, double hi, double obj,
                 const std::vector<std::pair<int, double>>& row_coeffs);
 
@@ -196,7 +225,7 @@ class Solver {
   // the warm basis is primal infeasible, e.g. after SetRhs).
   Solution Solve();
 
-  // Drops the factorization; the next Solve() rebuilds the tableau from the
+  // Drops the factorization; the next Solve() re-establishes B^-1 from the
   // sparse columns under the current basis. Exposed for tests.
   void Invalidate();
 

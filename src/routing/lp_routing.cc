@@ -154,6 +154,9 @@ RoutingLpResult SolveRoutingLp(
   lp::Solution sol = lp::Solve(problem, SolverOptionsFor(opts));
   result.columns_priced = sol.columns_priced;
   result.iterations = sol.iterations;
+  result.pivots = sol.pivots;
+  result.ftran_nnz = sol.ftran_nnz;
+  result.basis_bytes = sol.basis_bytes;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
     // unbounded above); failure here means a numerical breakdown.
@@ -334,6 +337,9 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   lp::Solution sol = solver_.Solve();
   result.columns_priced = sol.columns_priced;
   result.iterations = sol.iterations;
+  result.pivots = sol.pivots;
+  result.ftran_nnz = sol.ftran_nnz;
+  result.basis_bytes = sol.basis_bytes;
   if (!sol.ok()) {
     result.solved = false;
     return result;
@@ -527,6 +533,9 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
                          : SolveRoutingLp(store, aggregates, paths, opts.lp);
     outcome.lp_columns_priced += res.columns_priced;
     outcome.lp_iterations += res.iterations;
+    outcome.lp_pivots += res.pivots;
+    outcome.lp_ftran_nnz += res.ftran_nnz;
+    outcome.lp_basis_bytes = std::max(outcome.lp_basis_bytes, res.basis_bytes);
     if (!res.solved) break;
 
     bool feasible_now =

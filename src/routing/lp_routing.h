@@ -70,6 +70,12 @@ struct RoutingLpResult {
   // columns were priced and how many iterations ran.
   long columns_priced = 0;
   int iterations = 0;
+  // Revised-simplex telemetry (see lp::Solution): basis-changing pivots,
+  // sparse nonzeros fed through FTRAN, and the resident bytes of the
+  // solver's factorized state (B^-1 only — the dense tableau is gone).
+  int pivots = 0;
+  long ftran_nnz = 0;
+  size_t basis_bytes = 0;
 };
 
 // Path sets are interned ids into `store` (delays cached at intern time;

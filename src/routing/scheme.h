@@ -51,6 +51,13 @@ struct RoutingOutcome {
   // schemes).
   long lp_columns_priced = 0;
   long lp_iterations = 0;
+  // Revised-simplex telemetry over all LP rounds: basis-changing pivots,
+  // FTRAN input nonzeros (the O(m·nnz) entering-column solves), and the
+  // peak resident bytes of the solver's factorization (B^-1; the dropped
+  // dense tableau would have added O((n+m)·m) on top).
+  long lp_pivots = 0;
+  long lp_ftran_nnz = 0;
+  size_t lp_basis_bytes = 0;
   double solve_ms = 0;     // wall-clock of the routing computation
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.

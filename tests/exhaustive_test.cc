@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <set>
 
@@ -240,6 +241,83 @@ TEST(PathStoreParity, HandlesMatchResolvedPathsOnZooCorpus) {
           aggs[a].flow_count * AggregateDelayMs(*cold.store, cold.allocations[a]);
     }
     EXPECT_NEAR(warm_delay, cold_delay, 1e-5 * (1 + cold_delay)) << t.name;
+  }
+  ASSERT_GE(checked, 3u);
+}
+
+// Order-independent placement fingerprint over (aggregate, PathId, raw
+// fraction bits) — the same XOR-of-FNV construction the ScenarioEngine uses
+// for its epoch hashes, so "hash equal" means bitwise placement equality.
+uint64_t PlacementHash(const RoutingOutcome& out) {
+  uint64_t acc = 0;
+  for (size_t a = 0; a < out.allocations.size(); ++a) {
+    for (const PathAllocation& pa : out.allocations[a]) {
+      uint64_t h = 1469598103934665603ULL;
+      auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (v >> (8 * i)) & 0xff;
+          h *= 1099511628211ULL;
+        }
+      };
+      mix((static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(pa.path));
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(pa.fraction), "double is 64-bit");
+      std::memcpy(&bits, &pa.fraction, sizeof(bits));
+      mix(bits);
+      acc ^= h;
+    }
+  }
+  return acc;
+}
+
+// Revised-simplex placement-hash parity on the zoo corpus. Two anchors:
+// (a) bitwise determinism — the same Fig. 13 run from a fresh KspCache must
+// reproduce the placement hash exactly (the revised solver's FTRAN-on-demand
+// pivots are deterministic arithmetic, no iteration-order freedom); (b) warm
+// re-entry fixed point — re-entering the live LP through LpReuseContext with
+// unchanged demands must reproduce the placement bit-for-bit (zero pivots,
+// unchanged basic values), which is the property the ScenarioEngine's
+// event-free epochs and its warm/cold placement_parity flag stand on.
+TEST(RevisedLpParity, PlacementHashParityOnZooCorpus) {
+  std::vector<Topology> corpus = ZooCorpus();
+  size_t checked = 0;
+  for (size_t ti = 0; ti < corpus.size(); ti += 9) {
+    const Topology& t = corpus[ti];
+    const Graph& g = t.graph;
+    if (g.NodeCount() > 36) continue;
+    ++checked;
+    WorkloadOptions wopts;
+    wopts.num_instances = 1;
+    wopts.seed = 987 + ti;
+    IterativeOptions opts;
+
+    // (a) two fully independent runs, fresh cache each.
+    uint64_t hashes[2];
+    for (int run = 0; run < 2; ++run) {
+      KspCache cache(&g);
+      std::vector<Aggregate> aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+      RoutingOutcome out = IterativeLpRoute(g, aggs, &cache, opts);
+      hashes[run] = PlacementHash(out);
+    }
+    EXPECT_EQ(hashes[0], hashes[1]) << t.name << ": run-to-run hash drift";
+
+    // (b) warm re-entry with unchanged demands is a bitwise fixed point.
+    // Path sets are held fixed (grow=false, k=3): with growth enabled a
+    // re-entry legitimately keeps polishing into larger path sets, so the
+    // stability property under test — an unchanged LP re-solved warm from
+    // its own optimal basis runs zero pivots and reproduces the fractions
+    // bit-for-bit — is only observable on a fixed LP.
+    IterativeOptions fixed = opts;
+    fixed.grow = false;
+    fixed.initial_paths = 3;
+    KspCache cache(&g);
+    std::vector<Aggregate> aggs = MakeScaledWorkloads(t, &cache, wopts)[0];
+    LpReuseContext reuse;
+    RoutingOutcome first = IterativeLpRoute(g, aggs, &cache, fixed, &reuse);
+    RoutingOutcome warm = IterativeLpRoute(g, aggs, &cache, fixed, &reuse);
+    EXPECT_TRUE(warm.reused_warm) << t.name;
+    EXPECT_EQ(PlacementHash(first), PlacementHash(warm))
+        << t.name << ": warm re-entry changed the placement";
   }
   ASSERT_GE(checked, 3u);
 }

@@ -145,6 +145,117 @@ TEST(LpPricing, PartialPricesFewerColumnsPerIterationAtScale) {
   EXPECT_LT(part_per_iter, full_per_iter);
 }
 
+// Revised-simplex representation parity across pricing modes: one randomized
+// mutation sequence (AddColumn / AddRow / AddToRow / SetRhs interleaved with
+// warm re-solves) driven through a kPartial and a kDantzig solver in
+// lockstep. Both maintain only sparse columns + B^-1 and FTRAN entering
+// columns on demand; different search orders over that representation must
+// agree with each other AND with a one-shot lp::Solve of the accumulated
+// problem at every checkpoint.
+class LpPricingMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpPricingMutationTest, MutationSequenceAgreesAcrossPricingModes) {
+  Rng rng(static_cast<uint64_t>(15000 + GetParam()));
+  lp::Solver part(WithMode(lp::PricingMode::kPartial));
+  lp::Solver full(WithMode(lp::PricingMode::kDantzig));
+  struct ShadowRow {
+    lp::RowType type;
+    double rhs;
+    std::vector<std::pair<int, double>> coeffs;
+  };
+  std::vector<double> hi, obj;
+  std::vector<ShadowRow> rows;
+
+  auto rand_rhs = [&](lp::RowType type) {
+    return type == lp::RowType::kLe ? rng.Uniform(0.5, 6) : -rng.Uniform(0.5, 6);
+  };
+  auto add_column = [&] {
+    double h = rng.Uniform(0.5, 3);
+    double c = rng.Uniform(-3, 3);
+    std::vector<std::pair<int, double>> coeffs;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (rng.NextIndex(3) != 0) continue;
+      double a = rng.Uniform(-2, 2);
+      coeffs.emplace_back(static_cast<int>(r), a);
+      rows[r].coeffs.emplace_back(static_cast<int>(hi.size()), a);
+    }
+    part.AddColumn(0, h, c, coeffs);
+    full.AddColumn(0, h, c, coeffs);
+    hi.push_back(h);
+    obj.push_back(c);
+  };
+  auto add_row = [&] {
+    ShadowRow row;
+    row.type = rng.NextIndex(2) == 0 ? lp::RowType::kLe : lp::RowType::kGe;
+    row.rhs = rand_rhs(row.type);
+    for (size_t j = 0; j < hi.size(); ++j) {
+      if (rng.NextIndex(3) != 0) continue;
+      row.coeffs.emplace_back(static_cast<int>(j), rng.Uniform(-2, 2));
+    }
+    part.AddRow(row.type, row.rhs, row.coeffs);
+    full.AddRow(row.type, row.rhs, row.coeffs);
+    rows.push_back(std::move(row));
+  };
+
+  for (int j = 0; j < 6; ++j) add_column();
+  for (int r = 0; r < 4; ++r) add_row();
+  for (int step = 0; step < 30; ++step) {
+    switch (rng.NextIndex(6)) {
+      case 0:
+      case 1:
+        add_column();
+        break;
+      case 2:
+        add_row();
+        break;
+      case 3: {
+        if (rows.empty() || hi.empty()) break;
+        size_t r = rng.NextIndex(rows.size());
+        int v = static_cast<int>(rng.NextIndex(hi.size()));
+        double delta = rng.Uniform(-0.5, 0.5);
+        part.AddToRow(static_cast<int>(r), v, delta);
+        full.AddToRow(static_cast<int>(r), v, delta);
+        bool found = false;
+        for (auto& [var, c] : rows[r].coeffs) {
+          if (var == v) {
+            c += delta;
+            found = true;
+            break;
+          }
+        }
+        if (!found) rows[r].coeffs.emplace_back(v, delta);
+        break;
+      }
+      default: {
+        if (rows.empty()) break;
+        size_t r = rng.NextIndex(rows.size());
+        rows[r].rhs = rand_rhs(rows[r].type);
+        part.SetRhs(static_cast<int>(r), rows[r].rhs);
+        full.SetRhs(static_cast<int>(r), rows[r].rhs);
+        break;
+      }
+    }
+    if (step % 6 != 5) continue;
+    lp::Solution sp = part.Solve();
+    lp::Solution sf = full.Solve();
+    ASSERT_TRUE(sp.ok()) << "partial, step " << step;
+    ASSERT_TRUE(sf.ok()) << "full, step " << step;
+    EXPECT_NEAR(sp.objective, sf.objective,
+                1e-6 * (1 + std::abs(sf.objective)))
+        << "step " << step;
+    lp::Problem p;
+    for (size_t j = 0; j < hi.size(); ++j) p.AddVariable(0, hi[j], obj[j]);
+    for (const ShadowRow& row : rows) p.AddRow(row.type, row.rhs, row.coeffs);
+    lp::Solution cold = lp::Solve(p);
+    ASSERT_TRUE(cold.ok()) << "cold, step " << step;
+    EXPECT_NEAR(sp.objective, cold.objective,
+                1e-6 * (1 + std::abs(cold.objective)))
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpPricingMutationTest, ::testing::Range(1, 13));
+
 // Zoo-corpus slice: the Fig. 13 loop solved end to end with full vs partial
 // pricing must agree on feasibility, max level, and total weighted delay
 // (the same fingerprint the warm/cold parity anchor uses), and the partial

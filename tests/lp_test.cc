@@ -1,11 +1,40 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "lp/lp.h"
 #include "util/random.h"
+
+// --- operator-new hook ------------------------------------------------------
+// Counts every global allocation while enabled. Used to assert the simplex
+// inner loop (FTRAN, ratio test, pivot, pricing) is allocation-free once the
+// solver's reused scratch buffers have reached capacity.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<long> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ldr::lp {
 namespace {
@@ -637,7 +666,7 @@ TEST(LpSolver, InvalidateRefactorizesToSameObjective) {
 // style mutations (rhs retargets + nonbasic coefficient deltas) re-solved
 // warm must keep matching a cold rebuild of the equivalent Problem. The
 // periodic refactorization guard (SolveOptions::refactor_interval) is what
-// bounds the accumulated tableau error; run the same sequence with an
+// bounds the accumulated factorization error; run the same sequence with an
 // aggressive interval and with the default to cover both trigger paths.
 TEST(LpSolver, PeriodicRefactorizationBoundsDriftAcrossEpochs) {
   for (int interval : {4, 0}) {
@@ -775,7 +804,7 @@ TEST(LpSolver, TieWindowWarmResolvesMatchCold) {
 // Hardening regression for the runtime tiny-pivot guard: with the periodic
 // refactorization guard disabled and coefficient scales spanning ten orders
 // of magnitude, a long mutation/re-solve epoch must never corrupt state —
-// every warm solve matches a cold rebuild. If tableau drift ever produces a
+// every warm solve matches a cold rebuild. If factorization drift ever produces a
 // numerically-zero pivot, the solver must recover through forced
 // refactorization (counted in Solution::pivot_recoveries) instead of
 // dividing by it, which is what the old NDEBUG-stripped assert allowed.
@@ -832,6 +861,192 @@ TEST(LpSolver, PathologicalScalesStayConsistentWithRefactorGuardDisabled) {
                 1e-5 * (1 + std::abs(cold.objective)))
         << "epoch " << epoch;
   }
+}
+
+// --- revised-simplex representation parity ---------------------------------
+
+// Randomized interleavings of every structural-delta entry point —
+// AddColumn / AddRow / AddToRow / SetRhs — with warm re-solves. After each
+// Solve the incremental solver (sparse columns + B^-1 only) must agree with
+// a one-shot lp::Solve of the accumulated problem on the objective, and its
+// returned point must be basis-feasible: every bound and every row satisfied
+// within tolerance. Instances keep x = 0 feasible throughout (kLe rows keep
+// rhs >= 0, kGe rows keep rhs <= 0, lower bounds at 0) so the parity target
+// is always optimal, never infeasible, and boxes keep it bounded.
+class LpMutationSequenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpMutationSequenceTest, WarmSolverMatchesOneShotAcrossMutations) {
+  Rng rng(static_cast<uint64_t>(11000 + GetParam()));
+  struct ShadowRow {
+    RowType type;
+    double rhs;
+    std::vector<std::pair<int, double>> coeffs;
+  };
+  std::vector<double> hi, obj;
+  std::vector<ShadowRow> rows;
+  Solver solver;
+
+  auto rand_rhs = [&](RowType type) {
+    return type == RowType::kLe ? rng.Uniform(0.5, 6) : -rng.Uniform(0.5, 6);
+  };
+  auto add_column = [&] {
+    double h = rng.Uniform(0.5, 3);
+    double c = rng.Uniform(-3, 3);
+    std::vector<std::pair<int, double>> coeffs;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (rng.NextIndex(3) != 0) continue;
+      double a = rng.Uniform(-2, 2);
+      coeffs.emplace_back(static_cast<int>(r), a);
+      rows[r].coeffs.emplace_back(static_cast<int>(hi.size()), a);
+    }
+    int v = solver.AddColumn(0, h, c, coeffs);
+    EXPECT_EQ(v, static_cast<int>(hi.size()));
+    hi.push_back(h);
+    obj.push_back(c);
+  };
+  auto add_row = [&] {
+    ShadowRow row;
+    row.type = rng.NextIndex(2) == 0 ? RowType::kLe : RowType::kGe;
+    row.rhs = rand_rhs(row.type);
+    for (size_t j = 0; j < hi.size(); ++j) {
+      if (rng.NextIndex(3) != 0) continue;
+      row.coeffs.emplace_back(static_cast<int>(j), rng.Uniform(-2, 2));
+    }
+    int r = solver.AddRow(row.type, row.rhs, row.coeffs);
+    EXPECT_EQ(r, static_cast<int>(rows.size()));
+    rows.push_back(std::move(row));
+  };
+  auto check_parity = [&](int step) {
+    Solution warm = solver.Solve();
+    ASSERT_TRUE(warm.ok()) << ToString(warm.status) << " step " << step;
+    Problem p;
+    for (size_t j = 0; j < hi.size(); ++j) p.AddVariable(0, hi[j], obj[j]);
+    for (const ShadowRow& row : rows) p.AddRow(row.type, row.rhs, row.coeffs);
+    Solution cold = Solve(p);
+    ASSERT_TRUE(cold.ok()) << ToString(cold.status) << " step " << step;
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-6 * (1 + std::abs(cold.objective)))
+        << "step " << step;
+    // Basis feasibility of the warm point: bounds and rows.
+    for (size_t j = 0; j < hi.size(); ++j) {
+      EXPECT_GE(warm.values[j], -1e-6) << "step " << step << " var " << j;
+      EXPECT_LE(warm.values[j], hi[j] + 1e-6) << "step " << step << " var " << j;
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      double lhs = 0;
+      for (const auto& [v, c] : rows[r].coeffs) {
+        lhs += c * warm.values[static_cast<size_t>(v)];
+      }
+      double t = 1e-6 * (1 + std::abs(rows[r].rhs));
+      if (rows[r].type == RowType::kLe) {
+        EXPECT_LE(lhs, rows[r].rhs + t) << "step " << step << " row " << r;
+      } else {
+        EXPECT_GE(lhs, rows[r].rhs - t) << "step " << step << " row " << r;
+      }
+    }
+  };
+
+  for (int j = 0; j < 4; ++j) add_column();
+  for (int r = 0; r < 3; ++r) add_row();
+  check_parity(-1);
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.NextIndex(6)) {
+      case 0:
+      case 1:
+        add_column();
+        break;
+      case 2:
+        add_row();
+        break;
+      case 3: {  // AddToRow on a random (row, var)
+        if (rows.empty() || hi.empty()) break;
+        size_t r = rng.NextIndex(rows.size());
+        int v = static_cast<int>(rng.NextIndex(hi.size()));
+        double delta = rng.Uniform(-0.5, 0.5);
+        solver.AddToRow(static_cast<int>(r), v, delta);
+        bool found = false;
+        for (auto& [var, c] : rows[r].coeffs) {
+          if (var == v) {
+            c += delta;
+            found = true;
+            break;
+          }
+        }
+        if (!found) rows[r].coeffs.emplace_back(v, delta);
+        break;
+      }
+      default: {  // SetRhs keeping the x = 0 feasibility convention
+        if (rows.empty()) break;
+        size_t r = rng.NextIndex(rows.size());
+        rows[r].rhs = rand_rhs(rows[r].type);
+        solver.SetRhs(static_cast<int>(r), rows[r].rhs);
+        break;
+      }
+    }
+    if (step % 5 == 4) check_parity(step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpMutationSequenceTest, ::testing::Range(1, 21));
+
+// The simplex inner loop must not allocate: FTRAN result, ratio-test scratch
+// and the pricing candidate list are all reused member buffers. After one
+// warm-up solve per phase has grown every scratch to capacity, a re-solve
+// that runs real pivots may allocate only the returned Solution::values
+// buffer — a handful of allocations regardless of how many iterations run.
+TEST(LpSolver, WarmResolveInnerLoopIsAllocationFree) {
+  RoutingShaped p = RoutingShaped::Random(90210, /*groups=*/12, /*links=*/10);
+  Solver solver;
+  int omax = solver.AddVariable(1, kInfinity, 1e6);
+  std::vector<int> eq_rows;
+  {
+    std::vector<std::vector<std::pair<int, double>>> link_terms(
+        static_cast<size_t>(p.links));
+    for (int a = 0; a < p.groups; ++a) {
+      std::vector<std::pair<int, double>> sum_row;
+      for (const auto& pv : p.stage_a[static_cast<size_t>(a)]) {
+        int v = solver.AddVariable(0, 1, pv.obj);
+        sum_row.emplace_back(v, 1.0);
+        for (const auto& [l, demand] : pv.links) {
+          link_terms[static_cast<size_t>(l)].emplace_back(v, demand);
+        }
+      }
+      eq_rows.push_back(solver.AddRow(RowType::kEq, 1.0, sum_row));
+    }
+    for (int l = 0; l < p.links; ++l) {
+      int ol = solver.AddVariable(1, kInfinity, 1.0);
+      auto row = link_terms[static_cast<size_t>(l)];
+      row.emplace_back(ol, -p.cap);
+      solver.AddRow(RowType::kLe, 0.0, row);
+      solver.AddRow(RowType::kLe, 0.0, {{ol, 1.0}, {omax, -1.0}});
+    }
+  }
+  Solution s0 = solver.Solve();
+  ASSERT_TRUE(s0.ok());
+  // Warm up the refactorization scratch and the phase-1 buffers: an
+  // invalidated re-solve plus one rhs perturbation that forces a repair.
+  solver.Invalidate();
+  ASSERT_TRUE(solver.Solve().ok());
+  for (size_t a = 0; a < eq_rows.size(); a += 2) {
+    solver.SetRhs(eq_rows[a], 0.9);
+  }
+  ASSERT_TRUE(solver.Solve().ok());
+
+  // The measured re-solve: perturb again so phases 1 and 2 both run pivots.
+  for (size_t a = 0; a < eq_rows.size(); ++a) {
+    solver.SetRhs(eq_rows[a], a % 2 == 0 ? 1.0 : 0.8);
+  }
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  Solution s = solver.Solve();
+  g_count_allocations.store(false);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s.iterations, 0);  // the loop actually ran
+  // Solution::values is the only per-solve buffer; everything the iterations
+  // touch is reused. A small slack covers one-off scratch growth, but the
+  // count must not scale with s.iterations.
+  EXPECT_LE(g_allocation_count.load(), 8)
+      << "inner loop allocated; iterations=" << s.iterations;
 }
 
 TEST(Lp, ModerateSizePerformance) {

@@ -2,7 +2,15 @@
 // repo's perf trajectory and emits them as JSON, so successive PRs have a
 // machine-readable baseline to regress against.
 //
-//   bench_to_json [output-path]     (default: BENCH_lp.json)
+//   bench_to_json [--smoke] [output-path]     (default: BENCH_lp.json)
+//
+//   --smoke   CI smoke mode (ci.sh --bench-smoke): reduced repetitions, the
+//             slow corpus-wide sections (iterative_loop, thread_scaling,
+//             path_store, lp_pricing's corpus slice) skipped and emitted as
+//             zeros with "smoke": true at the top. All correctness markers —
+//             lp_pricing/lp_revised objective_parity and scenario
+//             placement_parity — are still computed for real, so a perf
+//             refactor that breaks parity fails CI even in smoke mode.
 //
 // Sections:
 //   lp_resolve        one Fig. 13 growth round on a routing-shaped LP:
@@ -17,6 +25,15 @@
 //                     corpus produced (each an owning deep-copied Path before
 //                     the arena), unique_paths how many distinct paths were
 //                     actually stored; hit rate = 1 - unique/refs
+//   lp_revised        revised-simplex win tracking (PR 5): per-pivot cost and
+//                     resident solver memory on the lp_resolve_large warm
+//                     round and the shape_partial cold solve, against the
+//                     PR 4 dense-working-tableau baseline recorded on this
+//                     container. basis_bytes is the m×m B^-1 the solver
+//                     actually keeps; dense_tableau_bytes is what the PR 4
+//                     representation held for the same LP ((n+m)·m doubles).
+//                     objective_parity re-checks each warm/incremental solve
+//                     against a cold one-shot rebuild.
 //   lp_pricing        full-Dantzig vs partial (candidate-list) pricing A/B:
 //                     routing-shaped LPs solved cold both ways, plus the
 //                     Fig. 13 loop over a warm-cache corpus slice, recording
@@ -265,6 +282,87 @@ PricingRun BenchPricingCorpus(CorpusPricingFixture* f, lp::PricingMode mode) {
   return out;
 }
 
+// --- lp_revised -------------------------------------------------------------
+
+struct RevisedStats {
+  double total_ms = 0;        // summed wall-clock of the measured solves
+  int reps = 0;               // solves actually measured (failures excluded)
+  long iters = 0;             // summed simplex iterations
+  long pivots = 0;            // summed basis-changing pivots
+  long ftran_nnz = 0;         // summed FTRAN input nonzeros
+  size_t basis_bytes = 0;     // resident B^-1 bytes (last measured solver)
+  size_t dense_tableau_bytes = 0;  // (n+m)·m doubles the PR 4 tableau held
+  bool objective_parity = true;
+  double per_pivot_ms() const {
+    return pivots > 0 ? total_ms / static_cast<double>(pivots) : 0;
+  }
+};
+
+// The lp_resolve_large experiment (one Fig. 13 growth round re-solved warm),
+// instrumented: pivots, FTRAN volume, and the resident factorization bytes.
+RevisedStats BenchRevisedResolve(int aggregates, int links, int reps) {
+  RevisedStats out;
+  for (int r = 0; r < reps; ++r) {
+    auto spec = bench::RoutingLpSpec::Random(7 + static_cast<uint64_t>(r),
+                                             aggregates, links);
+    bench::WarmLp warm = bench::BuildSolverBase(spec);
+    lp::Solution s0 = warm.solver.Solve();
+    if (!s0.ok()) {
+      out.objective_parity = false;  // a failed solve must not drop out
+      continue;
+    }
+    double t0 = NowMs();
+    bench::AppendGrowth(spec, &warm);
+    lp::Solution sw = warm.solver.Solve();
+    out.total_ms += NowMs() - t0;
+    if (!sw.ok()) {
+      out.objective_parity = false;
+      continue;
+    }
+    ++out.reps;
+    out.iters += sw.iterations;
+    out.pivots += sw.pivots;
+    out.ftran_nnz += sw.ftran_nnz;
+    out.basis_bytes = sw.basis_bytes;
+    size_t n = warm.solver.VariableCount();
+    size_t m = warm.solver.RowCount();
+    out.dense_tableau_bytes = (n + m) * m * sizeof(double);
+    lp::Solution sc = lp::Solve(bench::BuildProblem(spec, /*with_growth=*/true));
+    if (!sc.ok() || std::abs(sw.objective - sc.objective) >
+                        1e-5 * (1 + std::abs(sc.objective))) {
+      out.objective_parity = false;
+    }
+  }
+  return out;
+}
+
+// The shape_partial experiment (cold routing-shaped LP, partial pricing),
+// instrumented the same way.
+RevisedStats BenchRevisedShapes(int aggregates, int links, int reps) {
+  RevisedStats out;
+  for (int r = 0; r < reps; ++r) {
+    auto spec = bench::RoutingLpSpec::Random(21 + static_cast<uint64_t>(r),
+                                             aggregates, links);
+    lp::Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+    double t0 = NowMs();
+    lp::Solution s = lp::Solve(p);
+    out.total_ms += NowMs() - t0;
+    if (!s.ok()) {
+      out.objective_parity = false;
+      continue;
+    }
+    ++out.reps;
+    out.iters += s.iterations;
+    out.pivots += s.pivots;
+    out.ftran_nnz += s.ftran_nnz;
+    out.basis_bytes = s.basis_bytes;
+    size_t n = p.VariableCount();
+    size_t m = p.RowCount();
+    out.dense_tableau_bytes = (n + m) * m * sizeof(double);
+  }
+  return out;
+}
+
 // --- scenario ---------------------------------------------------------------
 
 struct ScenarioBench {
@@ -337,27 +435,51 @@ ScenarioBench BenchScenario() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_lp.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_lp.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
 
   std::fprintf(stderr, "bench_to_json: lp_resolve...\n");
-  WarmCold resolve_small = BenchLpResolve(50, 25, 7);
-  WarmCold resolve_large = BenchLpResolve(150, 75, 3);
+  WarmCold resolve_small = BenchLpResolve(50, 25, smoke ? 3 : 7);
+  WarmCold resolve_large = BenchLpResolve(150, 75, smoke ? 1 : 3);
 
-  std::fprintf(stderr, "bench_to_json: iterative_loop...\n");
-  WarmCold loop_small = BenchIterativeLoop(4, 5);
-  WarmCold loop_large = BenchIterativeLoop(6, 3);
+  WarmCold loop_small, loop_large;
+  if (!smoke) {
+    std::fprintf(stderr, "bench_to_json: iterative_loop...\n");
+    loop_small = BenchIterativeLoop(4, 5);
+    loop_large = BenchIterativeLoop(6, 3);
+  }
+
+  std::fprintf(stderr, "bench_to_json: lp_revised...\n");
+  RevisedStats revised_resolve = BenchRevisedResolve(150, 75, smoke ? 1 : 3);
+  RevisedStats revised_shapes = BenchRevisedShapes(120, 60, smoke ? 2 : 5);
+  bool revised_parity =
+      revised_resolve.objective_parity && revised_shapes.objective_parity;
+  if (!revised_parity) {
+    std::fprintf(stderr, "bench_to_json: lp_revised objective mismatch\n");
+  }
 
   std::fprintf(stderr, "bench_to_json: lp_pricing...\n");
   PricingRun shape_full =
-      BenchPricingShapes(lp::PricingMode::kDantzig, 120, 60, 5);
+      BenchPricingShapes(lp::PricingMode::kDantzig, 120, 60, smoke ? 2 : 5);
   PricingRun shape_partial =
-      BenchPricingShapes(lp::PricingMode::kPartial, 120, 60, 5);
-  CorpusPricingFixture fixture = MakePricingFixture(BenchCorpus(8));
-  PricingRun corpus_full = BenchPricingCorpus(&fixture, lp::PricingMode::kDantzig);
-  PricingRun corpus_partial =
-      BenchPricingCorpus(&fixture, lp::PricingMode::kPartial);
-  bool pricing_parity = PricingParity(shape_full, shape_partial) &&
-                        PricingParity(corpus_full, corpus_partial);
+      BenchPricingShapes(lp::PricingMode::kPartial, 120, 60, smoke ? 2 : 5);
+  PricingRun corpus_full, corpus_partial;
+  if (!smoke) {
+    CorpusPricingFixture fixture = MakePricingFixture(BenchCorpus(8));
+    corpus_full = BenchPricingCorpus(&fixture, lp::PricingMode::kDantzig);
+    corpus_partial = BenchPricingCorpus(&fixture, lp::PricingMode::kPartial);
+  }
+  bool pricing_parity =
+      PricingParity(shape_full, shape_partial) &&
+      (smoke || PricingParity(corpus_full, corpus_partial));
   if (!pricing_parity) {
     std::fprintf(stderr,
                  "bench_to_json: full/partial pricing mismatch "
@@ -372,15 +494,19 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bench_to_json: scenario...\n");
   ScenarioBench scenario = BenchScenario();
 
-  std::fprintf(stderr, "bench_to_json: thread_scaling...\n");
-  std::vector<Topology> corpus = BenchCorpus(/*small_stride=*/8);
-  CorpusRunOptions copts;
-  copts.scheme_ids = {kSchemeOptimal, kSchemeMinMax};
-  copts.workload.num_instances = 4;
-  copts.max_nodes = 40;
+  std::vector<Topology> corpus;
   uint64_t allocation_refs = 0, unique_paths = 0;
-  double t1 = TimeCorpusMs(corpus, copts, "1", &allocation_refs, &unique_paths);
-  double t4 = TimeCorpusMs(corpus, copts, "4");
+  double t1 = 0, t4 = 0;
+  if (!smoke) {
+    std::fprintf(stderr, "bench_to_json: thread_scaling...\n");
+    corpus = BenchCorpus(/*small_stride=*/8);
+    CorpusRunOptions copts;
+    copts.scheme_ids = {kSchemeOptimal, kSchemeMinMax};
+    copts.workload.num_instances = 4;
+    copts.max_nodes = 40;
+    t1 = TimeCorpusMs(corpus, copts, "1", &allocation_refs, &unique_paths);
+    t4 = TimeCorpusMs(corpus, copts, "4");
+  }
   double hit_rate =
       allocation_refs > unique_paths
           ? 1.0 - static_cast<double>(unique_paths) /
@@ -393,6 +519,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  if (smoke) std::fprintf(f, "  \"smoke\": true,\n");
   auto emit_wc = [&](const char* name, const WarmCold& wc, bool comma) {
     std::fprintf(f,
                  "  \"%s\": {\"warm_ms\": %.3f, \"cold_ms\": %.3f, "
@@ -436,6 +563,43 @@ int main(int argc, char** argv) {
                scenario.placement_parity ? "true" : "false",
                static_cast<unsigned long long>(scenario.ksp_evictions),
                single_core ? ", \"invalid_single_core\": true" : "");
+  // PR 4 baseline (dense working tableau), from the PR 4 BENCH_lp.json
+  // measured on this container: lp_resolve_large's warm-round median and
+  // shape_partial's per-solve median. The pivot sequence for a given LP is
+  // representation-independent, so the per-pivot baseline divides the PR 4
+  // wall-clock by the pivot count measured now.
+  constexpr double kPr4ResolveLargeWarmMs = 21.881;
+  constexpr double kPr4ShapePartialMs = 29.036;
+  auto emit_revised = [&](const char* name, const RevisedStats& rs,
+                          double pr4_per_solve_ms) {
+    double per_solve = rs.reps > 0 ? rs.total_ms / rs.reps : 0;
+    double pr4_per_pivot =
+        rs.pivots > 0
+            ? pr4_per_solve_ms * rs.reps / static_cast<double>(rs.pivots)
+            : 0;
+    std::fprintf(
+        f,
+        "    \"%s\": {\"ms\": %.3f, \"iterations\": %ld, \"pivots\": %ld, "
+        "\"per_pivot_ms\": %.5f, \"pr4_ms\": %.3f, \"pr4_per_pivot_ms\": "
+        "%.5f, \"speedup\": %.2f, \"ftran_nnz\": %ld, \"basis_bytes\": %zu, "
+        "\"dense_tableau_bytes\": %zu, \"memory_ratio\": %.2f, "
+        "\"time_improved\": %s, \"memory_improved\": %s},\n",
+        name, per_solve, rs.iters, rs.pivots, rs.per_pivot_ms(),
+        pr4_per_solve_ms, pr4_per_pivot,
+        per_solve > 0 ? pr4_per_solve_ms / per_solve : 0, rs.ftran_nnz,
+        rs.basis_bytes, rs.dense_tableau_bytes,
+        rs.basis_bytes > 0
+            ? static_cast<double>(rs.dense_tableau_bytes) /
+                  static_cast<double>(rs.basis_bytes)
+            : 0,
+        per_solve < pr4_per_solve_ms ? "true" : "false",
+        rs.basis_bytes < rs.dense_tableau_bytes ? "true" : "false");
+  };
+  std::fprintf(f, "  \"lp_revised\": {\n");
+  emit_revised("lp_resolve_large", revised_resolve, kPr4ResolveLargeWarmMs);
+  emit_revised("shape_partial", revised_shapes, kPr4ShapePartialMs);
+  std::fprintf(f, "    \"objective_parity\": %s\n  },\n",
+               revised_parity ? "true" : "false");
   auto emit_pricing = [&](const char* name, const PricingRun& pr, bool comma) {
     std::fprintf(f,
                  "    \"%s\": {\"ms\": %.3f, \"columns_priced\": %ld, "
@@ -458,6 +622,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "lp_resolve    warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
+      "lp_revised    resolve_large %.3f ms (pr4 %.3f)  shape_partial %.3f ms "
+      "(pr4 %.3f)  basis %zu B vs dense %zu B  parity %s\n"
       "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n"
       "path_store    %llu allocation refs -> %llu unique paths  "
@@ -467,6 +633,14 @@ int main(int argc, char** argv) {
       "scenario      warm %.3f ms  cold %.3f ms  speedup %.1fx  "
       "churn %.3f  reconverge down/up %d/%d  parity %s\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
+      revised_resolve.reps > 0 ? revised_resolve.total_ms / revised_resolve.reps
+                               : 0.0,
+      kPr4ResolveLargeWarmMs,
+      revised_shapes.reps > 0 ? revised_shapes.total_ms / revised_shapes.reps
+                              : 0.0,
+      kPr4ShapePartialMs,
+      revised_shapes.basis_bytes, revised_shapes.dense_tableau_bytes,
+      revised_parity ? "yes" : "NO",
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
       t4 > 0 ? t1 / t4 : 0,
       static_cast<unsigned long long>(allocation_refs),
