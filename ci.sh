@@ -2,7 +2,8 @@
 # Tier-1 CI: configure, build, and test from a clean checkout — proving the
 # repo builds without any vendored build tree (build/ is gitignored).
 #
-# Usage: ./ci.sh [--sanitize] [--bench-smoke] [build-dir]   (default: build)
+# Usage: ./ci.sh [--sanitize] [--bench-smoke] [--soak] [--help] [build-dir]
+#                (default build dir: build)
 #
 #   --sanitize   build the suite with ASan+UBSan (see LDR_SANITIZE in
 #                CMakeLists.txt) so pivot/pricing numerics bugs — tiny-pivot
@@ -13,22 +14,39 @@
 #   --bench-smoke  after the tests, run the micro_lp warm-resolve bench once
 #                and bench_to_json in --smoke mode, failing if any
 #                correctness marker in the emitted JSON — lp_pricing /
-#                lp_revised objective_parity, scenario placement_parity — is
-#                false. Perf refactors cannot silently break the parity
-#                markers the BENCH baseline stands on.
+#                lp_revised objective_parity, scenario placement_parity,
+#                degradation recovery_parity — is false. Perf refactors
+#                cannot silently break the parity markers the BENCH baseline
+#                stands on.
+#   --soak       implies --sanitize; after the suite, re-run the randomized
+#                fault campaigns (fault_injection_test) with LDR_SOAK=1 so
+#                the extended seed schedule runs under ASan+UBSan. The fixed
+#                per-campaign seeds make every failure replayable.
+#   --help       print this usage block and exit.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+usage() { sed -n '/^# Usage:/,/^set /p' "$0" | grep '^#' | sed 's/^# \{0,1\}//'; }
+
 SANITIZE=0
 BENCH_SMOKE=0
+SOAK=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
+    --help|-h)
+      usage
+      exit 0
+      ;;
     --sanitize)
       SANITIZE=1
       ;;
     --bench-smoke)
       BENCH_SMOKE=1
+      ;;
+    --soak)
+      SOAK=1
+      SANITIZE=1
       ;;
     -*)
       echo "ci.sh: unknown flag '$arg'" >&2
@@ -82,6 +100,16 @@ if ! diff -u "$PROBE_1" "$PROBE_4" >&2; then
 fi
 echo "ci.sh: scenario determinism probe OK" >&2
 
+if [ "$SOAK" = 1 ]; then
+  # Fault-campaign soak: the randomized (but seed-fixed, replayable) fault
+  # schedules of fault_injection_test, extended by LDR_SOAK=1 to the full
+  # seed range, under the sanitizers — ladder recovery paths must be clean
+  # of UB and heap errors, not just functionally correct.
+  LDR_SOAK=1 "$BUILD_DIR/fault_injection_test" \
+      --gtest_filter='FaultInjectionTest.FaultCampaignSoak' >&2
+  echo "ci.sh: sanitized fault-campaign soak OK" >&2
+fi
+
 if [ "$BENCH_SMOKE" = 1 ]; then
   # Bench smoke: the solver microbench must run, and the JSON correctness
   # markers must all be true. bench_to_json --smoke skips the slow corpus
@@ -91,7 +119,7 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   SMOKE_JSON=$(mktemp)
   trap 'rm -f "$PROBE_1" "$PROBE_4" "$SMOKE_JSON"' EXIT
   "$BUILD_DIR/bench_to_json" --smoke "$SMOKE_JSON" >&2
-  for marker in objective_parity placement_parity; do
+  for marker in objective_parity placement_parity recovery_parity; do
     if grep -q "\"$marker\": false" "$SMOKE_JSON"; then
       echo "ci.sh: bench smoke FAILED ($marker is false)" >&2
       exit 1
@@ -101,5 +129,5 @@ if [ "$BENCH_SMOKE" = 1 ]; then
       exit 1
     fi
   done
-  echo "ci.sh: bench smoke OK (objective/placement parity true)" >&2
+  echo "ci.sh: bench smoke OK (objective/placement/recovery parity true)" >&2
 fi

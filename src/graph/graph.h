@@ -164,14 +164,18 @@ class Graph {
   // and capacities are untouched; Path/PathStore spans referring to it stay
   // resolvable) but disappears from OutLinks, and with it from Dijkstra, Yen
   // and every routing scheme. No CSR rebuild happens in either direction.
+  // Out-of-range ids are a no-op / read as up: scenario events are external
+  // input (PR 6 hardening — this used to index link_down_ unchecked).
   void SetLinkDown(LinkId id, bool down) {
+    if (id < 0 || static_cast<size_t>(id) >= link_down_.size()) return;
     char& slot = link_down_[static_cast<size_t>(id)];
     if (slot == static_cast<char>(down)) return;
     slot = static_cast<char>(down);
     down_count_ += down ? 1 : -1;
   }
   bool IsLinkDown(LinkId id) const {
-    return link_down_[static_cast<size_t>(id)] != 0;
+    return id >= 0 && static_cast<size_t>(id) < link_down_.size() &&
+           link_down_[static_cast<size_t>(id)] != 0;
   }
   size_t DownLinkCount() const { return down_count_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace ldr {
 
 KspGenerator::KspGenerator(PathStore* store, NodeId src, NodeId dst,
@@ -33,6 +35,11 @@ KspGenerator::KspGenerator(const Graph* g, NodeId src, NodeId dst,
 
 PathId KspGenerator::GetId(size_t k) {
   while (produced_.size() <= k) {
+    // Fault site: the path-production layer yields nothing new (a Yen's
+    // backend outage). Only *new* production is suppressed — the produced
+    // prefix, including the constructor's shortest path, stays served, so
+    // emergency shortest-path routing survives the fault.
+    if (LDR_FAILPOINT("ksp.empty")) return kInvalidPathId;
     if (!ProduceNext()) return kInvalidPathId;
   }
   return produced_[k];

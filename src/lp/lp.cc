@@ -1,8 +1,11 @@
 #include "lp/lp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+
+#include "util/failpoint.h"
 
 namespace ldr::lp {
 
@@ -16,6 +19,8 @@ std::string ToString(Status s) {
       return "unbounded";
     case Status::kIterLimit:
       return "iteration-limit";
+    case Status::kDeadline:
+      return "deadline";
   }
   return "?";
 }
@@ -249,6 +254,30 @@ class Solver::Impl {
       }
     }
 
+    // Fault site: the solve exhausts its iteration budget before doing any
+    // work — the cheapest way to hand callers a kIterLimit they must not
+    // consume as optimal.
+    if (LDR_FAILPOINT("lp.iter_limit")) {
+      sol.status = Status::kIterLimit;
+      return sol;
+    }
+
+    // Wall-clock deadline: armed before the (potentially expensive)
+    // refactorization so a 0 ms budget returns promptly. Re-checked between
+    // pivots in Step(), never inside one — the basis stays consistent.
+    deadline_hit_ = false;
+    deadline_set_ = opt_.deadline_ms >= 0;
+    if (deadline_set_) {
+      deadline_at_ = Clock::now() +
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             opt_.deadline_ms));
+      if (DeadlineExceeded()) {
+        sol.status = Status::kDeadline;
+        return sol;
+      }
+    }
+
     // Periodic refactorization: every incremental update (pivot, appended
     // row, rhs shift) compounds error in B^-1; a long-lived controller-epoch
     // solver can run thousands of them without ever hitting the
@@ -285,7 +314,8 @@ class Solver::Impl {
       if (!HasInfeasibleBasic()) break;
       EnsurePhase1Duals();
       if (!Iterate(/*phase1=*/true, &degenerate_run)) {
-        sol.status = Status::kInfeasible;
+        sol.status =
+            deadline_hit_ ? Status::kDeadline : Status::kInfeasible;
         sol.iterations = iter_;
         return sol;
       }
@@ -316,9 +346,11 @@ class Solver::Impl {
         return sol;
       }
       if (r == StepResult::kStuck) {
-        // Numerical breakdown (recovery refactorization went singular):
-        // report failure — callers rebuild from scratch on !ok().
-        sol.status = Status::kIterLimit;
+        // Numerical breakdown (recovery refactorization went singular) or
+        // the wall-clock deadline expired between pivots: report failure —
+        // callers rebuild from scratch or walk the fallback ladder on
+        // !ok().
+        sol.status = deadline_hit_ ? Status::kDeadline : Status::kIterLimit;
         sol.iterations = iter_;
         return sol;
       }
@@ -331,7 +363,8 @@ class Solver::Impl {
         while (iter_ < limit && HasInfeasibleBasic()) {
           EnsurePhase1Duals();
           if (!Iterate(true, &degenerate_run)) {
-            sol.status = Status::kInfeasible;
+            sol.status =
+                deadline_hit_ ? Status::kDeadline : Status::kInfeasible;
             sol.iterations = iter_;
             return sol;
           }
@@ -749,6 +782,13 @@ class Solver::Impl {
 
   StepResult Step(int entering, double d_enter, bool phase1,
                   int* degenerate_run) {
+    // Deadline check between pivots: the basis is untouched, so reporting
+    // kStuck here (mapped to kDeadline by SolveImpl via deadline_hit_)
+    // leaves the solver consistent and warm-resumable.
+    if (DeadlineExceeded()) {
+      deadline_hit_ = true;
+      return StepResult::kStuck;
+    }
     ++iter_;
     VarState est = StateOf(entering);
     double dir;
@@ -769,6 +809,28 @@ class Solver::Impl {
     // The entering column exists only for the duration of this step: FTRAN
     // it into the reused scratch and run the ratio test off that.
     Ftran(entering);
+    // Fault sites: corrupt the FTRAN-ed entering column the way real
+    // factorization drift would — a relative perturbation (silent numeric
+    // error) or an outright NaN (catastrophic breakdown).
+    if (m_ > 0 && LDR_FAILPOINT("lp.ftran_perturb")) {
+      for (size_t i = 0; i < m_; ++i) ftran_[i] *= 1.0 + 1e-3;
+    }
+    if (m_ > 0 && LDR_FAILPOINT("lp.ftran_nan")) {
+      ftran_[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    // A non-finite FTRAN result means B^-1 itself is poisoned (overflow or
+    // NaN from compounded eta updates); the ratio test below would smuggle
+    // it into xb_. Re-establish the factorization from the exact sparse
+    // columns and let the caller re-price — the same recovery path as a
+    // numerically-zero pivot.
+    for (size_t i = 0; i < m_; ++i) {
+      if (!std::isfinite(ftran_[i])) {
+        ++pivot_recoveries_;
+        factor_valid_ = false;
+        Refactorize();
+        return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+      }
+    }
     const double* ecol = ftran_.data();
     double elo = LoOf(entering), ehi = HiOf(entering);
 
@@ -875,8 +937,9 @@ class Solver::Impl {
       leave_bound = rb_[lr];
     }
 
-    if (leave_row >= 0 && !(std::abs(ecol[static_cast<size_t>(leave_row)]) >
-                            kMinPivot)) {
+    if (leave_row >= 0 &&
+        (LDR_FAILPOINT("lp.tiny_pivot") ||
+         !(std::abs(ecol[static_cast<size_t>(leave_row)]) > kMinPivot))) {
       // About to pivot on a numerically zero (or NaN) element —
       // factorization drift a NDEBUG build would previously have divided
       // by. Re-establish B^-1 from
@@ -966,6 +1029,13 @@ class Solver::Impl {
   // tight.
   void Refactorize() {
     refactor_singular_ = false;
+    // Fault site: the recorded basis fails to re-establish (as a genuinely
+    // singular basis would). State is exactly as if elimination had run and
+    // failed: factor_valid_ stays false, callers see refactor_singular_.
+    if (LDR_FAILPOINT("lp.refactor_singular")) {
+      refactor_singular_ = true;
+      return;
+    }
     for (size_t k = 0; k < m_; ++k) {
       bcol_[k].assign(m_, 0.0);
       bcol_[k][k] = 1.0;
@@ -1184,6 +1254,17 @@ class Solver::Impl {
   std::vector<int> desired_;     // Refactorize: recorded basis snapshot
   std::vector<double> net_rhs_;  // Refactorize: rhs net of nonbasic values
   int iter_ = 0;
+
+  // Wall-clock deadline state for the live Solve() (see
+  // SolveOptions::deadline_ms). deadline_hit_ distinguishes a kStuck that
+  // means "deadline expired" from a genuine numerical breakdown.
+  using Clock = std::chrono::steady_clock;
+  bool deadline_set_ = false;
+  bool deadline_hit_ = false;
+  Clock::time_point deadline_at_{};
+  bool DeadlineExceeded() const {
+    return deadline_set_ && Clock::now() >= deadline_at_;
+  }
 };
 
 Solver::Solver(const SolveOptions& options) : impl_(new Impl(options)) {}

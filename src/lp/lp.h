@@ -55,7 +55,7 @@ inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 enum class RowType { kLe, kGe, kEq };
 
-enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit, kDeadline };
 
 std::string ToString(Status s);
 
@@ -137,6 +137,16 @@ struct SolveOptions {
   // better numerics at negligible amortized cost. Negative disables the
   // guard.
   int refactor_interval = 0;
+  // Wall-clock budget for one Solve() call, in milliseconds. Checked on
+  // entry (before any refactorization) and at every simplex iteration, so a
+  // 0 deadline returns Status::kDeadline promptly and a positive one stops
+  // within one iteration of expiring. The check runs between pivots — the
+  // basis is left consistent and the solver stays usable (warm re-entry or
+  // forced refactorization both work afterwards). Negative disables the
+  // deadline. This is the controller's per-epoch decision guard: a solve
+  // that would blow the epoch budget surfaces as kDeadline and the caller
+  // walks the fallback ladder instead of stalling the epoch.
+  double deadline_ms = -1;
 };
 
 struct Solution {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "routing/placement.h"
 #include "traffic/trace.h"
 
 namespace ldr {
@@ -100,6 +101,13 @@ LdrControllerResult LdrController::RunEpoch(
         IterativeLpRoute(g, working, cache_, opts_.routing, &reuse_);
     result.solve_ms_total += result.outcome.solve_ms;
     if (round == 0) result.warm_epoch = result.outcome.reused_warm;
+    result.fallback = std::max(result.fallback, result.outcome.fallback);
+    if (result.outcome.fallback == FallbackRung::kShortestPath) {
+      // The LP pipeline is down (rungs 1-2 already failed inside
+      // IterativeLpRoute); appraisal and Ba scale-up cannot help — go
+      // straight to the epoch decision guard below.
+      break;
+    }
 
     // (3) Appraise multiplexing per link using the *measured* last-minute
     // series (not the estimates). Count contributions first so the scatter
@@ -170,6 +178,45 @@ LdrControllerResult LdrController::RunEpoch(
       }
     }
   }
+
+  // Per-epoch decision guard (PR 6): never install an invalid placement.
+  // What reaches here is a clean LP outcome (possibly repaired in place by
+  // ladder rungs 1-2 inside IterativeLpRoute) or the rung-4 shortest-path
+  // emergency placement. Prefer rung 3 — last epoch's installed placement,
+  // pruned of failed-link paths and renormalized — over rung 4 when it is
+  // still fully operational.
+  PlacementCheck check =
+      ValidatePlacement(g, store, result.outcome.allocations);
+  if (result.fallback == FallbackRung::kShortestPath || !check.valid) {
+    bool replaced = false;
+    if (has_last_placement_) {
+      auto pruned = last_allocations_;
+      if (PruneAndRenormalize(g, store, &pruned) &&
+          ValidatePlacement(g, store, pruned).valid) {
+        result.outcome.allocations = std::move(pruned);
+        result.fallback = FallbackRung::kLastPlacement;
+        replaced = true;
+      }
+    }
+    if (!replaced && !check.valid) {
+      // No serviceable last placement and the LP outcome itself is invalid
+      // (e.g. a corrupted solve smuggled NaN fractions past "optimal"):
+      // build the rung-4 emergency placement here.
+      result.outcome.allocations = ShortestPathPlacement(working, cache_);
+      result.fallback = FallbackRung::kShortestPath;
+    }
+    result.outcome.feasible = false;
+  }
+  if (result.fallback != FallbackRung::kNone) {
+    // A degraded epoch's warm state is suspect (drifted basis, suppressed
+    // path production, stale placement). Rebuilding cold next epoch is also
+    // what lets the placement hash reconverge with the fault-free run as
+    // soon as faults clear: cold solves are bitwise-reproducible.
+    DropWarmState();
+  }
+  result.outcome.fallback = result.fallback;
+  last_allocations_ = result.outcome.allocations;
+  has_last_placement_ = true;
   return result;
 }
 

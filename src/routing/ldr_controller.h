@@ -57,6 +57,10 @@ struct LdrControllerResult {
   // RunLdrController wrapper and for the first epoch after a topology
   // delta).
   bool warm_epoch = false;
+  // Degradation telemetry (PR 6): the highest fallback-ladder rung that
+  // fired across the epoch's rounds producing the installed placement.
+  // kNone on a clean epoch; mirrored into outcome.fallback.
+  FallbackRung fallback = FallbackRung::kNone;
 };
 
 // Algorithm 1 demand prediction for every aggregate: per-minute means of
@@ -134,6 +138,11 @@ class LdrController {
   std::vector<MeanRatePredictor> predictors_;
   LpReuseContext reuse_;
   size_t ksp_evictions_ = 0;
+  // The last placement this controller installed — degradation ladder rung
+  // 3 re-serves it (pruned of masked-link paths, renormalized) when the LP
+  // pipeline fails outright mid-epoch.
+  std::vector<std::vector<PathAllocation>> last_allocations_;
+  bool has_last_placement_ = false;
 };
 
 // `history_100ms[a]`: aggregate a's measured rate series at 100 ms

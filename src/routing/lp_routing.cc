@@ -33,6 +33,8 @@ double ClassWeight(const std::vector<double>& class_weights,
 lp::SolveOptions SolverOptionsFor(const RoutingLpOptions& opts) {
   lp::SolveOptions so;
   so.pricing = opts.pricing;
+  so.max_iters = opts.max_iters;
+  so.deadline_ms = opts.deadline_ms;
   return so;
 }
 
@@ -152,6 +154,7 @@ RoutingLpResult SolveRoutingLp(
   }
 
   lp::Solution sol = lp::Solve(problem, SolverOptionsFor(opts));
+  result.status = sol.status;
   result.columns_priced = sol.columns_priced;
   result.iterations = sol.iterations;
   result.pivots = sol.pivots;
@@ -159,7 +162,9 @@ RoutingLpResult SolveRoutingLp(
   result.basis_bytes = sol.basis_bytes;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
-    // unbounded above); failure here means a numerical breakdown.
+    // unbounded above); failure here means a numerical breakdown, an
+    // exhausted iteration budget, or an expired deadline — never consume
+    // such a solution as optimal.
     result.solved = false;
     return result;
   }
@@ -335,12 +340,15 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   EnsureLinkRows();
 
   lp::Solution sol = solver_.Solve();
+  result.status = sol.status;
   result.columns_priced = sol.columns_priced;
   result.iterations = sol.iterations;
   result.pivots = sol.pivots;
   result.ftran_nnz = sol.ftran_nnz;
   result.basis_bytes = sol.basis_bytes;
   if (!sol.ok()) {
+    // kIterLimit/kDeadline carry no usable values — never extract fractions
+    // from them; callers walk the fallback ladder on !solved.
     result.solved = false;
     return result;
   }
@@ -516,6 +524,17 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     return acc;
   };
 
+  // Telemetry must reflect every solve that ran, including failed attempts
+  // and the ladder retries below — the rung that finally produced the
+  // placement contributes its pivots/ftran_nnz like any other round.
+  auto accumulate = [&outcome](const RoutingLpResult& r) {
+    outcome.lp_columns_priced += r.columns_priced;
+    outcome.lp_iterations += r.iterations;
+    outcome.lp_pivots += r.pivots;
+    outcome.lp_ftran_nnz += r.ftran_nnz;
+    outcome.lp_basis_bytes = std::max(outcome.lp_basis_bytes, r.basis_bytes);
+  };
+
   RoutingLpResult res;
   RoutingLpResult best_res;
   std::vector<std::vector<PathId>> best_paths;
@@ -531,11 +550,47 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   for (; round < opts.max_rounds; ++round) {
     res = ilp != nullptr ? ilp->Solve(paths)
                          : SolveRoutingLp(store, aggregates, paths, opts.lp);
-    outcome.lp_columns_priced += res.columns_priced;
-    outcome.lp_iterations += res.iterations;
-    outcome.lp_pivots += res.pivots;
-    outcome.lp_ftran_nnz += res.ftran_nnz;
-    outcome.lp_basis_bytes = std::max(outcome.lp_basis_bytes, res.basis_bytes);
+    accumulate(res);
+    if (!res.solved) {
+      ++outcome.lp_failures;
+      // Degradation ladder, rung 1: most in-place solve failures are B^-1
+      // drift. Force an exact refactorization of the live solver and retry
+      // once before giving up on it.
+      if (ilp != nullptr) {
+        ilp->ForceRefactorize();
+        RoutingLpResult retry = ilp->Solve(paths);
+        accumulate(retry);
+        if (retry.solved) {
+          res = retry;
+          outcome.fallback =
+              std::max(outcome.fallback, FallbackRung::kRetryRefactor);
+        } else {
+          ++outcome.lp_failures;
+        }
+      }
+      // Rung 2: rebuild the incremental LP cold — fresh solver, exact
+      // columns, same grown path sets — and swap it into the reuse slot so
+      // later rounds (and the next epoch) run against the healthy instance.
+      if (!res.solved && ilp != nullptr) {
+        auto rebuilt =
+            std::make_unique<IncrementalRoutingLp>(store, aggregates, opts.lp);
+        RoutingLpResult cold = rebuilt->Solve(paths);
+        accumulate(cold);
+        if (cold.solved) {
+          res = cold;
+          outcome.fallback =
+              std::max(outcome.fallback, FallbackRung::kColdRebuild);
+          ilp = rebuilt.get();
+          if (reuse != nullptr) {
+            reuse->lp = std::move(rebuilt);
+          } else {
+            local_lp = std::move(rebuilt);
+          }
+        } else {
+          ++outcome.lp_failures;
+        }
+      }
+    }
     if (!res.solved) break;
 
     bool feasible_now =
@@ -609,11 +664,25 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
         opts.lp.minmax ? res.omax <= 1.0 + opts.fit_eps
                        : res.omax <= 1.0 + opts.fit_eps;
   } else {
-    // Numerical fallback: shortest paths.
+    // Degradation ladder, rung 4 (emergency): every aggregate rides its
+    // shortest path. max_level reports the *actual* load of that placement
+    // — a failed solve must not leak the default 0 into callers that divide
+    // by it (MinMaxUtilization scales whole traffic matrices off this).
+    outcome.fallback = FallbackRung::kShortestPath;
+    std::vector<double> load(g.LinkCount(), 0.0);
     for (size_t a = 0; a < aggregates.size(); ++a) {
-      if (!paths[a].empty()) {
-        outcome.allocations[a].push_back({paths[a][0], 1.0});
+      if (paths[a].empty()) continue;
+      outcome.allocations[a].push_back({paths[a][0], 1.0});
+      for (LinkId l : store.Links(paths[a][0])) {
+        load[static_cast<size_t>(l)] += aggregates[a].demand_gbps;
       }
+    }
+    double cap_scale = 1.0 - opts.lp.headroom;
+    outcome.max_level = opts.lp.minmax ? 0.0 : 1.0;
+    for (size_t l = 0; l < g.LinkCount(); ++l) {
+      double cap = g.link(static_cast<LinkId>(l)).capacity_gbps * cap_scale;
+      if (cap <= 0) continue;
+      outcome.max_level = std::max(outcome.max_level, load[l] / cap);
     }
     outcome.feasible = false;
   }

@@ -52,11 +52,21 @@ struct RoutingLpOptions {
   // (partial candidate-list pricing by default; kDantzig full sweeps are the
   // A/B baseline the benches compare against).
   lp::PricingOptions pricing;
+  // Per-solve budgets forwarded to lp::SolveOptions — the controller's
+  // epoch decision guard. max_iters 0 keeps the solver's automatic cap;
+  // deadline_ms is a wall-clock budget per LP solve (negative disables,
+  // 0 returns lp::Status::kDeadline promptly). A budget-exhausted solve
+  // comes back !solved and the caller walks the fallback ladder.
+  int max_iters = 0;
+  double deadline_ms = -1;
 };
 
 // Result of one LP solve over explicit path sets.
 struct RoutingLpResult {
   bool solved = false;
+  // The lp::Solver verdict behind `solved` — kIterLimit/kDeadline must
+  // never be consumed as optimal; `solved` is true only for kOptimal.
+  lp::Status status = lp::Status::kIterLimit;
   // fractions[a][p] for the paths passed in; aggregates with one path get
   // the implicit fraction 1.
   std::vector<std::vector<double>> fractions;
@@ -108,6 +118,11 @@ class IncrementalRoutingLp {
   // the live solver; basic columns trigger a lazy refactorization instead of
   // a rebuild.
   void UpdateDemands(const std::vector<Aggregate>& aggregates);
+
+  // Drops the live solver's factorization so the next Solve() re-establishes
+  // B^-1 from the exact sparse columns — the degradation ladder's rung 1
+  // repair for drift-induced solve failures.
+  void ForceRefactorize() { solver_.Invalidate(); }
 
  private:
   double Weight(size_t a) const;

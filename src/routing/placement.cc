@@ -1,0 +1,88 @@
+#include "routing/placement.h"
+
+#include <cmath>
+
+namespace ldr {
+
+const char* ToString(FallbackRung rung) {
+  switch (rung) {
+    case FallbackRung::kNone:
+      return "none";
+    case FallbackRung::kRetryRefactor:
+      return "retry-refactor";
+    case FallbackRung::kColdRebuild:
+      return "cold-rebuild";
+    case FallbackRung::kLastPlacement:
+      return "last-placement";
+    case FallbackRung::kShortestPath:
+      return "shortest-path";
+  }
+  return "?";
+}
+
+namespace {
+
+bool CrossesMaskedLink(const Graph& g, const PathStore& store, PathId p) {
+  if (p == kInvalidPathId) return true;  // unresolvable: never serve it
+  for (LinkId l : store.Links(p)) {
+    if (g.IsLinkDown(l)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PlacementCheck ValidatePlacement(
+    const Graph& g, const PathStore& store,
+    const std::vector<std::vector<PathAllocation>>& allocations, double tol) {
+  PlacementCheck check;
+  for (const auto& entries : allocations) {
+    if (entries.empty()) continue;
+    double sum = 0;
+    for (const PathAllocation& pa : entries) {
+      if (CrossesMaskedLink(g, store, pa.path)) ++check.masked_path_entries;
+      sum += pa.fraction;
+    }
+    // Written as !(|sum-1| <= tol) so a NaN-poisoned sum fails the check.
+    if (!(std::abs(sum - 1.0) <= tol)) ++check.bad_fraction_aggregates;
+  }
+  check.valid =
+      check.bad_fraction_aggregates == 0 && check.masked_path_entries == 0;
+  return check;
+}
+
+bool PruneAndRenormalize(
+    const Graph& g, const PathStore& store,
+    std::vector<std::vector<PathAllocation>>* allocations) {
+  std::vector<std::vector<PathAllocation>> pruned(allocations->size());
+  for (size_t a = 0; a < allocations->size(); ++a) {
+    const auto& entries = (*allocations)[a];
+    if (entries.empty()) continue;
+    double kept = 0;
+    for (const PathAllocation& pa : entries) {
+      if (CrossesMaskedLink(g, store, pa.path)) continue;
+      pruned[a].push_back(pa);
+      kept += pa.fraction;
+    }
+    // An aggregate that lost every path — or kept only numerically-zero
+    // fractions — cannot be renormalized: the stale placement is unusable.
+    if (pruned[a].empty() || !(kept > 1e-9)) return false;
+    for (PathAllocation& pa : pruned[a]) pa.fraction /= kept;
+  }
+  *allocations = std::move(pruned);
+  return true;
+}
+
+std::vector<std::vector<PathAllocation>> ShortestPathPlacement(
+    const std::vector<Aggregate>& aggregates, KspCache* cache) {
+  std::vector<std::vector<PathAllocation>> allocations(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
+    PathId p = gen != nullptr ? gen->GetId(0) : kInvalidPathId;
+    if (p == kInvalidPathId) continue;  // disconnected under the mask
+    allocations[a].push_back({p, 1.0});
+  }
+  return allocations;
+}
+
+}  // namespace ldr

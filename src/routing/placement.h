@@ -1,0 +1,58 @@
+// Placement validity and repair — the vocabulary of the PR 6 degradation
+// ladder's upper rungs.
+//
+// The hard invariant the fault campaigns (and the controller's per-epoch
+// decision guard) enforce: *every* installed placement is valid — each
+// placed aggregate's fractions sum to ~1 and no allocated path crosses a
+// masked link — no matter which ladder rung produced it. ValidatePlacement
+// is that predicate; PruneAndRenormalize is rung 3 (re-serve the last
+// installed placement minus failed-link paths); ShortestPathPlacement is
+// rung 4 (emergency all-on-shortest-path routing).
+#ifndef LDR_ROUTING_PLACEMENT_H_
+#define LDR_ROUTING_PLACEMENT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ksp.h"
+#include "graph/path_store.h"
+#include "routing/scheme.h"
+#include "tm/traffic_matrix.h"
+
+namespace ldr {
+
+struct PlacementCheck {
+  bool valid = true;
+  // Aggregates whose fraction sum is off 1 by more than tol (NaN counts:
+  // the comparison is written so a poisoned sum fails, never passes).
+  size_t bad_fraction_aggregates = 0;
+  // Allocation entries whose path crosses a currently-masked link.
+  size_t masked_path_entries = 0;
+};
+
+// Checks the invariant. Aggregates with no allocation entries are skipped —
+// "could not place at all" (disconnected pair) is reported through
+// RoutingOutcome::feasible, not treated as an invalid placement.
+PlacementCheck ValidatePlacement(
+    const Graph& g, const PathStore& store,
+    const std::vector<std::vector<PathAllocation>>& allocations,
+    double tol = 1e-4);
+
+// Ladder rung 3: drops allocation entries whose path crosses a masked link
+// and renormalizes each aggregate's survivors to sum to 1. All-or-nothing:
+// returns false — leaving *allocations untouched — when any originally
+// placed aggregate would lose every path (the stale placement cannot serve
+// the current topology and rung 4 must take over).
+bool PruneAndRenormalize(const Graph& g, const PathStore& store,
+                         std::vector<std::vector<PathAllocation>>* allocations);
+
+// Ladder rung 4: every aggregate rides its current shortest path (KSP rank
+// 0, produced at generator construction — available even when path
+// *production* is the failing subsystem). Aggregates the masked topology
+// disconnects get an empty entry.
+std::vector<std::vector<PathAllocation>> ShortestPathPlacement(
+    const std::vector<Aggregate>& aggregates, KspCache* cache);
+
+}  // namespace ldr
+
+#endif  // LDR_ROUTING_PLACEMENT_H_

@@ -12,6 +12,7 @@
 #ifndef LDR_ROUTING_SCHEME_H_
 #define LDR_ROUTING_SCHEME_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,21 @@ struct PathAllocation {
   PathId path = kInvalidPathId;  // resolve via RoutingOutcome::store
   double fraction = 0;           // of the aggregate's demand
 };
+
+// The graceful-degradation ladder (PR 6). When the LP pipeline cannot
+// produce a clean optimal placement for an epoch, the stack walks these
+// rungs in order and records the highest one that fired. Ordering matters:
+// later rungs serve strictly staler/coarser placements, so comparisons
+// (std::max over rounds) pick the worst degradation an epoch suffered.
+enum class FallbackRung : uint8_t {
+  kNone = 0,           // clean optimal solve
+  kRetryRefactor = 1,  // forced exact refactorization + warm retry succeeded
+  kColdRebuild = 2,    // fresh IncrementalRoutingLp over the same paths
+  kLastPlacement = 3,  // previous epoch's placement, pruned + renormalized
+  kShortestPath = 4,   // emergency: everything on its shortest path
+};
+
+const char* ToString(FallbackRung rung);
 
 struct RoutingOutcome {
   // The arena the allocation PathIds index into. Outlives the outcome for
@@ -62,6 +78,11 @@ struct RoutingOutcome {
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.
   double max_level = 0;
+  // Degradation telemetry (PR 6): highest fallback-ladder rung that fired
+  // while producing this outcome, and how many LP solves came back
+  // non-optimal along the way (0 / kNone on a clean epoch).
+  FallbackRung fallback = FallbackRung::kNone;
+  int lp_failures = 0;
 };
 
 class RoutingScheme {

@@ -5,9 +5,11 @@
 #include <unordered_map>
 
 #include "graph/shortest_path.h"
+#include "routing/placement.h"
 #include "sim/corpus_runner.h"
 #include "sim/evaluate.h"
 #include "traffic/trace.h"
+#include "util/failpoint.h"
 #include "util/stats.h"
 
 namespace ldr {
@@ -111,7 +113,7 @@ std::vector<std::vector<double>> ConstantScenarioTraffic(
 double ScenarioReport::WarmSolveMsMedian() const {
   std::vector<double> v;
   for (const ScenarioEpochReport& er : epochs) {
-    if (er.warm && !er.event_epoch) v.push_back(er.solve_ms);
+    if (er.warm && !er.event_epoch && !er.fault_epoch) v.push_back(er.solve_ms);
   }
   return Median(std::move(v));
 }
@@ -119,7 +121,9 @@ double ScenarioReport::WarmSolveMsMedian() const {
 double ScenarioReport::ColdSolveMsMedian() const {
   std::vector<double> v;
   for (const ScenarioEpochReport& er : epochs) {
-    if (!er.warm && !er.event_epoch) v.push_back(er.solve_ms);
+    if (!er.warm && !er.event_epoch && !er.fault_epoch) {
+      v.push_back(er.solve_ms);
+    }
   }
   return Median(std::move(v));
 }
@@ -127,7 +131,7 @@ double ScenarioReport::ColdSolveMsMedian() const {
 double ScenarioReport::EventFreeChurnMax() const {
   double churn = 0;
   for (const ScenarioEpochReport& er : epochs) {
-    if (er.epoch == 0 || er.event_epoch) continue;
+    if (er.epoch == 0 || er.event_epoch || er.fault_epoch) continue;
     churn = std::max(churn, er.route_churn);
   }
   return churn;
@@ -267,13 +271,69 @@ ScenarioReport ScenarioEngine::Run() {
     return active;
   };
 
+  // Scenario-input validation: rejected events are ignored everywhere and
+  // counted once, up front (they are a property of the scenario, not of any
+  // epoch). `applied` tracks which events actually took effect, so skipped
+  // redundant/dropped events cannot fabricate reconvergence entries below.
+  for (const ScenarioEvent& ev : scenario_.events) {
+    if (!EventValid(ev)) ++report.invalid_events;
+  }
+  std::vector<char> applied(scenario_.events.size(), 0);
+
+  auto fault_active = [&](int epoch) {
+    for (const FaultWindow& fw : scenario_.faults) {
+      if (epoch >= fw.from_epoch && epoch < fw.until_epoch) return true;
+    }
+    return false;
+  };
+
   AllocationMap prev_alloc;
   for (int e = 0; e < scenario_.epochs; ++e) {
+    // Fault windows open/close at epoch boundaries, before events and the
+    // epoch's reconfiguration. Closing a window also drops the controller's
+    // warm state: whatever the faulted epochs left behind (drifted basis,
+    // starved path sets) is suspect, and the first clean epoch becomes a
+    // cold, bitwise-reproducible solve — the reconvergence-to-parity
+    // guarantee the fault campaigns assert.
+    for (const FaultWindow& fw : scenario_.faults) {
+      if (fw.from_epoch == e) util::Failpoint::Activate(fw.failpoint, fw.spec);
+      if (fw.until_epoch == e) {
+        util::Failpoint::Deactivate(fw.failpoint);
+        if (controller_ != nullptr) controller_->DropWarmState();
+      }
+    }
+
     bool event_fired = false;
-    for (const ScenarioEvent& ev : scenario_.events) {
+    for (size_t i = 0; i < scenario_.events.size(); ++i) {
+      const ScenarioEvent& ev = scenario_.events[i];
+      if (ev.type == ScenarioEvent::Type::kDemandSurge) {
+        // Surges apply through EpochSegment; valid ones count as applied.
+        if (EventValid(ev)) applied[i] = 1;
+        continue;
+      }
       if (ev.epoch != e || !EventValid(ev)) continue;
+      // No-op-with-report: a LinkDown on an already-masked link or a LinkUp
+      // on a link that is up would re-apply state the engine already holds
+      // — skipping keeps the epoch's inputs unchanged, so it is not marked
+      // an event epoch for it.
+      bool redundant =
+          (ev.type == ScenarioEvent::Type::kLinkDown &&
+           graph_.IsLinkDown(ev.link)) ||
+          (ev.type == ScenarioEvent::Type::kLinkUp &&
+           !graph_.IsLinkDown(ev.link));
+      if (redundant) {
+        ++report.redundant_events;
+        continue;
+      }
+      // Fault site: the event is lost before reaching the topology (a
+      // controller that missed a link-state notification).
+      if (LDR_FAILPOINT("scenario.drop_event")) {
+        ++report.dropped_events;
+        continue;
+      }
       ApplyEvent(ev);
-      if (ev.type != ScenarioEvent::Type::kDemandSurge) event_fired = true;
+      applied[i] = 1;
+      event_fired = true;
     }
     bool surge_changed = active_surges(e) != active_surges(e - 1);
 
@@ -342,6 +402,18 @@ ScenarioReport ScenarioEngine::Run() {
     er.allocation_hash = HashAllocations(cur_alloc);
     prev_alloc = std::move(cur_alloc);
 
+    // Degradation telemetry: which rung produced the placement, whether the
+    // epoch ran inside a fault window, and the hard invariant — the
+    // installed placement is valid no matter what broke this epoch.
+    er.fault_epoch = fault_active(e);
+    er.fallback = outcome->fallback;
+    er.placement_valid =
+        ValidatePlacement(graph_, *outcome->store, outcome->allocations).valid;
+    ++report.fallback_counts[static_cast<size_t>(er.fallback)];
+    if (er.fallback != FallbackRung::kNone && !er.fault_epoch) {
+      ++report.clean_fallback_epochs;
+    }
+
     if (er.warm) {
       ++report.warm_epochs;
       report.warm_solve_ms_total += er.solve_ms;
@@ -352,10 +424,17 @@ ScenarioReport ScenarioEngine::Run() {
     report.epochs.push_back(er);
   }
 
+  // Fault windows whose until_epoch lies past the timeline end never hit
+  // their Deactivate above; never leak active failpoints out of the run.
+  for (const FaultWindow& fw : scenario_.faults) {
+    util::Failpoint::Deactivate(fw.failpoint);
+  }
+
   // Reconvergence per event: epochs until the first clean placement at or
   // after the event's epoch.
-  for (const ScenarioEvent& ev : scenario_.events) {
-    if (!EventValid(ev)) continue;  // never applied: no phantom report entry
+  for (size_t i = 0; i < scenario_.events.size(); ++i) {
+    const ScenarioEvent& ev = scenario_.events[i];
+    if (!applied[i]) continue;  // never applied: no phantom report entry
     ScenarioEventReport evr;
     evr.event = ev;
     for (int e = ev.epoch; e < scenario_.epochs; ++e) {

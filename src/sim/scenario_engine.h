@@ -21,6 +21,7 @@
 #ifndef LDR_SIM_SCENARIO_ENGINE_H_
 #define LDR_SIM_SCENARIO_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "routing/scheme.h"
 #include "sim/replay.h"
 #include "topology/topology.h"
+#include "util/failpoint.h"
 
 namespace ldr {
 
@@ -52,6 +54,21 @@ struct ScenarioEvent {
   int aggregate = -1;          // kDemandSurge; -1 = every aggregate
 };
 
+// A deterministic fault-injection window (PR 6): the named util::Failpoint
+// is activated with `spec` at the start of `from_epoch` and deactivated at
+// the start of `until_epoch` (half-open, like the epoch loop). Unlike
+// ScenarioEvents, faults break the *optimizer*, not the network — the
+// controller must degrade through its fallback ladder and, once the window
+// closes, reconverge to the fault-free run's placements (the engine drops
+// the controller's warm state at window close, so the first clean epoch is
+// a cold, bitwise-reproducible solve).
+struct FaultWindow {
+  std::string failpoint;  // site name, e.g. "lp.iter_limit" (see failpoint.h)
+  int from_epoch = 0;
+  int until_epoch = 0;
+  util::Failpoint::Spec spec;  // hit-count / seeded-probability trigger
+};
+
 // A traffic timeline plus events. The aggregate set is fixed for the whole
 // scenario (its demand_gbps fields are ignored — demand comes from the
 // measured series through Algorithm 1, as in the deployed controller);
@@ -66,6 +83,10 @@ struct Scenario {
   int epochs = 10;
   double epoch_sec = 60;  // controller period; 60 s = the paper's minute
   std::vector<ScenarioEvent> events;
+  // Optimizer fault-injection windows (see FaultWindow). Empty for normal
+  // scenarios — the engine then touches no failpoint state at all, keeping
+  // the determinism contract exactly as before.
+  std::vector<FaultWindow> faults;
 
   // Appends the canonical cable-flap event shape: kLinkDown at `down_epoch`
   // and kLinkUp at `up_epoch` for `link` and (when the graph resolves one)
@@ -114,6 +135,14 @@ struct ScenarioEpochReport {
   // with equal hashes installed bitwise-identical placements; the
   // determinism and warm-vs-cold parity tests compare these.
   uint64_t allocation_hash = 0;
+  // Degradation telemetry (PR 6).
+  bool fault_epoch = false;  // inside a Scenario fault window
+  // Highest fallback-ladder rung that produced this epoch's placement
+  // (LDR driver; always kNone for scheme drivers and clean epochs).
+  FallbackRung fallback = FallbackRung::kNone;
+  // ValidatePlacement verdict on the installed placement — the soak
+  // harness' hard invariant; must be true every epoch, faulted or not.
+  bool placement_valid = true;
 };
 
 struct ScenarioEventReport {
@@ -139,13 +168,28 @@ struct ScenarioReport {
   double cold_solve_ms_total = 0;
   size_t ksp_evictions = 0;  // generators evicted by LinkDown invalidation
 
-  // Median solve_ms over warm / cold *event-free* epochs (the comparable
-  // populations: event epochs pay re-optimization work on top of the LP
-  // temperature). 0 when the population is empty.
+  // Degradation telemetry (PR 6). fallback_counts[r] = epochs whose
+  // placement came from FallbackRung r (index 0 counts clean epochs);
+  // clean_fallback_epochs counts rungs firing OUTSIDE any fault window —
+  // the bench asserts it stays 0 (faults, not load, trigger the ladder).
+  std::array<size_t, 5> fallback_counts{};
+  size_t clean_fallback_epochs = 0;
+  // Scenario-input validation (PR 6): events skipped as redundant (LinkDown
+  // on an already-masked link / LinkUp on a link that is up), dropped by
+  // the scenario.drop_event failpoint, or rejected by EventValid (bad link
+  // id, epoch outside the timeline, non-positive surge factor).
+  size_t redundant_events = 0;
+  size_t dropped_events = 0;
+  size_t invalid_events = 0;
+
+  // Median solve_ms over warm / cold *event-free, fault-free* epochs (the
+  // comparable populations: event epochs pay re-optimization work on top of
+  // the LP temperature, fault epochs pay ladder retries). 0 when the
+  // population is empty.
   double WarmSolveMsMedian() const;
   double ColdSolveMsMedian() const;
-  // Max route_churn over event-free epochs (>0 means placements drift
-  // without operational cause).
+  // Max route_churn over event-free, fault-free epochs (>0 means placements
+  // drift without operational cause).
   double EventFreeChurnMax() const;
 };
 

@@ -1,0 +1,194 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace ldr::util {
+
+namespace internal {
+std::atomic<int> g_active_failpoints{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Failpoint::Spec spec;
+  bool active = false;
+  long hits = 0;
+  long fires = 0;
+  Rng rng{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry;  // never destroyed: sites may be hit
+  return *r;                          // during static teardown
+}
+
+// Activates env-configured failpoints before main() so sites hit by code
+// that never calls Activate() still fire. Ordering with other dynamic
+// initializers is safe: the registry itself is a function-local static.
+struct EnvInstaller {
+  EnvInstaller() {
+    const char* spec = std::getenv("LDR_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+      Failpoint::InstallFromSpecString(spec);
+    }
+  }
+};
+EnvInstaller g_env_installer;
+
+}  // namespace
+
+void Failpoint::Activate(const std::string& name, const Spec& spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  SiteState& s = reg.sites[name];
+  if (!s.active) {
+    internal::g_active_failpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.spec = spec;
+  s.active = true;
+  s.hits = 0;
+  s.fires = 0;
+  s.rng = Rng(spec.seed);
+}
+
+void Failpoint::Activate(const std::string& name) { Activate(name, Spec()); }
+
+void Failpoint::Deactivate(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end() || !it->second.active) return;
+  it->second.active = false;
+  internal::g_active_failpoints.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoint::DeactivateAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, s] : reg.sites) {
+    if (s.active) {
+      s.active = false;
+      internal::g_active_failpoints.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  reg.sites.clear();
+}
+
+bool Failpoint::IsActive(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it != reg.sites.end() && it->second.active;
+}
+
+long Failpoint::HitCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+long Failpoint::FireCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> Failpoint::ActiveNames() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, s] : reg.sites) {
+    if (s.active) names.push_back(name);
+  }
+  return names;
+}
+
+bool Failpoint::ShouldFail(const char* name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end() || !it->second.active) return false;
+  SiteState& s = it->second;
+  ++s.hits;
+  if (s.hits <= s.spec.skip) return false;
+  if (s.spec.limit >= 0 && s.fires >= s.spec.limit) return false;
+  if (s.spec.probability < 1.0 && !s.rng.Chance(s.spec.probability)) {
+    return false;
+  }
+  ++s.fires;
+  return true;
+}
+
+size_t Failpoint::InstallFromSpecString(const std::string& specs) {
+  size_t installed = 0;
+  size_t pos = 0;
+  while (pos <= specs.size()) {
+    size_t end = specs.find(';', pos);
+    if (end == std::string::npos) end = specs.size();
+    std::string entry = specs.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    size_t colon = entry.find(':');
+    std::string name = entry.substr(0, colon);
+    std::string mode =
+        colon == std::string::npos ? "always" : entry.substr(colon + 1);
+    if (name.empty()) continue;
+    if (mode == "off") continue;
+
+    Spec spec;
+    bool ok = true;
+    if (mode == "once") {
+      spec.limit = 1;
+    } else if (mode != "always" && !mode.empty()) {
+      size_t fpos = 0;
+      while (ok && fpos <= mode.size()) {
+        size_t fend = mode.find('+', fpos);
+        if (fend == std::string::npos) fend = mode.size();
+        std::string field = mode.substr(fpos, fend - fpos);
+        fpos = fend + 1;
+        if (field.empty()) continue;
+        size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+          ok = false;
+          break;
+        }
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        try {
+          if (key == "skip") {
+            spec.skip = std::stoi(value);
+          } else if (key == "limit") {
+            spec.limit = std::stoi(value);
+          } else if (key == "p" || key == "prob") {
+            spec.probability = std::stod(value);
+          } else if (key == "seed") {
+            spec.seed = std::stoull(value);
+          } else {
+            ok = false;
+          }
+        } catch (...) {
+          ok = false;
+        }
+      }
+    }
+    if (!ok) continue;
+    Activate(name, spec);
+    ++installed;
+  }
+  return installed;
+}
+
+}  // namespace ldr::util

@@ -1,0 +1,90 @@
+// Deterministic fault injection: a process-global registry of named failure
+// sites compiled into the hot seams of the stack (LP pivot/refactorize/FTRAN,
+// KSP production, scenario event application).
+//
+// A site is a string name guarded by the LDR_FAILPOINT(name) macro. With no
+// failpoint active anywhere in the process the macro is one relaxed atomic
+// load — cheap enough to leave in release builds, which is the point: the
+// fault campaigns exercise the exact binaries the benches measure.
+//
+// Activation is programmatic (Activate/Deactivate, used by the scenario
+// engine's fault windows and the tests) or via the environment:
+//
+//   LDR_FAILPOINTS="lp.iter_limit:once;ksp.empty:p=0.5+seed=7+skip=3"
+//
+// Each entry is `site:mode` where mode is `always`, `once`, `off`, or a
+// `+`-joined list of `skip=N` (hits ignored before the trigger arms),
+// `limit=N` (max fires; -1 unlimited), `p=X` (per-hit Bernoulli), and
+// `seed=N` (SplitMix64 stream for the Bernoulli draws — same seed, same
+// fire pattern, every run).
+//
+// Known sites (grep LDR_FAILPOINT for ground truth):
+//   lp.iter_limit        Solve() reports kIterLimit without iterating
+//   lp.refactor_singular Refactorize() reports a singular basis
+//   lp.tiny_pivot        Step() sees a below-threshold pivot (recovery path)
+//   lp.ftran_nan         FTRAN result poisoned with a NaN entry
+//   lp.ftran_perturb     FTRAN result perturbed by a relative 1e-3
+//   ksp.empty            KspGenerator yields no *new* paths (prefix survives)
+//   scenario.drop_event  ScenarioEngine skips applying a topology event
+#ifndef LDR_UTIL_FAILPOINT_H_
+#define LDR_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldr::util {
+
+namespace internal {
+// Count of currently-active failpoints; the macro's fast-path gate.
+extern std::atomic<int> g_active_failpoints;
+}  // namespace internal
+
+class Failpoint {
+ public:
+  // Trigger shape. Defaults fire on every hit.
+  struct Spec {
+    int skip = 0;              // hits ignored before the trigger arms
+    int limit = -1;            // max fires; -1 = unlimited
+    double probability = 1.0;  // per-armed-hit Bernoulli
+    uint64_t seed = 0;         // PRNG stream for the Bernoulli draws
+  };
+
+  // (Re)activates `name`; resets its hit/fire counters and PRNG stream.
+  // The spec-less overload fires on every hit.
+  static void Activate(const std::string& name, const Spec& spec);
+  static void Activate(const std::string& name);
+  static void Deactivate(const std::string& name);
+  static void DeactivateAll();
+
+  static bool IsActive(const std::string& name);
+  // Lifetime counters — survive Deactivate, reset by Activate of the same
+  // name (or DeactivateAll). Hits = times the site was reached while active;
+  // fires = times it injected the fault.
+  static long HitCount(const std::string& name);
+  static long FireCount(const std::string& name);
+  static std::vector<std::string> ActiveNames();
+
+  // The slow path behind LDR_FAILPOINT: records a hit and decides whether
+  // the site fires. False for names never activated.
+  static bool ShouldFail(const char* name);
+
+  // Parses the LDR_FAILPOINTS grammar and activates each entry; malformed
+  // entries are skipped. Returns the number of failpoints activated. Called
+  // automatically at startup on the env var; exposed for tests.
+  static size_t InstallFromSpecString(const std::string& specs);
+};
+
+inline bool FailpointsArmed() {
+  return internal::g_active_failpoints.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace ldr::util
+
+// True when the named site should inject its fault. One relaxed atomic load
+// when no failpoint is active in the process.
+#define LDR_FAILPOINT(name) \
+  (ldr::util::FailpointsArmed() && ldr::util::Failpoint::ShouldFail(name))
+
+#endif  // LDR_UTIL_FAILPOINT_H_

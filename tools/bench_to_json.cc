@@ -49,9 +49,21 @@
 //                     warm/cold placement parity flag. Timings carry the
 //                     same invalid_single_core marker as thread_scaling on
 //                     1-core containers (scheduling noise, not a baseline).
+//   degradation       the fig21 fixture re-run with deterministic fault
+//                     windows (PR 6): lp.iter_limit and ksp.empty injected
+//                     mid-outage, against a fault-free control run. Records
+//                     which fallback-ladder rungs produced each faulted
+//                     epoch's placement, asserts the control run never
+//                     touched the ladder, that every epoch (faulted or not)
+//                     installed a valid placement, and the recovery_parity
+//                     marker: once faults clear, the placement hash returns
+//                     to the control run's within two epochs. recovery_parity
+//                     is correctness, not timing — ci.sh --bench-smoke gates
+//                     on it like the other parity markers.
 //
 // Timings are medians over several repetitions, in milliseconds.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -432,6 +444,91 @@ ScenarioBench BenchScenario() {
   return out;
 }
 
+// --- degradation ------------------------------------------------------------
+
+struct DegradationBench {
+  int epochs = 0;
+  size_t fault_epochs = 0;
+  // Faulted run: epochs whose placement came from each ladder rung
+  // (fallback_counts[0] counts clean epochs).
+  std::array<size_t, 5> fallback_counts{};
+  // Fallback rungs fired by the fault-free control run — anything nonzero
+  // means load alone triggered the ladder, which would invalidate the whole
+  // comparison (and is asserted 0 by the fault campaigns).
+  size_t clean_run_fallbacks = 0;
+  bool valid_every_epoch = true;
+  // Total routing wall-clock across the faulted run's fault-window epochs —
+  // what the ladder retries cost (single-core caveat applies).
+  double degraded_solve_ms = 0;
+  bool recovery_parity = false;
+};
+
+// The fig21 fixture under fault injection: the same topology, workload and
+// cable flap as `scenario`, plus two deterministic fault windows opened
+// mid-outage — lp.iter_limit (solves fail outright, driving the ladder) and
+// ksp.empty (path production starved during recovery). The control run is
+// the fixture untouched. recovery_parity — the marker ci.sh gates on —
+// requires (a) every epoch of both runs installed a valid placement, (b) the
+// control run never touched the ladder, and (c) from two epochs after the
+// last window closes, the faulted run's placement hashes are bitwise the
+// control run's.
+DegradationBench BenchDegradation() {
+  DegradationBench out;
+  bench::FailureTimelineFixture fixture = bench::MakeFailureTimeline();
+  const int kWindowFrom = 4, kWindowUntil = 6;  // inside the [3,7) outage
+
+  Scenario faulted = fixture.scenario;
+  FaultWindow solve_fault;
+  solve_fault.failpoint = "lp.iter_limit";
+  solve_fault.from_epoch = kWindowFrom;
+  solve_fault.until_epoch = kWindowUntil;
+  solve_fault.spec.probability = 0.75;
+  solve_fault.spec.seed = 1234;
+  faulted.faults.push_back(solve_fault);
+  FaultWindow ksp_fault;
+  ksp_fault.failpoint = "ksp.empty";
+  ksp_fault.from_epoch = kWindowFrom;
+  ksp_fault.until_epoch = kWindowUntil;
+  ksp_fault.spec.probability = 0.5;
+  ksp_fault.spec.seed = 99;
+  faulted.faults.push_back(ksp_fault);
+
+  ScenarioReport control =
+      ScenarioEngine(fixture.zoo, fixture.scenario, {}).Run();
+  ScenarioReport degraded = ScenarioEngine(fixture.zoo, faulted, {}).Run();
+
+  out.epochs = faulted.epochs;
+  out.fallback_counts = degraded.fallback_counts;
+  for (size_t rung = 1; rung < control.fallback_counts.size(); ++rung) {
+    out.clean_run_fallbacks += control.fallback_counts[rung];
+  }
+  for (const ScenarioEpochReport& er : control.epochs) {
+    out.valid_every_epoch = out.valid_every_epoch && er.placement_valid;
+  }
+  for (const ScenarioEpochReport& er : degraded.epochs) {
+    out.valid_every_epoch = out.valid_every_epoch && er.placement_valid;
+    if (er.fault_epoch) {
+      ++out.fault_epochs;
+      out.degraded_solve_ms += er.solve_ms;
+    }
+  }
+  bool hash_reconverged = control.epochs.size() == degraded.epochs.size();
+  for (int e = kWindowUntil + 2; e < out.epochs && hash_reconverged; ++e) {
+    hash_reconverged = degraded.epochs[static_cast<size_t>(e)].allocation_hash ==
+                       control.epochs[static_cast<size_t>(e)].allocation_hash;
+  }
+  out.recovery_parity = out.valid_every_epoch &&
+                        out.clean_run_fallbacks == 0 && hash_reconverged;
+  if (!out.recovery_parity) {
+    std::fprintf(stderr,
+                 "bench_to_json: degradation recovery mismatch "
+                 "(valid %d, clean-run fallbacks %zu, reconverged %d)\n",
+                 out.valid_every_epoch ? 1 : 0, out.clean_run_fallbacks,
+                 hash_reconverged ? 1 : 0);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -493,6 +590,11 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "bench_to_json: scenario...\n");
   ScenarioBench scenario = BenchScenario();
+
+  // Cheap (two 12-epoch runs) and a correctness gate, so it runs in smoke
+  // mode too — ci.sh --bench-smoke greps its recovery_parity marker.
+  std::fprintf(stderr, "bench_to_json: degradation...\n");
+  DegradationBench degradation = BenchDegradation();
 
   std::vector<Topology> corpus;
   uint64_t allocation_refs = 0, unique_paths = 0;
@@ -615,7 +717,24 @@ int main(int argc, char** argv) {
   emit_pricing("corpus_partial", corpus_partial, true);
   std::fprintf(f, "    \"objective_parity\": %s\n",
                pricing_parity ? "true" : "false");
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  // degraded_solve_ms is wall-clock and inherits the 1-core caveat; the
+  // rung counts and recovery_parity are correctness and carry no marker.
+  std::fprintf(
+      f,
+      "  \"degradation\": {\"epochs\": %d, \"fault_epochs\": %zu, "
+      "\"rung_retry_refactor\": %zu, \"rung_cold_rebuild\": %zu, "
+      "\"rung_last_placement\": %zu, \"rung_shortest_path\": %zu, "
+      "\"clean_run_fallbacks\": %zu, \"valid_every_epoch\": %s, "
+      "\"degraded_solve_ms\": %.3f, \"recovery_parity\": %s%s}\n",
+      degradation.epochs, degradation.fault_epochs,
+      degradation.fallback_counts[1], degradation.fallback_counts[2],
+      degradation.fallback_counts[3], degradation.fallback_counts[4],
+      degradation.clean_run_fallbacks,
+      degradation.valid_every_epoch ? "true" : "false",
+      degradation.degraded_solve_ms,
+      degradation.recovery_parity ? "true" : "false",
+      single_core ? ", \"invalid_single_core\": true" : "");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -631,7 +750,9 @@ int main(int argc, char** argv) {
       "lp_pricing    shapes %.1f -> %.1f cols/iter (%.3f -> %.3f ms)  "
       "corpus %.1f -> %.1f cols/iter (%.1f -> %.1f ms)  parity %s\n"
       "scenario      warm %.3f ms  cold %.3f ms  speedup %.1fx  "
-      "churn %.3f  reconverge down/up %d/%d  parity %s\n",
+      "churn %.3f  reconverge down/up %d/%d  parity %s\n"
+      "degradation   %zu fault epochs  rungs r1/r2/r3/r4 %zu/%zu/%zu/%zu  "
+      "clean-run rungs %zu  recovery parity %s\n",
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       revised_resolve.reps > 0 ? revised_resolve.total_ms / revised_resolve.reps
                                : 0.0,
@@ -650,6 +771,10 @@ int main(int argc, char** argv) {
       corpus_full.ms, corpus_partial.ms, pricing_parity ? "yes" : "NO",
       scenario.warm_median_ms, scenario.cold_median_ms, scenario.speedup(),
       scenario.churn_event_free, scenario.reconverge_down,
-      scenario.reconverge_up, scenario.placement_parity ? "yes" : "NO");
+      scenario.reconverge_up, scenario.placement_parity ? "yes" : "NO",
+      degradation.fault_epochs, degradation.fallback_counts[1],
+      degradation.fallback_counts[2], degradation.fallback_counts[3],
+      degradation.fallback_counts[4], degradation.clean_run_fallbacks,
+      degradation.recovery_parity ? "yes" : "NO");
   return 0;
 }
