@@ -14,10 +14,11 @@
 #   --bench-smoke  after the tests, run the micro_lp warm-resolve bench once
 #                and bench_to_json in --smoke mode, failing if any
 #                correctness marker in the emitted JSON — lp_pricing /
-#                lp_revised objective_parity, scenario placement_parity,
-#                degradation recovery_parity — is false. Perf refactors
-#                cannot silently break the parity markers the BENCH baseline
-#                stands on.
+#                lp_revised objective_parity, lp_lu basis_parity (sparse-LU
+#                vs dense-inverse objectives across the size sweep), scenario
+#                placement_parity, degradation recovery_parity — is false.
+#                Perf refactors cannot silently break the parity markers the
+#                BENCH baseline stands on.
 #   --soak       implies --sanitize; after the suite, re-run the randomized
 #                fault campaigns (fault_injection_test) with LDR_SOAK=1 so
 #                the extended seed schedule runs under ASan+UBSan. The fixed
@@ -119,7 +120,7 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   SMOKE_JSON=$(mktemp)
   trap 'rm -f "$PROBE_1" "$PROBE_4" "$SMOKE_JSON"' EXIT
   "$BUILD_DIR/bench_to_json" --smoke "$SMOKE_JSON" >&2
-  for marker in objective_parity placement_parity recovery_parity; do
+  for marker in objective_parity basis_parity placement_parity recovery_parity; do
     if grep -q "\"$marker\": false" "$SMOKE_JSON"; then
       echo "ci.sh: bench smoke FAILED ($marker is false)" >&2
       exit 1
@@ -129,5 +130,5 @@ if [ "$BENCH_SMOKE" = 1 ]; then
       exit 1
     fi
   done
-  echo "ci.sh: bench smoke OK (objective/placement/recovery parity true)" >&2
+  echo "ci.sh: bench smoke OK (objective/basis/placement/recovery parity true)" >&2
 fi

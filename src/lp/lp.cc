@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/failpoint.h"
 
@@ -64,17 +65,46 @@ void SumDuplicates(std::vector<std::pair<int, double>>* coeffs) {
 }  // namespace
 
 // Column refs: a variable is identified by an int ref — structural j as j,
-// the slack of row k as ~k (= -k-1). Revised-simplex storage: the only dense
-// factorized state is bcol_, the m×m explicit basis inverse B^-1 held
-// column-major (bcol_[k] is B^-1·e_k, the tableau column of row k's slack).
-// Structural tableau columns are never materialized — the entering column
-// B^-1·A_j is computed on demand into the ftran_ scratch by a sparse FTRAN
-// against the original columns acol_, and a pivot applies the product-form
-// eta update to B^-1 alone. Everything that used to read the dense tableau
-// (pricing, ratio test, mutations) reads either the duals, ftran_, or B^-1.
+// the slack of row k as ~k (= -k-1). Basis positions and constraint rows are
+// identified 1:1 throughout: basis_[i] is the ref basic "in row i", and an
+// FTRAN result ftran_[i] is the entering column's coefficient on that ref.
+//
+// Factorized storage comes in two representations behind BasisMode:
+//
+//   kSparseLU (default): B itself is factorized, PB = LU via Markowitz
+//   elimination (prow_/pcol_/upiv_ record the pivot sequence, l_* the row
+//   operations of L, u_* the rows of U), plus the update file file_/
+//   file_ent_ of product-form ops appended between refactorizations — one
+//   kEta per pivot (the FTRAN-ed entering column) and one kRowExt per
+//   AddRow (the bordered [[B,0],[wᵀ,1]] extension). FTRAN and BTRAN are
+//   sparse triangular solves through L, U and an in-order (reverse-order
+//   for BTRAN) replay of the file; nothing dense is ever formed.
+//
+//   kDenseInverse (A/B fallback): the PR 5 explicit m×m inverse bcol_, held
+//   column-major (bcol_[k] is B^-1·e_k), with O(m²) product-form eta
+//   updates per pivot.
+//
+// Structural tableau columns are never materialized in either mode — the
+// entering column B^-1·A_j is computed on demand into the ftran_ scratch,
+// and everything that used to read the dense tableau (pricing, ratio test,
+// mutations) reads either the duals, ftran_, or the factorization.
 class Solver::Impl {
  public:
-  explicit Impl(const SolveOptions& opt) : opt_(opt) {}
+  explicit Impl(const SolveOptions& opt)
+      : opt_(opt), mode_(ResolveBasisMode(opt.basis.mode)) {}
+
+  // LDR_LP_BASIS=dense|lu overrides the configured representation — the CI
+  // hook that runs the whole suite against the fallback without a rebuild.
+  static BasisMode ResolveBasisMode(BasisMode configured) {
+    const char* e = std::getenv("LDR_LP_BASIS");
+    if (e != nullptr) {
+      if (std::strcmp(e, "dense") == 0) return BasisMode::kDenseInverse;
+      if (std::strcmp(e, "lu") == 0 || std::strcmp(e, "sparse") == 0) {
+        return BasisMode::kSparseLU;
+      }
+    }
+    return configured;
+  }
 
   int AddVariable(double lo, double hi, double obj) {
     return AddColumn(lo, hi, obj, {});
@@ -136,22 +166,41 @@ class Solver::Impl {
     if (factor_valid_) {
       ++updates_since_refactor_;
       // New basis row: with the new slack joining the basis, the extended
-      // B^-1 is [[B^-1, 0], [-w^T B^-1, 1]] where w_i is the new row's
-      // coefficient on the variable basic in row i. Only B^-1 grows — there
-      // are no structural tableau columns to extend, which is what makes
-      // AddRow O(m·(|w|+1)) instead of the old O(n·|w| + m·|w|).
-      std::vector<std::pair<size_t, double>> w;
-      for (const auto& [var, c] : summed) {
-        int br = vrow_[static_cast<size_t>(var)];
-        if (br >= 0) w.emplace_back(static_cast<size_t>(br), c);
+      // basis is the bordered B' = [[B, 0], [w^T, 1]] where w_i is the new
+      // row's coefficient on the variable basic in position i.
+      if (mode_ == BasisMode::kDenseInverse) {
+        // Explicit-inverse extension: B'^-1 = [[B^-1, 0], [-w^T B^-1, 1]].
+        // Only B^-1 grows — there are no structural tableau columns to
+        // extend, which is what makes AddRow O(m·(|w|+1)) instead of the
+        // old O(n·|w| + m·|w|).
+        std::vector<std::pair<size_t, double>> w;
+        for (const auto& [var, c] : summed) {
+          int br = vrow_[static_cast<size_t>(var)];
+          if (br >= 0) w.emplace_back(static_cast<size_t>(br), c);
+        }
+        for (size_t k = 0; k + 1 < m_; ++k) {
+          double e = 0.0;
+          for (const auto& [i, wc] : w) e -= wc * bcol_[k][i];
+          bcol_[k].push_back(e);
+        }
+        bcol_.emplace_back(m_, 0.0);
+        bcol_.back()[static_cast<size_t>(r)] = 1.0;
+      } else {
+        // LU mode: record the bordered extension as one update-file op
+        // holding the sparse w; FTRAN/BTRAN replay it in O(|w|). The
+        // factorization itself is untouched.
+        FileOp op;
+        op.kind = FileOp::kRowExt;
+        op.pos = r;
+        op.pivot = 1.0;
+        op.start = static_cast<int>(file_ent_.size());
+        for (const auto& [var, c] : summed) {
+          int br = vrow_[static_cast<size_t>(var)];
+          if (br >= 0) file_ent_.emplace_back(br, c);
+        }
+        op.end = static_cast<int>(file_ent_.size());
+        file_.push_back(op);
       }
-      for (size_t k = 0; k + 1 < m_; ++k) {
-        double e = 0.0;
-        for (const auto& [i, wc] : w) e -= wc * bcol_[k][i];
-        bcol_[k].push_back(e);
-      }
-      bcol_.emplace_back(m_, 0.0);
-      bcol_.back()[static_cast<size_t>(r)] = 1.0;
 
       // The slack's basic value is the row's residual at the current point.
       double residual = rhs;
@@ -162,7 +211,7 @@ class Solver::Impl {
       }
       xb_.push_back(residual);
     } else {
-      bcol_.emplace_back();
+      if (mode_ == BasisMode::kDenseInverse) bcol_.emplace_back();
       xb_.push_back(0.0);
     }
 
@@ -183,12 +232,19 @@ class Solver::Impl {
       return;
     }
     // A nonbasic column has no factorized image to maintain; only the basic
-    // values shift, and only when the column rests at a nonzero bound.
+    // values shift, and only when the column rests at a nonzero bound. The
+    // shift direction is column B^-1·e_row — a direct read of bcol_ under
+    // the dense inverse, one slack FTRAN under LU.
     double val = value_[v];
     if (val == 0.0) return;
     ++updates_since_refactor_;
-    const double* b = bcol_[static_cast<size_t>(row)].data();
-    for (size_t i = 0; i < m_; ++i) xb_[i] -= delta * b[i] * val;
+    if (mode_ == BasisMode::kDenseInverse) {
+      const double* b = bcol_[static_cast<size_t>(row)].data();
+      for (size_t i = 0; i < m_; ++i) xb_[i] -= delta * b[i] * val;
+    } else {
+      Ftran(~row);
+      for (size_t i = 0; i < m_; ++i) xb_[i] -= delta * ftran_[i] * val;
+    }
   }
 
   void SetRhs(int row, double rhs) {
@@ -198,8 +254,13 @@ class Solver::Impl {
     rhs_[r] = rhs;
     if (!factor_valid_) return;
     ++updates_since_refactor_;
-    const double* b = bcol_[r].data();
-    for (size_t i = 0; i < m_; ++i) xb_[i] += b[i] * delta;
+    if (mode_ == BasisMode::kDenseInverse) {
+      const double* b = bcol_[r].data();
+      for (size_t i = 0; i < m_; ++i) xb_[i] += b[i] * delta;
+    } else {
+      Ftran(~row);
+      for (size_t i = 0; i < m_; ++i) xb_[i] += ftran_[i] * delta;
+    }
   }
 
   double rhs(int row) const { return rhs_[static_cast<size_t>(row)]; }
@@ -219,11 +280,32 @@ class Solver::Impl {
     sol.pivot_recoveries = pivot_recoveries_;
     sol.ftran_nnz = ftran_nnz_;
     sol.pivots = pivots_;
-    // Resident factorized footprint: the B^-1 columns plus their vector
-    // headers — all the dense state the solver keeps (the dropped tableau
-    // was O((n+m)·m) on top of this).
-    size_t bytes = bcol_.capacity() * sizeof(std::vector<double>);
-    for (const auto& c : bcol_) bytes += c.capacity() * sizeof(double);
+    sol.refactorizations = refactorizations_;
+    // Resident factorized footprint per representation. Dense: the B^-1
+    // columns plus their vector headers. LU: the L/U arrays, the pivot
+    // sequence, and the update file — everything FTRAN/BTRAN touch.
+    size_t bytes = 0;
+    if (mode_ == BasisMode::kDenseInverse) {
+      bytes = bcol_.capacity() * sizeof(std::vector<double>);
+      for (const auto& c : bcol_) bytes += c.capacity() * sizeof(double);
+    } else {
+      bytes += prow_.capacity() * sizeof(int);
+      bytes += pcol_.capacity() * sizeof(int);
+      bytes += upiv_.capacity() * sizeof(double);
+      bytes += l_start_.capacity() * sizeof(int);
+      bytes += l_dst_.capacity() * sizeof(int);
+      bytes += l_mult_.capacity() * sizeof(double);
+      bytes += u_start_.capacity() * sizeof(int);
+      bytes += u_ent_.capacity() * sizeof(std::pair<int, double>);
+      bytes += file_.capacity() * sizeof(FileOp);
+      bytes += file_ent_.capacity() * sizeof(std::pair<int, double>);
+      sol.lu_nnz = lu_nnz_;
+      sol.eta_count = static_cast<int>(file_.size());
+      sol.fill_ratio = lu_fill_base_ > 0
+                           ? static_cast<double>(lu_nnz_) /
+                                 static_cast<double>(lu_fill_base_)
+                           : 0.0;
+    }
     sol.basis_bytes = bytes;
     return sol;
   }
@@ -236,6 +318,7 @@ class Solver::Impl {
     pivot_recoveries_ = 0;
     ftran_nnz_ = 0;
     pivots_ = 0;
+    refactorizations_ = 0;
     // Mutations between Solve() calls (AddColumn/AddRow/AddToRow/SetRhs/
     // AddToObjective) are not tracked against the duals; rebuilding them
     // lazily once per Solve is far cheaper than one old-style dense pricing
@@ -418,10 +501,24 @@ class Solver::Impl {
   }
 
   // Computes ftran_ = B^-1 · A(ref), the entering tableau column, from the
-  // sparse original column in O(m · nnz): a slack's original column is e_k,
-  // so its image is just column k of B^-1 (copied — the eta update in
-  // RawPivot must read the pre-pivot column while it rewrites bcol_[k]).
+  // sparse original column. Dense mode: O(m · nnz) accumulation of B^-1
+  // columns (a slack's image is column k of B^-1, copied — the eta update
+  // in RawPivot must read the pre-pivot column while it rewrites bcol_[k]).
+  // LU mode: one sparse triangular solve through L, U and the update file.
   void Ftran(int ref) {
+    if (mode_ == BasisMode::kSparseLU) {
+      luw_.assign(m_, 0.0);
+      if (ref < 0) {
+        luw_[static_cast<size_t>(~ref)] = 1.0;
+        ++ftran_nnz_;
+      } else {
+        const auto& col = acol_[static_cast<size_t>(ref)];
+        ftran_nnz_ += static_cast<long>(col.size());
+        for (const auto& [r, c] : col) luw_[static_cast<size_t>(r)] += c;
+      }
+      LuFtran(&luw_, &ftran_);
+      return;
+    }
     if (ref < 0) {
       const std::vector<double>& b = bcol_[static_cast<size_t>(~ref)];
       ftran_.assign(b.begin(), b.end());
@@ -435,6 +532,140 @@ class Solver::Impl {
       const double* b = bcol_[static_cast<size_t>(r)].data();
       for (size_t i = 0; i < m_; ++i) ftran_[i] += c * b[i];
     }
+  }
+
+  // --- sparse LU solves -----------------------------------------------------
+  // The base factorization covers the m0_ rows/positions that existed at the
+  // last refactorization: PB = LU with L stored as the elimination's row
+  // operations (step k subtracts multiples of pivot row prow_[k]) and U by
+  // rows (u row k holds the pivot row's surviving entries in positions
+  // eliminated at later steps; the pivot itself is upiv_[k] at position
+  // pcol_[k]). Rows/positions appended since (AddRow) and every pivot since
+  // live in the update file, replayed in order (FTRAN) or reverse order with
+  // transposed ops (BTRAN). Positions >= m0_ pass through the base solves
+  // untouched — a row extension's slack is basic at its own position until a
+  // pivot (an eta in the file) says otherwise.
+
+  // Solves B·x = a. Input *w is the dense row-space right-hand side (it is
+  // consumed); output *x is position-space.
+  void LuFtran(std::vector<double>* w, std::vector<double>* x) {
+    const size_t m0 = m0_;
+    double* wd = w->data();
+    // Forward L: replay the elimination's row operations.
+    for (size_t k = 0; k < m0; ++k) {
+      double wk = wd[static_cast<size_t>(prow_[k])];
+      if (wk == 0.0) continue;
+      for (int t = l_start_[k]; t < l_start_[k + 1]; ++t) {
+        wd[static_cast<size_t>(l_dst_[static_cast<size_t>(t)])] -=
+            l_mult_[static_cast<size_t>(t)] * wk;
+      }
+    }
+    // Backward U: x[pcol[k]] closes once every later-eliminated position is
+    // known.
+    x->assign(m_, 0.0);
+    double* xd = x->data();
+    for (size_t kk = m0; kk-- > 0;) {
+      double acc = wd[static_cast<size_t>(prow_[kk])];
+      for (int t = u_start_[kk]; t < u_start_[kk + 1]; ++t) {
+        const auto& e = u_ent_[static_cast<size_t>(t)];
+        acc -= e.second * xd[static_cast<size_t>(e.first)];
+      }
+      xd[static_cast<size_t>(pcol_[kk])] = acc / upiv_[kk];
+    }
+    for (size_t p = m0; p < m_; ++p) xd[p] = wd[p];
+    // Replay the update file in order.
+    for (const FileOp& op : file_) {
+      size_t r = static_cast<size_t>(op.pos);
+      if (op.kind == FileOp::kEta) {
+        double xr = xd[r] / op.pivot;
+        if (xr != 0.0) {
+          for (int t = op.start; t < op.end; ++t) {
+            const auto& e = file_ent_[static_cast<size_t>(t)];
+            xd[static_cast<size_t>(e.first)] -= e.second * xr;
+          }
+        }
+        xd[r] = xr;
+      } else {
+        double acc = xd[r];
+        for (int t = op.start; t < op.end; ++t) {
+          const auto& e = file_ent_[static_cast<size_t>(t)];
+          acc -= e.second * xd[static_cast<size_t>(e.first)];
+        }
+        xd[r] = acc;
+      }
+    }
+  }
+
+  // Solves B^T·y = c. Input *c is the dense position-space right-hand side
+  // (it is consumed); output *y is row-space — exactly the layout the dual
+  // vectors use (indexed by row, priced against original columns).
+  void LuBtran(std::vector<double>* c, std::vector<double>* y) {
+    double* cd = c->data();
+    // Reverse file replay with transposed ops.
+    for (size_t f = file_.size(); f-- > 0;) {
+      const FileOp& op = file_[f];
+      size_t r = static_cast<size_t>(op.pos);
+      if (op.kind == FileOp::kEta) {
+        double s = cd[r];
+        for (int t = op.start; t < op.end; ++t) {
+          const auto& e = file_ent_[static_cast<size_t>(t)];
+          s -= e.second * cd[static_cast<size_t>(e.first)];
+        }
+        cd[r] = s / op.pivot;
+      } else {
+        double cp = cd[r];
+        if (cp != 0.0) {
+          for (int t = op.start; t < op.end; ++t) {
+            const auto& e = file_ent_[static_cast<size_t>(t)];
+            cd[static_cast<size_t>(e.first)] -= e.second * cp;
+          }
+        }
+      }
+    }
+    const size_t m0 = m0_;
+    y->assign(m_, 0.0);
+    double* yd = y->data();
+    // U^T: lower-triangular in elimination order; the accumulator carries
+    // each solved step's contribution forward to the positions its U row
+    // touches.
+    luacc_.assign(m_, 0.0);
+    double* ad = luacc_.data();
+    for (size_t k = 0; k < m0; ++k) {
+      size_t pc = static_cast<size_t>(pcol_[k]);
+      double tk = (cd[pc] - ad[pc]) / upiv_[k];
+      yd[static_cast<size_t>(prow_[k])] = tk;
+      if (tk != 0.0) {
+        for (int t = u_start_[k]; t < u_start_[k + 1]; ++t) {
+          const auto& e = u_ent_[static_cast<size_t>(t)];
+          ad[static_cast<size_t>(e.first)] += e.second * tk;
+        }
+      }
+    }
+    // L^T: the row operations transposed, in reverse step order.
+    for (size_t kk = m0; kk-- > 0;) {
+      double s = 0.0;
+      for (int t = l_start_[kk]; t < l_start_[kk + 1]; ++t) {
+        s += l_mult_[static_cast<size_t>(t)] *
+             yd[static_cast<size_t>(l_dst_[static_cast<size_t>(t)])];
+      }
+      yd[static_cast<size_t>(prow_[kk])] -= s;
+    }
+    for (size_t r = m0; r < m_; ++r) yd[r] = cd[r];
+  }
+
+  // Fills rho_ with row r of the *current* B^-1 — the vector the per-pivot
+  // dual update multiplies (y += d · rho). Dense: a gather across the
+  // explicit inverse's columns. LU: BTRAN(e_r), since (B^-T e_r)[k] =
+  // (B^-1)[r][k].
+  void ComputeInverseRow(size_t r) {
+    if (mode_ == BasisMode::kDenseInverse) {
+      rho_.resize(m_);
+      for (size_t k = 0; k < m_; ++k) rho_[k] = bcol_[k][r];
+      return;
+    }
+    lub_.assign(m_, 0.0);
+    lub_[r] = 1.0;
+    LuBtran(&lub_, &rho_);
   }
 
   double LoOf(int ref) const {
@@ -523,6 +754,14 @@ class Solver::Impl {
   // and rebuilds y1 only when the scan disagrees with the cached g1_.
 
   void RebuildPhase2Duals() {
+    if (mode_ == BasisMode::kSparseLU) {
+      // y2 = B^-T c_B: one BTRAN of the basic-cost vector.
+      lub_.assign(m_, 0.0);
+      for (size_t i = 0; i < m_; ++i) lub_[i] = CostOf(basis_[i]);
+      LuBtran(&lub_, &y2_);
+      y2_valid_ = true;
+      return;
+    }
     dual_rows_.clear();
     for (size_t i = 0; i < m_; ++i) {
       double cb = CostOf(basis_[i]);
@@ -540,6 +779,19 @@ class Solver::Impl {
 
   void RebuildPhase1Duals() {
     g1_.assign(m_, 0);
+    if (mode_ == BasisMode::kSparseLU) {
+      // y1 = B^-T g: one BTRAN of the infeasibility subgradient.
+      lub_.assign(m_, 0.0);
+      for (size_t i = 0; i < m_; ++i) {
+        if (!BasicViolated(i)) continue;
+        int8_t g = xb_[i] < LoOf(basis_[i]) ? -1 : 1;
+        g1_[i] = g;
+        lub_[i] = g;
+      }
+      LuBtran(&lub_, &y1_);
+      y1_valid_ = true;
+      return;
+    }
     dual_rows_.clear();
     for (size_t i = 0; i < m_; ++i) {
       if (!BasicViolated(i)) continue;
@@ -762,6 +1014,26 @@ class Solver::Impl {
     if (!(std::abs(pivot) > kMinPivot)) return false;
     ++updates_since_refactor_;
     ++pivots_;
+    if (mode_ == BasisMode::kSparseLU) {
+      // Forrest–Tomlin-style product-form update: append one eta op holding
+      // the FTRAN-ed entering column's nonzeros. O(nnz(ftran_)) — nothing
+      // else in the factorization moves; the file is re-absorbed into L/U at
+      // the next refactorization.
+      FileOp op;
+      op.kind = FileOp::kEta;
+      op.pos = static_cast<int>(r);
+      op.pivot = pivot;
+      op.start = static_cast<int>(file_ent_.size());
+      for (size_t i = 0; i < m_; ++i) {
+        if (i != r && ftran_[i] != 0.0) {
+          file_ent_.emplace_back(static_cast<int>(i), ftran_[i]);
+        }
+      }
+      op.end = static_cast<int>(file_ent_.size());
+      file_.push_back(op);
+      (void)enter_ref;  // no explicit inverse column to snap under LU
+      return true;
+    }
     double inv = 1.0 / pivot;
     const double* pc = ftran_.data();
     for (auto& c : bcol_) {
@@ -788,6 +1060,17 @@ class Solver::Impl {
     if (DeadlineExceeded()) {
       deadline_hit_ = true;
       return StepResult::kStuck;
+    }
+    // LU update-file bound: once the file outgrows its op/entry caps, fold
+    // it into a fresh factorization before pivoting further — this is what
+    // keeps both replay cost and resident memory bounded over a long solve.
+    // refactor_interval < 0 disables it along with the drift guard (the
+    // file then grows with the pivot count but stays exact).
+    if (mode_ == BasisMode::kSparseLU && factor_valid_ &&
+        opt_.refactor_interval >= 0 && NeedsEtaRefactor()) {
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
     }
     ++iter_;
     VarState est = StateOf(entering);
@@ -999,34 +1282,37 @@ class Solver::Impl {
     // Dual maintenance: a pivot at row r with entering reduced cost d shifts
     // the duals by d * (row r of the *new* B^-1) — for y1 the blocking row's
     // subgradient change cancels against the basis change (see the dual
-    // section above), so both phases share the one-line update. Row r of
-    // B^-1 reads as bcol_[k][r] across k.
-    if (phase1) {
-      if (y1_valid_) {
-        for (size_t k = 0; k < m_; ++k) y1_[k] += d_enter * bcol_[k][r];
-        g1_[r] = 0;  // the entering variable sits feasible in row r
+    // section above), so both phases share the one-line update. The inverse
+    // row is a gather across bcol_ under the dense inverse and one
+    // BTRAN(e_r) under LU (the appended eta's transpose maps e_r to
+    // (1/pivot)·e_r, so the post-append BTRAN yields the *new* row
+    // directly).
+    if (y1_valid_ || y2_valid_) {
+      ComputeInverseRow(r);
+      const double* rho = rho_.data();
+      if (phase1) {
+        if (y1_valid_) {
+          for (size_t k = 0; k < m_; ++k) y1_[k] += d_enter * rho[k];
+          g1_[r] = 0;  // the entering variable sits feasible in row r
+        }
+        if (y2_valid_) {
+          // Keep the phase-2 duals exact through phase-1 pivots so a repair
+          // excursion doesn't force a rebuild: the entering column's phase-2
+          // reduced cost prices sparsely against the pre-update y2.
+          double d2 = ReducedCost(/*phase1=*/false, entering);
+          for (size_t k = 0; k < m_; ++k) y2_[k] += d2 * rho[k];
+        }
+      } else {
+        for (size_t k = 0; k < m_; ++k) y2_[k] += d_enter * rho[k];
       }
-      if (y2_valid_) {
-        // Keep the phase-2 duals exact through phase-1 pivots so a repair
-        // excursion doesn't force a rebuild: the entering column's phase-2
-        // reduced cost prices sparsely against the pre-update y2.
-        double d2 = ReducedCost(/*phase1=*/false, entering);
-        for (size_t k = 0; k < m_; ++k) y2_[k] += d2 * bcol_[k][r];
-      }
-    } else {
-      for (size_t k = 0; k < m_; ++k) y2_[k] += d_enter * bcol_[k][r];
-      y1_valid_ = false;  // phase-1 duals go stale with the basis change
     }
+    if (!phase1) y1_valid_ = false;  // phase-1 duals go stale with the basis
     return StepResult::kPivoted;
   }
 
-  // Re-establishes B^-1 for the recorded basis from the exact sparse columns
-  // by Gaussian elimination (FTRAN each desired basic column against the
-  // partially built inverse, then eta-pivot), falling back to a row's own
-  // slack (or any usable column) where the recorded basic column has gone
-  // numerically singular. O(m²) per basic column — there is no O(m²·n)
-  // tableau rebuild any more, which is what lets refactor_interval run
-  // tight.
+  // Re-establishes the factorization for the recorded basis from the exact
+  // sparse columns: a Markowitz-ordered sparse LU under kSparseLU, the
+  // explicit-inverse Gaussian re-establishment under kDenseInverse.
   void Refactorize() {
     refactor_singular_ = false;
     // Fault site: the recorded basis fails to re-establish (as a genuinely
@@ -1036,6 +1322,32 @@ class Solver::Impl {
       refactor_singular_ = true;
       return;
     }
+    ++refactorizations_;
+    if (mode_ == BasisMode::kSparseLU) {
+      RefactorizeLU();
+    } else {
+      RefactorizeDense();
+    }
+  }
+
+  // How close the eta/row-extension file is to its bound (see BasisOptions).
+  bool NeedsEtaRefactor() const {
+    long ops_cap = opt_.basis.max_file_ops > 0
+                       ? opt_.basis.max_file_ops
+                       : std::max<long>(64, static_cast<long>(m_) / 2);
+    long ent_cap = opt_.basis.max_file_entries > 0
+                       ? opt_.basis.max_file_entries
+                       : std::max<long>(1024, 8 * lu_nnz_);
+    return static_cast<long>(file_.size()) >= ops_cap ||
+           static_cast<long>(file_ent_.size()) >= ent_cap;
+  }
+
+  // Dense-inverse re-establishment (the PR 5 path, kDenseInverse only):
+  // FTRAN each desired basic column against the partially built inverse,
+  // then eta-pivot, falling back to a row's own slack (or any usable column)
+  // where the recorded basic column has gone numerically singular. O(m²)
+  // per basic column.
+  void RefactorizeDense() {
     for (size_t k = 0; k < m_; ++k) {
       bcol_[k].assign(m_, 0.0);
       bcol_[k][k] = 1.0;
@@ -1142,7 +1454,329 @@ class Solver::Impl {
     y2_valid_ = false;
   }
 
+  // Sparse LU refactorization (kSparseLU): Markowitz-ordered elimination of
+  // the exact basis columns. A singular (or threshold-unstable beyond
+  // repair) elimination demotes the recorded basics at the unpivoted
+  // positions, substitutes free slacks of the unpivoted rows, and retries —
+  // phase 1 then repairs any feasibility the substitution cost, the same
+  // ladder the dense path's slack fallback walks. Only repeated failure
+  // (which a real repeated-singular basis produces, and the
+  // lp.refactor_singular failpoint emulates upstream) flags
+  // refactor_singular_.
+  void RefactorizeLU() {
+    for (int attempt = 0;; ++attempt) {
+      if (EliminateLU()) break;
+      if (attempt >= 4 || !RepairSingularBasis()) {
+        refactor_singular_ = true;
+        return;
+      }
+    }
+
+    // The recorded (possibly repaired) basis is now factorized; rebuild the
+    // ref <-> position maps and demote anything that lost its slot.
+    vrow_.assign(n_, -1);
+    srow_.assign(m_, -1);
+    for (size_t i = 0; i < m_; ++i) {
+      int ref = basis_[i];
+      BasicRowOf(ref) = static_cast<int>(i);
+      StateOf(ref) = VarState::kBasic;
+    }
+    for (size_t j = 0; j < n_; ++j) {
+      if (vstate_[j] == VarState::kBasic && vrow_[j] < 0) {
+        Demote(static_cast<int>(j));
+      }
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      if (sstate_[k] == VarState::kBasic && srow_[k] < 0) {
+        Demote(~static_cast<int>(k));
+      }
+    }
+
+    m0_ = m_;
+    file_.clear();
+    file_ent_.clear();
+    lu_nnz_ = static_cast<long>(upiv_.size()) +
+              static_cast<long>(u_ent_.size()) +
+              static_cast<long>(l_dst_.size());
+
+    // x_B = B^-1 · (b - sum over nonbasic structural columns of A_j x_j):
+    // one FTRAN of the net right-hand side (nonbasic slacks rest at 0 and
+    // drop out).
+    net_rhs_ = rhs_;
+    for (size_t j = 0; j < n_; ++j) {
+      if (vrow_[j] >= 0 || value_[j] == 0) continue;
+      for (const auto& [r, c] : acol_[j]) {
+        net_rhs_[static_cast<size_t>(r)] -= c * value_[j];
+      }
+    }
+    luw_ = net_rhs_;
+    LuFtran(&luw_, &xb_);
+
+    factor_valid_ = true;
+    updates_since_refactor_ = 0;
+    y1_valid_ = false;
+    y2_valid_ = false;
+  }
+
+  // One Markowitz elimination pass over the current basis_. On success the
+  // base factorization arrays describe PB = LU and true is returned; on
+  // (near-)singularity it returns false with row_done_/pos_done_ marking
+  // what was established — the repair path reads the unpivoted remainder.
+  bool EliminateLU() {
+    const size_t m = m_;
+    prow_.clear();
+    pcol_.clear();
+    upiv_.clear();
+    l_start_.assign(1, 0);
+    l_dst_.clear();
+    l_mult_.clear();
+    u_start_.assign(1, 0);
+    u_ent_.clear();
+
+    // Active matrix by rows: lu_rows_[r] holds (position, value); col_rows_
+    // is a per-position candidate-row list that may carry stale entries
+    // (validated lazily against the row), col_count_ the live nonzero count
+    // driving the Markowitz choice.
+    if (lu_rows_.size() < m) lu_rows_.resize(m);
+    if (col_rows_.size() < m) col_rows_.resize(m);
+    for (size_t r = 0; r < m; ++r) lu_rows_[r].clear();
+    for (size_t p = 0; p < m; ++p) col_rows_[p].clear();
+    col_count_.assign(m, 0);
+    row_done_.assign(m, 0);
+    pos_done_.assign(m, 0);
+    lu_mark_.assign(m, 0);
+
+    long nnz_b = 0;
+    for (size_t i = 0; i < m; ++i) {
+      int ref = basis_[i];
+      if (ref < 0) {
+        lu_rows_[static_cast<size_t>(~ref)].emplace_back(static_cast<int>(i),
+                                                         1.0);
+      } else {
+        for (const auto& [r, c] : acol_[static_cast<size_t>(ref)]) {
+          if (c != 0.0) lu_rows_[static_cast<size_t>(r)].emplace_back(
+              static_cast<int>(i), c);
+        }
+      }
+    }
+    for (size_t r = 0; r < m; ++r) {
+      for (const auto& [p, v] : lu_rows_[r]) {
+        (void)v;
+        ++col_count_[static_cast<size_t>(p)];
+        col_rows_[static_cast<size_t>(p)].push_back(static_cast<int>(r));
+        ++nnz_b;
+      }
+    }
+    lu_fill_base_ = std::max<long>(1, nnz_b);
+
+    for (size_t step = 0; step < m; ++step) {
+      // Candidate positions: the few smallest live column counts. A full
+      // fallback scan below keeps correctness independent of this
+      // heuristic.
+      int cand[kLuCandidates];
+      int cand_n = 0;
+      for (size_t p = 0; p < m; ++p) {
+        if (pos_done_[p] || col_count_[p] <= 0) continue;
+        int cc = col_count_[p];
+        int at = cand_n;
+        while (at > 0 &&
+               col_count_[static_cast<size_t>(cand[at - 1])] > cc) {
+          if (at < kLuCandidates) cand[at] = cand[at - 1];
+          --at;
+        }
+        if (at < kLuCandidates) {
+          cand[at] = static_cast<int>(p);
+          if (cand_n < kLuCandidates) ++cand_n;
+        }
+      }
+
+      int best_r = -1, best_p = -1;
+      double best_v = 0.0;
+      long best_score = std::numeric_limits<long>::max();
+      double best_mag = 0.0;
+      auto consider_position = [&](int p) {
+        // Validate this column's candidate rows in place, find its live max
+        // magnitude, then score the threshold-eligible pivots.
+        auto& rows = col_rows_[static_cast<size_t>(p)];
+        size_t w = 0;
+        double colmax = 0.0;
+        for (size_t t = 0; t < rows.size(); ++t) {
+          int r = rows[t];
+          if (row_done_[static_cast<size_t>(r)]) continue;
+          double v = 0.0;
+          bool present = false;
+          for (const auto& e : lu_rows_[static_cast<size_t>(r)]) {
+            if (e.first == p) {
+              v = e.second;
+              present = true;
+              break;
+            }
+          }
+          if (!present) continue;
+          rows[w++] = r;
+          colmax = std::max(colmax, std::abs(v));
+        }
+        rows.resize(w);
+        col_count_[static_cast<size_t>(p)] = static_cast<int>(w);
+        if (colmax <= kLuSingularTol) return;
+        double eligible = std::max(kLuStabTau * colmax, kLuSingularTol);
+        for (int r : rows) {
+          double v = 0.0;
+          for (const auto& e : lu_rows_[static_cast<size_t>(r)]) {
+            if (e.first == p) {
+              v = e.second;
+              break;
+            }
+          }
+          double mag = std::abs(v);
+          if (mag < eligible) continue;
+          long score =
+              (static_cast<long>(lu_rows_[static_cast<size_t>(r)].size()) -
+               1) *
+              (static_cast<long>(w) - 1);
+          if (score < best_score ||
+              (score == best_score &&
+               (mag > best_mag || (mag == best_mag && r < best_r)))) {
+            best_score = score;
+            best_mag = mag;
+            best_r = r;
+            best_p = p;
+            best_v = v;
+          }
+        }
+      };
+      for (int t = 0; t < cand_n; ++t) consider_position(cand[t]);
+      if (best_r < 0) {
+        // The cheap candidates were all unstable; scan everything before
+        // declaring the remainder singular.
+        for (size_t p = 0; p < m; ++p) {
+          if (!pos_done_[p]) consider_position(static_cast<int>(p));
+        }
+      }
+      if (best_r < 0) return false;  // singular remainder
+
+      // Establish step `step`: pivot (best_r, best_p, best_v).
+      size_t br = static_cast<size_t>(best_r);
+      size_t bp = static_cast<size_t>(best_p);
+      auto& prowv = lu_rows_[br];
+      for (size_t t = 0; t < prowv.size(); ++t) {
+        if (prowv[t].first == best_p) {
+          prowv[t] = prowv.back();
+          prowv.pop_back();
+          break;
+        }
+      }
+      prow_.push_back(best_r);
+      pcol_.push_back(best_p);
+      upiv_.push_back(best_v);
+      for (const auto& [p, v] : prowv) {
+        u_ent_.emplace_back(p, v);
+        --col_count_[static_cast<size_t>(p)];
+      }
+      u_start_.push_back(static_cast<int>(u_ent_.size()));
+      row_done_[br] = 1;
+      pos_done_[bp] = 1;
+      col_count_[bp] = 0;
+
+      // Eliminate the pivot column from every other live row, recording the
+      // multipliers as L's row operations and merging fill-in sparsely.
+      const int u_lo = u_start_[u_start_.size() - 2];
+      const int u_hi = u_start_.back();
+      auto& crows = col_rows_[bp];
+      for (int r2i : crows) {
+        size_t r2 = static_cast<size_t>(r2i);
+        if (row_done_[r2]) continue;
+        auto& row2 = lu_rows_[r2];
+        double v2 = 0.0;
+        bool present = false;
+        for (size_t t = 0; t < row2.size(); ++t) {
+          if (row2[t].first == best_p) {
+            v2 = row2[t].second;
+            row2[t] = row2.back();
+            row2.pop_back();
+            present = true;
+            break;
+          }
+        }
+        if (!present) continue;  // stale candidate
+        double mult = v2 / best_v;
+        l_dst_.push_back(r2i);
+        l_mult_.push_back(mult);
+        if (mult == 0.0) continue;
+        for (size_t t = 0; t < row2.size(); ++t) {
+          lu_mark_[static_cast<size_t>(row2[t].first)] =
+              static_cast<int>(t) + 1;
+        }
+        for (int t = u_lo; t < u_hi; ++t) {
+          const auto& e = u_ent_[static_cast<size_t>(t)];
+          int mk = lu_mark_[static_cast<size_t>(e.first)];
+          if (mk > 0) {
+            row2[static_cast<size_t>(mk - 1)].second -= mult * e.second;
+          } else {
+            row2.emplace_back(e.first, -mult * e.second);
+            lu_mark_[static_cast<size_t>(e.first)] =
+                static_cast<int>(row2.size());
+            ++col_count_[static_cast<size_t>(e.first)];
+            col_rows_[static_cast<size_t>(e.first)].push_back(r2i);
+          }
+        }
+        // Clear marks and drop exact-zero cancellations.
+        size_t w2 = 0;
+        for (size_t t = 0; t < row2.size(); ++t) {
+          lu_mark_[static_cast<size_t>(row2[t].first)] = 0;
+          if (row2[t].second != 0.0) {
+            row2[w2++] = row2[t];
+          } else {
+            --col_count_[static_cast<size_t>(row2[t].first)];
+          }
+        }
+        row2.resize(w2);
+      }
+      l_start_.push_back(static_cast<int>(l_dst_.size()));
+      crows.clear();
+    }
+    return true;
+  }
+
+  // Elimination-failure repair: substitute free slacks of the unpivoted
+  // rows for the basics recorded at the unpivoted positions. Returns false
+  // only when no free slack remains (which cannot happen for a genuinely
+  // repairable basis: an all-slack basis is the identity).
+  bool RepairSingularBasis() {
+    slack_used_.assign(m_, 0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < 0) slack_used_[static_cast<size_t>(~basis_[i])] = 1;
+    }
+    size_t next_row = 0;
+    for (size_t p = 0; p < m_; ++p) {
+      if (pos_done_[p]) continue;
+      // Prefer an unpivoted row's free slack; fall back to any free slack.
+      int chosen = -1;
+      for (size_t r = 0; r < m_; ++r) {
+        if (!row_done_[r] && !slack_used_[r]) {
+          chosen = static_cast<int>(r);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        for (; next_row < m_; ++next_row) {
+          if (!slack_used_[next_row]) {
+            chosen = static_cast<int>(next_row);
+            break;
+          }
+        }
+      }
+      if (chosen < 0) return false;
+      basis_[p] = ~chosen;
+      slack_used_[static_cast<size_t>(chosen)] = 1;
+    }
+    return true;
+  }
+
   static constexpr int kNoRef = std::numeric_limits<int>::min();
+  static constexpr int kLuCandidates = 4;
+  static constexpr double kLuStabTau = 0.01;   // Markowitz threshold pivoting
+  static constexpr double kLuSingularTol = 1e-9;
 
   // Picks a nonbasic, not-later-desired column with the largest pivot
   // magnitude in row i (refactorization fallback). The pivot magnitude of
@@ -1196,6 +1830,7 @@ class Solver::Impl {
   }
 
   const SolveOptions opt_;
+  const BasisMode mode_;
   size_t m_ = 0;  // rows
   size_t n_ = 0;  // structural variables
 
@@ -1213,7 +1848,34 @@ class Solver::Impl {
   // Drift-accumulating updates applied to B^-1 since the last exact rebuild
   // (see SolveOptions::refactor_interval).
   long updates_since_refactor_ = 0;
-  std::vector<std::vector<double>> bcol_;  // explicit B^-1, column-major
+  std::vector<std::vector<double>> bcol_;  // explicit B^-1 (kDenseInverse)
+
+  // Sparse LU state (kSparseLU). Base factorization PB = LU over the m0_
+  // rows/positions that existed at the last refactorization:
+  size_t m0_ = 0;
+  std::vector<int> prow_, pcol_;  // elimination step -> pivot row / position
+  std::vector<double> upiv_;      // step -> pivot value
+  std::vector<int> l_start_;      // step -> L op range [l_start_[k], l_start_[k+1])
+  std::vector<int> l_dst_;        // L op: target row (source is prow_[k])
+  std::vector<double> l_mult_;    // L op: multiplier
+  std::vector<int> u_start_;      // step -> U entry range
+  std::vector<std::pair<int, double>> u_ent_;  // U row entries (position, value)
+  // Update file: product-form ops appended since the last refactorization —
+  // kEta per pivot (entries: the FTRAN-ed column's off-pivot nonzeros),
+  // kRowExt per AddRow (entries: the new row's coefficients over basis
+  // positions).
+  struct FileOp {
+    enum Kind : uint8_t { kEta, kRowExt };
+    uint8_t kind = kEta;
+    int pos = 0;
+    int start = 0, end = 0;  // range in file_ent_
+    double pivot = 1.0;
+  };
+  std::vector<FileOp> file_;
+  std::vector<std::pair<int, double>> file_ent_;
+  long lu_nnz_ = 0;       // stored L+U nonzeros after the last refactorization
+  long lu_fill_base_ = 0; // nnz(B) the last refactorization started from
+
   std::vector<VarState> vstate_, sstate_;
   std::vector<double> value_;  // nonbasic structural values
   std::vector<int> basis_;     // per row: basic column ref
@@ -1243,16 +1905,27 @@ class Solver::Impl {
   int pivot_recoveries_ = 0;
   long ftran_nnz_ = 0;
   int pivots_ = 0;
+  int refactorizations_ = 0;
 
   // Scratch buffers reused across iterations — the simplex inner loop
   // (FTRAN, ratio test, pivot) allocates nothing once these reach capacity
   // (asserted by LpSolver.WarmResolveInnerLoopIsAllocationFree).
   std::vector<double> ftran_;    // entering column B^-1·A_j of the live Step
-  std::vector<double> btran_;    // row-of-B^-1 gather (refactor fallback)
+  std::vector<double> btran_;    // row-of-B^-1 gather (dense refactor fallback)
   std::vector<double> rt_, rb_;  // ratio test: per-row step / bound landed on
   std::vector<std::pair<size_t, double>> dual_rows_;  // rebuild scratch
   std::vector<int> desired_;     // Refactorize: recorded basis snapshot
   std::vector<double> net_rhs_;  // Refactorize: rhs net of nonbasic values
+  std::vector<double> rho_;      // row r of B^-1 for the per-pivot dual update
+  std::vector<double> luw_;      // LuFtran row-space working vector
+  std::vector<double> lub_;      // LuBtran position-space input
+  std::vector<double> luacc_;    // LuBtran U^T accumulator
+  // Markowitz elimination scratch (EliminateLU / RepairSingularBasis):
+  std::vector<std::vector<std::pair<int, double>>> lu_rows_;
+  std::vector<std::vector<int>> col_rows_;
+  std::vector<int> col_count_;
+  std::vector<int> lu_mark_;
+  std::vector<char> row_done_, pos_done_, slack_used_;
   int iter_ = 0;
 
   // Wall-clock deadline state for the live Solve() (see

@@ -22,25 +22,32 @@
 //   * Solver: a long-lived object that keeps its factorized basis and bound
 //     state alive across calls.
 //
-// Storage contract (revised simplex, PR 5): the solver holds the *sparse
-// original* columns A_j plus one dense m×m factorization — the explicit
-// basis inverse B^-1. No working tableau B^-1·A is ever materialized: since
-// pricing runs off incrementally maintained duals (PR 3), a dense structural
-// column would only ever be read for the *entering* variable, so the
-// entering column is computed on demand by a sparse FTRAN B^-1·A_j in
-// O(m·nnz(A_j)) and a pivot updates only B^-1 (product-form eta update,
-// O(m²)). That drops per-pivot work from the tableau form's O((n+m)·m) to
-// O(m²) and solver memory from O((n+m)·m) to O(m²) — for routing-shaped LPs
-// (hundreds of path columns over a few dozen capacity rows, n ≫ m) the
-// dominant remaining cost after partial pricing. The structural deltas the
-// Fig. 13 path-growth loop needs are correspondingly cheap: AddColumn is
-// O(1) (there is no tableau column to price in; the new column rests
-// nonbasic), AddRow/AddToRow/SetRhs touch only B^-1 and the basic values,
-// and refactorization re-establishes B^-1 alone in O(m²·m) worst case
-// instead of rebuilding an O(m²·n) tableau — which is also why the
-// refactor_interval drift guard can run much tighter than it could before.
-// Solve() warm-starts primal simplex from the previous optimal basis
-// (typically a handful of pivots instead of a full cold solve).
+// Storage contract (sparse LU basis, PR 7): the solver holds the *sparse
+// original* columns A_j plus a sparse LU factorization of the basis matrix B
+// itself — never an explicit B^-1, and never a working tableau B^-1·A. The
+// factorization is a Markowitz-ordered elimination PB = LU kept as compact
+// row-operation (L) and row-of-U arrays, plus a bounded *update file* of
+// product-form operations appended between refactorizations: one eta per
+// simplex pivot (the FTRAN-ed entering column, Forrest–Tomlin style) and one
+// row-extension per AddRow (the bordered [[B,0],[wᵀ,1]] growth). FTRAN
+// (B·x = a, the entering column) and BTRAN (Bᵀ·y = c, dual maintenance and
+// the post-pivot inverse-row read) are sparse triangular solves through L, U
+// and a replay of the file — ~O(nnz(L+U) + nnz(file)) per solve instead of
+// the PR 5 dense inverse's O(m²) per *pivot* (the eta update swept all m
+// columns of B^-1) and O(m²) resident doubles. Pricing still runs off
+// incrementally maintained duals (PR 3): a structural column is only ever
+// FTRAN-ed when it enters. Refactorize() rebuilds L and U from the exact
+// sparse basis columns with Markowitz pivoting (threshold-stability guarded,
+// singular bases repaired by slack substitution), clears the file, and is
+// triggered by `refactor_interval`, by the eta file outgrowing its bound, or
+// forced by numerical recovery — so both drift *and* update-file memory stay
+// bounded. The structural deltas the Fig. 13 path-growth loop needs stay
+// cheap: AddColumn is O(1) (the new column rests nonbasic), AddRow appends
+// one file op, AddToRow/SetRhs cost one FTRAN. The PR 5 explicit-inverse
+// representation survives behind `SolveOptions::basis` (kDenseInverse) as
+// the A/B baseline the parity suite and benches diff against. Solve()
+// warm-starts primal simplex from the previous optimal basis (typically a
+// handful of pivots instead of a full cold solve).
 #ifndef LDR_LP_LP_H_
 #define LDR_LP_LP_H_
 
@@ -121,11 +128,37 @@ struct PricingOptions {
   int sweep = 0;
 };
 
+// Basis-factorization representation (see the storage contract above).
+//
+//   kSparseLU      (default) sparse LU of B with Markowitz refactorization
+//                  and a bounded eta/row-extension update file; per-pivot
+//                  work ~O(nnz(L+U)) and memory ~O(nnz).
+//   kDenseInverse  the PR 5 explicit m×m B^-1 with O(m²) product-form eta
+//                  updates — kept as the A/B baseline so benches and the
+//                  parity suite can diff the two representations on
+//                  identical problems.
+//
+// The `LDR_LP_BASIS` environment variable ("dense" / "lu"), when set,
+// overrides the configured mode — this is how CI runs the whole test suite
+// against the fallback representation without a second build.
+enum class BasisMode { kSparseLU, kDenseInverse };
+
+struct BasisOptions {
+  BasisMode mode = BasisMode::kSparseLU;
+  // Mid-solve refactorization triggers that bound the update file (LU mode
+  // only; both respect refactor_interval < 0 disabling the drift guard).
+  // 0 means automatic: max(64, rows / 2) ops / max(1024, 8 * nnz(L+U))
+  // entries.
+  int max_file_ops = 0;
+  long max_file_entries = 0;
+};
+
 struct SolveOptions {
   double tol = 1e-7;
   // 0 means automatic: 200 + 40 * (rows + variables).
   int max_iters = 0;
   PricingOptions pricing;
+  BasisOptions basis;
   // Periodic refactorization for long-lived solvers (controller epochs):
   // once this many incremental B^-1 updates — pivots plus structural
   // mutations folded into the factorization — have accumulated since the
@@ -163,16 +196,32 @@ struct Solution {
   // refactorization instead of corrupting the basis.
   int pivot_recoveries = 0;
   // Revised-simplex work/memory telemetry:
-  // Resident bytes of the factorized state (the m×m B^-1 storage) at the end
-  // of the solve — the footprint the dropped dense tableau used to dwarf.
+  // Resident bytes of the factorized state at the end of the solve — the
+  // L/U arrays plus the update file under kSparseLU, the m×m B^-1 storage
+  // under kDenseInverse.
   size_t basis_bytes = 0;
   // Total sparse input nonzeros fed through FTRAN (entering-column solves
-  // B^-1·A_j) over the whole solve; each costs O(m) work per nonzero.
+  // B^-1·A_j) over the whole solve.
   long ftran_nnz = 0;
-  // Eta pivots applied to B^-1 over the solve: simplex basis changes
-  // (iterations minus bound flips) plus refactorization re-establishment
-  // pivots. Each costs O(m²) — the count the per-pivot win multiplies.
+  // Basis-changing pivots over the solve: simplex basis changes (iterations
+  // minus bound flips) plus refactorization re-establishment pivots. Each
+  // costs one eta append + one BTRAN under kSparseLU, O(m²) under
+  // kDenseInverse — the count the per-pivot win multiplies.
   int pivots = 0;
+  // LU-factorization telemetry (all zero under kDenseInverse):
+  // Stored nonzeros in L + U (pivots included) after the last sparse
+  // refactorization.
+  long lu_nnz = 0;
+  // Update-file operations (etas + row extensions) resident when the solve
+  // returned — bounded by the eta-file refactorization triggers.
+  int eta_count = 0;
+  // lu_nnz / nnz(B) at the last sparse refactorization: the Markowitz
+  // fill-in factor (1.0 = no fill).
+  double fill_ratio = 0;
+  // Full refactorizations performed during this solve (interval/drift
+  // triggers, eta-file bounds, and numerical recoveries; counted in both
+  // basis modes).
+  int refactorizations = 0;
 
   bool ok() const { return status == Status::kOptimal; }
 };
@@ -235,8 +284,9 @@ class Solver {
   // the warm basis is primal infeasible, e.g. after SetRhs).
   Solution Solve();
 
-  // Drops the factorization; the next Solve() re-establishes B^-1 from the
-  // sparse columns under the current basis. Exposed for tests.
+  // Drops the factorization; the next Solve() re-establishes it (a fresh
+  // Markowitz LU, or the explicit B^-1 under kDenseInverse) from the sparse
+  // columns under the current basis. Exposed for tests.
   void Invalidate();
 
  private:

@@ -33,6 +33,7 @@ double ClassWeight(const std::vector<double>& class_weights,
 lp::SolveOptions SolverOptionsFor(const RoutingLpOptions& opts) {
   lp::SolveOptions so;
   so.pricing = opts.pricing;
+  so.basis = opts.basis;
   so.max_iters = opts.max_iters;
   so.deadline_ms = opts.deadline_ms;
   return so;
@@ -160,6 +161,10 @@ RoutingLpResult SolveRoutingLp(
   result.pivots = sol.pivots;
   result.ftran_nnz = sol.ftran_nnz;
   result.basis_bytes = sol.basis_bytes;
+  result.lu_nnz = sol.lu_nnz;
+  result.eta_count = sol.eta_count;
+  result.fill_ratio = sol.fill_ratio;
+  result.refactorizations = sol.refactorizations;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
     // unbounded above); failure here means a numerical breakdown, an
@@ -346,6 +351,10 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   result.pivots = sol.pivots;
   result.ftran_nnz = sol.ftran_nnz;
   result.basis_bytes = sol.basis_bytes;
+  result.lu_nnz = sol.lu_nnz;
+  result.eta_count = sol.eta_count;
+  result.fill_ratio = sol.fill_ratio;
+  result.refactorizations = sol.refactorizations;
   if (!sol.ok()) {
     // kIterLimit/kDeadline carry no usable values — never extract fractions
     // from them; callers walk the fallback ladder on !solved.
@@ -533,6 +542,10 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     outcome.lp_pivots += r.pivots;
     outcome.lp_ftran_nnz += r.ftran_nnz;
     outcome.lp_basis_bytes = std::max(outcome.lp_basis_bytes, r.basis_bytes);
+    outcome.lp_lu_nnz = std::max(outcome.lp_lu_nnz, r.lu_nnz);
+    outcome.lp_eta_count = std::max(outcome.lp_eta_count, r.eta_count);
+    outcome.lp_fill_ratio = std::max(outcome.lp_fill_ratio, r.fill_ratio);
+    outcome.lp_refactorizations += r.refactorizations;
   };
 
   RoutingLpResult res;

@@ -52,6 +52,10 @@ struct RoutingLpOptions {
   // (partial candidate-list pricing by default; kDantzig full sweeps are the
   // A/B baseline the benches compare against).
   lp::PricingOptions pricing;
+  // Basis-factorization representation handed to the underlying lp::Solver
+  // (sparse LU by default; kDenseInverse is the A/B baseline the benches
+  // and parity suites diff against).
+  lp::BasisOptions basis;
   // Per-solve budgets forwarded to lp::SolveOptions — the controller's
   // epoch decision guard. max_iters 0 keeps the solver's automatic cap;
   // deadline_ms is a wall-clock budget per LP solve (negative disables,
@@ -82,10 +86,16 @@ struct RoutingLpResult {
   int iterations = 0;
   // Revised-simplex telemetry (see lp::Solution): basis-changing pivots,
   // sparse nonzeros fed through FTRAN, and the resident bytes of the
-  // solver's factorized state (B^-1 only — the dense tableau is gone).
+  // solver's factorized state (L/U + update file under sparse LU, the
+  // explicit B^-1 under the dense fallback).
   int pivots = 0;
   long ftran_nnz = 0;
   size_t basis_bytes = 0;
+  // Sparse-LU telemetry (see lp::Solution; all zero under kDenseInverse).
+  long lu_nnz = 0;
+  int eta_count = 0;
+  double fill_ratio = 0;
+  int refactorizations = 0;
 };
 
 // Path sets are interned ids into `store` (delays cached at intern time;
@@ -120,8 +130,8 @@ class IncrementalRoutingLp {
   void UpdateDemands(const std::vector<Aggregate>& aggregates);
 
   // Drops the live solver's factorization so the next Solve() re-establishes
-  // B^-1 from the exact sparse columns — the degradation ladder's rung 1
-  // repair for drift-induced solve failures.
+  // it from the exact sparse columns (a fresh Markowitz LU by default) — the
+  // degradation ladder's rung 1 repair for drift-induced solve failures.
   void ForceRefactorize() { solver_.Invalidate(); }
 
  private:

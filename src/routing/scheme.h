@@ -74,6 +74,14 @@ struct RoutingOutcome {
   long lp_pivots = 0;
   long lp_ftran_nnz = 0;
   size_t lp_basis_bytes = 0;
+  // Sparse-LU telemetry over all LP rounds (PR 7; all zero under the
+  // kDenseInverse fallback): peak factor nonzeros, peak update-file length,
+  // peak fill-in ratio (nnz(L+U) / nnz(B)), and total Markowitz
+  // refactorizations across solves.
+  long lp_lu_nnz = 0;
+  int lp_eta_count = 0;
+  double lp_fill_ratio = 0;
+  int lp_refactorizations = 0;
   double solve_ms = 0;     // wall-clock of the routing computation
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.

@@ -1,0 +1,297 @@
+// PR 7 coverage for the basis-representation knob: the sparse-LU
+// factorization (default) against the explicit dense-inverse fallback.
+//
+// The two representations must be interchangeable: identical mutation
+// sequences solved under both modes reach the same objectives, the LU
+// telemetry is populated only when LU actually ran, the eta/spike update
+// file stays bounded by the refactorization triggers, a near-singular
+// recorded basis survives refactorization (Markowitz threshold pivoting +
+// the singular-repair slack substitution), and the lp.refactor_singular
+// failpoint still turns refactorization failure into a clean !ok() solve.
+//
+// The whole file honors LDR_LP_BASIS: under the CI dense A/B registration
+// (ctest lp_basis_test_dense_basis) both "modes" resolve to dense and the
+// cross-mode comparisons become self-comparisons — still valid, just
+// degenerate — while LU-only assertions are skipped via SolverUsesLu().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/lp_shapes.h"
+#include "lp/lp.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace ldr::lp {
+namespace {
+
+// Mirrors the solver's LDR_LP_BASIS resolution: the env var, when set,
+// overrides any configured BasisOptions::mode.
+bool SolverUsesLu() {
+  const char* env = std::getenv("LDR_LP_BASIS");
+  return env == nullptr || std::string(env) != "dense";
+}
+
+SolveOptions WithBasis(BasisMode mode) {
+  SolveOptions so;
+  so.basis.mode = mode;
+  return so;
+}
+
+// --- cross-representation parity on randomized mutation sequences ----------
+
+// The lp_test mutation-sequence generator, driven once and applied to two
+// solvers in lockstep — one per basis representation. After every re-solve
+// both must be optimal with equal objectives. This is the LU-vs-dense twin
+// of LpMutationSequenceTest's warm-vs-cold parity.
+class LpBasisMutationParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpBasisMutationParityTest, LuAndDenseAgreeAcrossMutations) {
+  Rng rng(static_cast<uint64_t>(23000 + GetParam()));
+  Solver lu(WithBasis(BasisMode::kSparseLU));
+  Solver dense(WithBasis(BasisMode::kDenseInverse));
+  size_t nvars = 0;
+  size_t nrows = 0;
+
+  auto rand_rhs = [&](RowType type) {
+    return type == RowType::kLe ? rng.Uniform(0.5, 6) : -rng.Uniform(0.5, 6);
+  };
+  std::vector<RowType> row_types;
+  auto add_column = [&] {
+    double h = rng.Uniform(0.5, 3);
+    double c = rng.Uniform(-3, 3);
+    std::vector<std::pair<int, double>> coeffs;
+    for (size_t r = 0; r < nrows; ++r) {
+      if (rng.NextIndex(3) != 0) continue;
+      coeffs.emplace_back(static_cast<int>(r), rng.Uniform(-2, 2));
+    }
+    ASSERT_EQ(lu.AddColumn(0, h, c, coeffs), static_cast<int>(nvars));
+    ASSERT_EQ(dense.AddColumn(0, h, c, coeffs), static_cast<int>(nvars));
+    ++nvars;
+  };
+  auto add_row = [&] {
+    RowType type = rng.NextIndex(2) == 0 ? RowType::kLe : RowType::kGe;
+    double rhs = rand_rhs(type);
+    std::vector<std::pair<int, double>> coeffs;
+    for (size_t j = 0; j < nvars; ++j) {
+      if (rng.NextIndex(3) != 0) continue;
+      coeffs.emplace_back(static_cast<int>(j), rng.Uniform(-2, 2));
+    }
+    ASSERT_EQ(lu.AddRow(type, rhs, coeffs), static_cast<int>(nrows));
+    ASSERT_EQ(dense.AddRow(type, rhs, coeffs), static_cast<int>(nrows));
+    row_types.push_back(type);
+    ++nrows;
+  };
+  auto check_parity = [&](int step) {
+    Solution sl = lu.Solve();
+    Solution sd = dense.Solve();
+    ASSERT_TRUE(sl.ok()) << ToString(sl.status) << " step " << step;
+    ASSERT_TRUE(sd.ok()) << ToString(sd.status) << " step " << step;
+    EXPECT_NEAR(sl.objective, sd.objective,
+                1e-6 * (1 + std::abs(sd.objective)))
+        << "step " << step;
+  };
+
+  for (int j = 0; j < 4; ++j) add_column();
+  for (int r = 0; r < 3; ++r) add_row();
+  check_parity(-1);
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.NextIndex(6)) {
+      case 0:
+      case 1:
+        add_column();
+        break;
+      case 2:
+        add_row();
+        break;
+      case 3: {
+        if (nrows == 0 || nvars == 0) break;
+        int r = static_cast<int>(rng.NextIndex(nrows));
+        int v = static_cast<int>(rng.NextIndex(nvars));
+        double delta = rng.Uniform(-0.5, 0.5);
+        lu.AddToRow(r, v, delta);
+        dense.AddToRow(r, v, delta);
+        break;
+      }
+      default: {
+        if (nrows == 0) break;
+        size_t r = rng.NextIndex(nrows);
+        double rhs = rand_rhs(row_types[r]);
+        lu.SetRhs(static_cast<int>(r), rhs);
+        dense.SetRhs(static_cast<int>(r), rhs);
+        break;
+      }
+    }
+    if (step % 5 == 4) check_parity(step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpBasisMutationParityTest,
+                         ::testing::Range(1, 13));
+
+// The same cross-mode agreement under full-Dantzig pricing — the
+// lp_pricing_test mutation axis crossed with the basis axis, on cold solves
+// of routing-shaped LPs (both pricing modes run under both representations).
+TEST(LpBasisParity, RoutingShapesAgreeAcrossPricingAndBasisModes) {
+  for (uint64_t seed = 61; seed < 66; ++seed) {
+    auto spec = bench::RoutingLpSpec::Random(seed, 40, 20);
+    Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+    double reference = 0;
+    bool first = true;
+    for (BasisMode basis : {BasisMode::kSparseLU, BasisMode::kDenseInverse}) {
+      for (PricingMode pricing :
+           {PricingMode::kPartial, PricingMode::kDantzig}) {
+        SolveOptions so = WithBasis(basis);
+        so.pricing.mode = pricing;
+        Solution s = Solve(p, so);
+        ASSERT_TRUE(s.ok()) << ToString(s.status) << " seed " << seed;
+        if (first) {
+          reference = s.objective;
+          first = false;
+        } else {
+          EXPECT_NEAR(s.objective, reference,
+                      1e-6 * (1 + std::abs(reference)))
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+// --- telemetry --------------------------------------------------------------
+
+TEST(LpBasisTelemetry, LuFieldsPopulatedOnlyUnderLu) {
+  auto spec = bench::RoutingLpSpec::Random(77, 60, 30);
+  Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+
+  Solution sl = Solve(p, WithBasis(BasisMode::kSparseLU));
+  ASSERT_TRUE(sl.ok());
+  if (SolverUsesLu()) {
+    EXPECT_GT(sl.lu_nnz, 0);
+    EXPECT_GE(sl.fill_ratio, 1.0);  // nnz(L+U) can only add to nnz(B)
+    EXPECT_GE(sl.refactorizations, 1);
+    EXPECT_GT(sl.basis_bytes, 0u);
+  }
+
+  Solution sd = Solve(p, WithBasis(BasisMode::kDenseInverse));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd.lu_nnz, 0);
+  EXPECT_EQ(sd.eta_count, 0);
+  EXPECT_EQ(sd.fill_ratio, 0.0);
+  EXPECT_GT(sd.basis_bytes, 0u);
+}
+
+// --- eta-file growth bound --------------------------------------------------
+
+// A tight max_file_ops cap must force mid-solve refactorizations, and the
+// update file reported at the end of each solve must respect the cap: the
+// eta file cannot grow without bound no matter how many pivots a solve runs.
+TEST(LpBasisEtaFile, RefactorizationTriggerBoundsUpdateFile) {
+  if (!SolverUsesLu()) GTEST_SKIP() << "LDR_LP_BASIS=dense forces dense mode";
+  auto spec = bench::RoutingLpSpec::Random(31, 80, 40);
+
+  SolveOptions so = WithBasis(BasisMode::kSparseLU);
+  so.basis.max_file_ops = 8;
+  bench::WarmLp warm = bench::BuildSolverBase(spec, so);
+  Solution s0 = warm.solver.Solve();
+  ASSERT_TRUE(s0.ok());
+  EXPECT_GT(s0.pivots, 8);  // enough pivots that the cap had to fire
+  EXPECT_GE(s0.refactorizations, 2);
+  EXPECT_LE(s0.eta_count, 8);
+
+  // Warm growth rounds keep respecting the cap.
+  bench::AppendGrowth(spec, &warm);
+  Solution s1 = warm.solver.Solve();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_LE(s1.eta_count, 8);
+
+  // Same LP with the trigger left automatic: the file still ends bounded by
+  // the documented max(64, m/2) ops ceiling.
+  Solution sauto =
+      Solve(bench::BuildProblem(spec, /*with_growth=*/true),
+            WithBasis(BasisMode::kSparseLU));
+  ASSERT_TRUE(sauto.ok());
+  long rows = static_cast<long>(
+      bench::BuildProblem(spec, true).RowCount());
+  EXPECT_LE(sauto.eta_count, std::max<long>(64, rows / 2));
+}
+
+// --- near-singular refactorization ------------------------------------------
+
+// Two equality rows that differ by 1e-6 put two nearly-parallel columns in
+// the optimal basis. Invalidate() then forces a from-scratch refactorization
+// of that basis: Markowitz threshold pivoting has to order around the tiny
+// remaining pivot element, and the re-solve must land back on the same
+// objective as a cold solve of the same problem.
+TEST(LpBasisNumerics, NearSingularBasisRefactorizes) {
+  const double eps = 1e-6;
+  Solver solver(WithBasis(BasisMode::kSparseLU));
+  int x0 = solver.AddColumn(0, 2, -1.0, {});
+  int x1 = solver.AddColumn(0, 2, -1.0, {});
+  solver.AddRow(RowType::kEq, 1.5, {{x0, 1.0}, {x1, 1.0}});
+  solver.AddRow(RowType::kEq, 1.5 + 0.5 * eps, {{x0, 1.0}, {x1, 1.0 + eps}});
+  Solution first = solver.Solve();
+  ASSERT_TRUE(first.ok()) << ToString(first.status);
+  // x1 = 0.5, x0 = 1.0 is the unique solution; both are interior => basic.
+  EXPECT_NEAR(first.objective, -1.5, 1e-6);
+
+  solver.Invalidate();
+  Solution again = solver.Solve();
+  ASSERT_TRUE(again.ok()) << ToString(again.status);
+  EXPECT_NEAR(again.objective, first.objective, 1e-6);
+}
+
+// Zeroing a basic column's only row entry via AddToRow leaves the recorded
+// basis genuinely singular. The refactorization must detect it, substitute a
+// slack (RepairSingularBasis), and the re-solve must recover the new optimum
+// instead of reporting a numerical failure.
+TEST(LpBasisNumerics, SingularBasisRepairedBySlackSubstitution) {
+  if (!SolverUsesLu()) GTEST_SKIP() << "LDR_LP_BASIS=dense forces dense mode";
+  Solver solver(WithBasis(BasisMode::kSparseLU));
+  int x = solver.AddColumn(0, 5, -1.0, {});
+  int row = solver.AddRow(RowType::kLe, 3.0, {{x, 1.0}});
+  Solution first = solver.Solve();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(first.objective, -3.0, 1e-6);  // x basic at the row bound
+
+  // Row becomes 0 * x <= 3: the basic column for x is now all zeros.
+  solver.AddToRow(row, x, -1.0);
+  solver.Invalidate();
+  Solution repaired = solver.Solve();
+  ASSERT_TRUE(repaired.ok()) << ToString(repaired.status);
+  // With the row constraint gone, x runs to its upper bound.
+  EXPECT_NEAR(repaired.objective, -5.0, 1e-6);
+}
+
+// --- lp.refactor_singular failpoint -----------------------------------------
+
+// The failpoint sits at the top of the Refactorize dispatcher, so it fires
+// identically under LU: an invalidated solver whose refactorization "fails"
+// must surface a clean non-ok solve, and recover once the failpoint clears.
+TEST(LpBasisFailpoints, RefactorSingularFiresUnderLu) {
+  auto spec = bench::RoutingLpSpec::Random(19, 30, 15);
+  SolveOptions so = WithBasis(BasisMode::kSparseLU);
+  bench::WarmLp warm = bench::BuildSolverBase(spec, so);
+  Solution s0 = warm.solver.Solve();
+  ASSERT_TRUE(s0.ok());
+
+  warm.solver.Invalidate();
+  util::Failpoint::Activate("lp.refactor_singular");
+  Solution failed = warm.solver.Solve();
+  util::Failpoint::DeactivateAll();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status, Status::kIterLimit);
+
+  warm.solver.Invalidate();
+  Solution recovered = warm.solver.Solve();
+  ASSERT_TRUE(recovered.ok()) << ToString(recovered.status);
+  EXPECT_NEAR(recovered.objective, s0.objective,
+              1e-6 * (1 + std::abs(s0.objective)));
+}
+
+}  // namespace
+}  // namespace ldr::lp

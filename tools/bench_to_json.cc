@@ -8,9 +8,10 @@
 //             slow corpus-wide sections (iterative_loop, thread_scaling,
 //             path_store, lp_pricing's corpus slice) skipped and emitted as
 //             zeros with "smoke": true at the top. All correctness markers —
-//             lp_pricing/lp_revised objective_parity and scenario
-//             placement_parity — are still computed for real, so a perf
-//             refactor that breaks parity fails CI even in smoke mode.
+//             lp_pricing/lp_revised objective_parity, lp_lu basis_parity,
+//             scenario placement_parity, degradation recovery_parity — are
+//             still computed for real, so a perf refactor that breaks parity
+//             fails CI even in smoke mode.
 //
 // Sections:
 //   lp_resolve        one Fig. 13 growth round on a routing-shaped LP:
@@ -25,15 +26,31 @@
 //                     corpus produced (each an owning deep-copied Path before
 //                     the arena), unique_paths how many distinct paths were
 //                     actually stored; hit rate = 1 - unique/refs
-//   lp_revised        revised-simplex win tracking (PR 5): per-pivot cost and
-//                     resident solver memory on the lp_resolve_large warm
-//                     round and the shape_partial cold solve, against the
-//                     PR 4 dense-working-tableau baseline recorded on this
-//                     container. basis_bytes is the m×m B^-1 the solver
-//                     actually keeps; dense_tableau_bytes is what the PR 4
-//                     representation held for the same LP ((n+m)·m doubles).
+//   lp_revised        revised-simplex win tracking (PR 5, rebaselined PR 7):
+//                     per-pivot cost and resident solver memory on the
+//                     lp_resolve_large warm round and the shape_partial cold
+//                     solve. The baseline is no longer a frozen constant: the
+//                     same experiments re-run under the kDenseInverse basis
+//                     knob in the same process, so dense_ms/dense_per_pivot
+//                     are measured on this container at emit time.
+//                     basis_bytes is the sparse L/U + update file the solver
+//                     actually keeps (explicit m×m B^-1 for the dense run);
+//                     dense_tableau_bytes is what the PR 4 working tableau
+//                     held for the same LP ((n+m)·m doubles).
 //                     objective_parity re-checks each warm/incremental solve
 //                     against a cold one-shot rebuild.
+//   lp_lu             the PR 7 basis-size sweep: routing-shaped LPs generated
+//                     at increasing link counts, each solved cold under both
+//                     basis representations. Per point: wall-clock, pivots,
+//                     per-pivot ms and resident basis bytes for dense-inverse
+//                     vs sparse LU, plus the LU factor telemetry (lu_nnz,
+//                     fill_ratio, eta_count, refactorizations). The point of
+//                     the sweep is that the LU per-pivot cost and bytes grow
+//                     sub-quadratically in m while the dense inverse does not
+//                     — the asymptotic win is measured, not asserted.
+//                     basis_parity (gated by ci.sh --bench-smoke) requires
+//                     both representations to reach the same objective at
+//                     every sweep point.
 //   lp_pricing        full-Dantzig vs partial (candidate-list) pricing A/B:
 //                     routing-shaped LPs solved cold both ways, plus the
 //                     Fig. 13 loop over a warm-cache corpus slice, recording
@@ -312,12 +329,17 @@ struct RevisedStats {
 
 // The lp_resolve_large experiment (one Fig. 13 growth round re-solved warm),
 // instrumented: pivots, FTRAN volume, and the resident factorization bytes.
-RevisedStats BenchRevisedResolve(int aggregates, int links, int reps) {
+// `basis` selects the representation — the dense-inverse run of the same
+// experiment is the section's measured baseline.
+RevisedStats BenchRevisedResolve(int aggregates, int links, int reps,
+                                 lp::BasisMode basis) {
   RevisedStats out;
+  lp::SolveOptions so;
+  so.basis.mode = basis;
   for (int r = 0; r < reps; ++r) {
     auto spec = bench::RoutingLpSpec::Random(7 + static_cast<uint64_t>(r),
                                              aggregates, links);
-    bench::WarmLp warm = bench::BuildSolverBase(spec);
+    bench::WarmLp warm = bench::BuildSolverBase(spec, so);
     lp::Solution s0 = warm.solver.Solve();
     if (!s0.ok()) {
       out.objective_parity = false;  // a failed solve must not drop out
@@ -339,7 +361,8 @@ RevisedStats BenchRevisedResolve(int aggregates, int links, int reps) {
     size_t n = warm.solver.VariableCount();
     size_t m = warm.solver.RowCount();
     out.dense_tableau_bytes = (n + m) * m * sizeof(double);
-    lp::Solution sc = lp::Solve(bench::BuildProblem(spec, /*with_growth=*/true));
+    lp::Solution sc =
+        lp::Solve(bench::BuildProblem(spec, /*with_growth=*/true), so);
     if (!sc.ok() || std::abs(sw.objective - sc.objective) >
                         1e-5 * (1 + std::abs(sc.objective))) {
       out.objective_parity = false;
@@ -350,14 +373,17 @@ RevisedStats BenchRevisedResolve(int aggregates, int links, int reps) {
 
 // The shape_partial experiment (cold routing-shaped LP, partial pricing),
 // instrumented the same way.
-RevisedStats BenchRevisedShapes(int aggregates, int links, int reps) {
+RevisedStats BenchRevisedShapes(int aggregates, int links, int reps,
+                                lp::BasisMode basis) {
   RevisedStats out;
+  lp::SolveOptions so;
+  so.basis.mode = basis;
   for (int r = 0; r < reps; ++r) {
     auto spec = bench::RoutingLpSpec::Random(21 + static_cast<uint64_t>(r),
                                              aggregates, links);
     lp::Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
     double t0 = NowMs();
-    lp::Solution s = lp::Solve(p);
+    lp::Solution s = lp::Solve(p, so);
     out.total_ms += NowMs() - t0;
     if (!s.ok()) {
       out.objective_parity = false;
@@ -372,6 +398,81 @@ RevisedStats BenchRevisedShapes(int aggregates, int links, int reps) {
     size_t m = p.RowCount();
     out.dense_tableau_bytes = (n + m) * m * sizeof(double);
   }
+  return out;
+}
+
+// --- lp_lu ------------------------------------------------------------------
+
+// One sweep point: the same generated routing-shaped LP solved cold under
+// both basis representations.
+struct LuSweepPoint {
+  int groups = 0;
+  int links = 0;
+  size_t rows = 0;  // m of the solved LP
+  double dense_ms = 0, lu_ms = 0;
+  long dense_pivots = 0, lu_pivots = 0;
+  size_t dense_basis_bytes = 0, lu_basis_bytes = 0;
+  long lu_nnz = 0;
+  double fill_ratio = 0;
+  int eta_count = 0;
+  int refactorizations = 0;
+  bool parity = false;
+  double dense_per_pivot_ms() const {
+    return dense_pivots > 0 ? dense_ms / static_cast<double>(dense_pivots) : 0;
+  }
+  double lu_per_pivot_ms() const {
+    return lu_pivots > 0 ? lu_ms / static_cast<double>(lu_pivots) : 0;
+  }
+};
+
+LuSweepPoint BenchLuSweepPoint(int groups, int links, int reps) {
+  LuSweepPoint out;
+  out.groups = groups;
+  out.links = links;
+  std::vector<double> dense_times, lu_times;
+  out.parity = true;
+  for (int r = 0; r < reps; ++r) {
+    auto spec = bench::RoutingLpSpec::Random(401 + static_cast<uint64_t>(r),
+                                             groups, links);
+    lp::Problem p = bench::BuildProblem(spec, /*with_growth=*/true);
+    out.rows = p.RowCount();
+
+    lp::SolveOptions dense_so;
+    dense_so.basis.mode = lp::BasisMode::kDenseInverse;
+    double t0 = NowMs();
+    lp::Solution sd = lp::Solve(p, dense_so);
+    dense_times.push_back(NowMs() - t0);
+
+    lp::SolveOptions lu_so;
+    lu_so.basis.mode = lp::BasisMode::kSparseLU;
+    t0 = NowMs();
+    lp::Solution sl = lp::Solve(p, lu_so);
+    lu_times.push_back(NowMs() - t0);
+
+    if (!sd.ok() || !sl.ok() ||
+        std::abs(sd.objective - sl.objective) >
+            1e-5 * (1 + std::abs(sd.objective))) {
+      out.parity = false;
+      std::fprintf(stderr,
+                   "bench_to_json: lp_lu parity mismatch at m=%zu "
+                   "(dense %g, lu %g)\n",
+                   out.rows, sd.ok() ? sd.objective : NAN,
+                   sl.ok() ? sl.objective : NAN);
+      continue;
+    }
+    out.dense_pivots += sd.pivots;
+    out.lu_pivots += sl.pivots;
+    out.dense_basis_bytes = sd.basis_bytes;
+    out.lu_basis_bytes = sl.basis_bytes;
+    out.lu_nnz = sl.lu_nnz;
+    out.fill_ratio = sl.fill_ratio;
+    out.eta_count = sl.eta_count;
+    out.refactorizations = sl.refactorizations;
+  }
+  // Wall-clock is summed over reps, like the pivot counts, so the per-pivot
+  // quotients stay comparable across points with different rep counts.
+  for (double t : dense_times) out.dense_ms += t;
+  for (double t : lu_times) out.lu_ms += t;
   return out;
 }
 
@@ -555,13 +656,32 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "bench_to_json: lp_revised...\n");
-  RevisedStats revised_resolve = BenchRevisedResolve(150, 75, smoke ? 1 : 3);
-  RevisedStats revised_shapes = BenchRevisedShapes(120, 60, smoke ? 2 : 5);
+  RevisedStats revised_resolve =
+      BenchRevisedResolve(150, 75, smoke ? 1 : 3, lp::BasisMode::kSparseLU);
+  RevisedStats revised_shapes =
+      BenchRevisedShapes(120, 60, smoke ? 2 : 5, lp::BasisMode::kSparseLU);
+  // The measured self-baseline: identical experiments under the dense-inverse
+  // knob, in this process, replacing the frozen PR 4 constants.
+  RevisedStats revised_resolve_dense = BenchRevisedResolve(
+      150, 75, smoke ? 1 : 3, lp::BasisMode::kDenseInverse);
+  RevisedStats revised_shapes_dense = BenchRevisedShapes(
+      120, 60, smoke ? 2 : 5, lp::BasisMode::kDenseInverse);
   bool revised_parity =
-      revised_resolve.objective_parity && revised_shapes.objective_parity;
+      revised_resolve.objective_parity && revised_shapes.objective_parity &&
+      revised_resolve_dense.objective_parity &&
+      revised_shapes_dense.objective_parity;
   if (!revised_parity) {
     std::fprintf(stderr, "bench_to_json: lp_revised objective mismatch\n");
   }
+
+  std::fprintf(stderr, "bench_to_json: lp_lu sweep...\n");
+  std::vector<LuSweepPoint> lu_sweep;
+  lu_sweep.push_back(BenchLuSweepPoint(50, 25, smoke ? 1 : 3));
+  lu_sweep.push_back(BenchLuSweepPoint(100, 50, smoke ? 1 : 3));
+  lu_sweep.push_back(BenchLuSweepPoint(200, 100, smoke ? 1 : 2));
+  lu_sweep.push_back(BenchLuSweepPoint(400, 200, 1));
+  bool basis_parity = true;
+  for (const LuSweepPoint& pt : lu_sweep) basis_parity &= pt.parity;
 
   std::fprintf(stderr, "bench_to_json: lp_pricing...\n");
   PricingRun shape_full =
@@ -665,43 +785,56 @@ int main(int argc, char** argv) {
                scenario.placement_parity ? "true" : "false",
                static_cast<unsigned long long>(scenario.ksp_evictions),
                single_core ? ", \"invalid_single_core\": true" : "");
-  // PR 4 baseline (dense working tableau), from the PR 4 BENCH_lp.json
-  // measured on this container: lp_resolve_large's warm-round median and
-  // shape_partial's per-solve median. The pivot sequence for a given LP is
-  // representation-independent, so the per-pivot baseline divides the PR 4
-  // wall-clock by the pivot count measured now.
-  constexpr double kPr4ResolveLargeWarmMs = 21.881;
-  constexpr double kPr4ShapePartialMs = 29.036;
+  // The baseline is the dense-inverse run of the same experiment, measured
+  // in this process — not a frozen constant from a previous PR's container.
   auto emit_revised = [&](const char* name, const RevisedStats& rs,
-                          double pr4_per_solve_ms) {
+                          const RevisedStats& dense) {
     double per_solve = rs.reps > 0 ? rs.total_ms / rs.reps : 0;
-    double pr4_per_pivot =
-        rs.pivots > 0
-            ? pr4_per_solve_ms * rs.reps / static_cast<double>(rs.pivots)
-            : 0;
+    double dense_per_solve = dense.reps > 0 ? dense.total_ms / dense.reps : 0;
     std::fprintf(
         f,
         "    \"%s\": {\"ms\": %.3f, \"iterations\": %ld, \"pivots\": %ld, "
-        "\"per_pivot_ms\": %.5f, \"pr4_ms\": %.3f, \"pr4_per_pivot_ms\": "
+        "\"per_pivot_ms\": %.5f, \"dense_ms\": %.3f, \"dense_per_pivot_ms\": "
         "%.5f, \"speedup\": %.2f, \"ftran_nnz\": %ld, \"basis_bytes\": %zu, "
-        "\"dense_tableau_bytes\": %zu, \"memory_ratio\": %.2f, "
+        "\"dense_basis_bytes\": %zu, \"dense_tableau_bytes\": %zu, "
+        "\"memory_ratio\": %.2f, "
         "\"time_improved\": %s, \"memory_improved\": %s},\n",
         name, per_solve, rs.iters, rs.pivots, rs.per_pivot_ms(),
-        pr4_per_solve_ms, pr4_per_pivot,
-        per_solve > 0 ? pr4_per_solve_ms / per_solve : 0, rs.ftran_nnz,
-        rs.basis_bytes, rs.dense_tableau_bytes,
+        dense_per_solve, dense.per_pivot_ms(),
+        per_solve > 0 ? dense_per_solve / per_solve : 0, rs.ftran_nnz,
+        rs.basis_bytes, dense.basis_bytes, rs.dense_tableau_bytes,
         rs.basis_bytes > 0
-            ? static_cast<double>(rs.dense_tableau_bytes) /
+            ? static_cast<double>(dense.basis_bytes) /
                   static_cast<double>(rs.basis_bytes)
             : 0,
-        per_solve < pr4_per_solve_ms ? "true" : "false",
-        rs.basis_bytes < rs.dense_tableau_bytes ? "true" : "false");
+        per_solve < dense_per_solve ? "true" : "false",
+        rs.basis_bytes < dense.basis_bytes ? "true" : "false");
   };
   std::fprintf(f, "  \"lp_revised\": {\n");
-  emit_revised("lp_resolve_large", revised_resolve, kPr4ResolveLargeWarmMs);
-  emit_revised("shape_partial", revised_shapes, kPr4ShapePartialMs);
+  emit_revised("lp_resolve_large", revised_resolve, revised_resolve_dense);
+  emit_revised("shape_partial", revised_shapes, revised_shapes_dense);
   std::fprintf(f, "    \"objective_parity\": %s\n  },\n",
                revised_parity ? "true" : "false");
+  std::fprintf(f, "  \"lp_lu\": {\n    \"sweep\": [\n");
+  for (size_t i = 0; i < lu_sweep.size(); ++i) {
+    const LuSweepPoint& pt = lu_sweep[i];
+    std::fprintf(
+        f,
+        "      {\"groups\": %d, \"links\": %d, \"rows\": %zu, "
+        "\"dense_ms\": %.3f, \"lu_ms\": %.3f, "
+        "\"dense_per_pivot_ms\": %.5f, \"lu_per_pivot_ms\": %.5f, "
+        "\"dense_basis_bytes\": %zu, \"lu_basis_bytes\": %zu, "
+        "\"lu_nnz\": %ld, \"fill_ratio\": %.2f, \"eta_count\": %d, "
+        "\"refactorizations\": %d, \"speedup\": %.2f, \"parity\": %s}%s\n",
+        pt.groups, pt.links, pt.rows, pt.dense_ms, pt.lu_ms,
+        pt.dense_per_pivot_ms(), pt.lu_per_pivot_ms(), pt.dense_basis_bytes,
+        pt.lu_basis_bytes, pt.lu_nnz, pt.fill_ratio, pt.eta_count,
+        pt.refactorizations, pt.lu_ms > 0 ? pt.dense_ms / pt.lu_ms : 0,
+        pt.parity ? "true" : "false",
+        i + 1 < lu_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"basis_parity\": %s\n  },\n",
+               basis_parity ? "true" : "false");
   auto emit_pricing = [&](const char* name, const PricingRun& pr, bool comma) {
     std::fprintf(f,
                  "    \"%s\": {\"ms\": %.3f, \"columns_priced\": %ld, "
@@ -741,8 +874,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "lp_resolve    warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
-      "lp_revised    resolve_large %.3f ms (pr4 %.3f)  shape_partial %.3f ms "
-      "(pr4 %.3f)  basis %zu B vs dense %zu B  parity %s\n"
+      "lp_revised    resolve_large %.3f ms (dense %.3f)  shape_partial %.3f ms "
+      "(dense %.3f)  basis %zu B vs dense %zu B  parity %s\n"
+      "lp_lu         largest m=%zu  dense %.1f ms / %zu B  lu %.1f ms / %zu B  "
+      "speedup %.1fx  fill %.2f  parity %s\n"
       "iterative     warm %.3f ms  cold %.3f ms  speedup %.1fx\n"
       "threads 1->4  %.1f ms -> %.1f ms  speedup %.2fx\n"
       "path_store    %llu allocation refs -> %llu unique paths  "
@@ -756,12 +891,23 @@ int main(int argc, char** argv) {
       resolve_small.warm_ms, resolve_small.cold_ms, resolve_small.speedup(),
       revised_resolve.reps > 0 ? revised_resolve.total_ms / revised_resolve.reps
                                : 0.0,
-      kPr4ResolveLargeWarmMs,
+      revised_resolve_dense.reps > 0
+          ? revised_resolve_dense.total_ms / revised_resolve_dense.reps
+          : 0.0,
       revised_shapes.reps > 0 ? revised_shapes.total_ms / revised_shapes.reps
                               : 0.0,
-      kPr4ShapePartialMs,
-      revised_shapes.basis_bytes, revised_shapes.dense_tableau_bytes,
+      revised_shapes_dense.reps > 0
+          ? revised_shapes_dense.total_ms / revised_shapes_dense.reps
+          : 0.0,
+      revised_shapes.basis_bytes, revised_shapes_dense.basis_bytes,
       revised_parity ? "yes" : "NO",
+      lu_sweep.back().rows, lu_sweep.back().dense_ms,
+      lu_sweep.back().dense_basis_bytes, lu_sweep.back().lu_ms,
+      lu_sweep.back().lu_basis_bytes,
+      lu_sweep.back().lu_ms > 0
+          ? lu_sweep.back().dense_ms / lu_sweep.back().lu_ms
+          : 0.0,
+      lu_sweep.back().fill_ratio, basis_parity ? "yes" : "NO",
       loop_large.warm_ms, loop_large.cold_ms, loop_large.speedup(), t1, t4,
       t4 > 0 ? t1 / t4 : 0,
       static_cast<unsigned long long>(allocation_refs),
