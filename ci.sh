@@ -2,8 +2,10 @@
 # Tier-1 CI: configure, build, and test from a clean checkout — proving the
 # repo builds without any vendored build tree (build/ is gitignored).
 #
-# Usage: ./ci.sh [--sanitize] [--bench-smoke] [--soak] [--help] [build-dir]
-#                (default build dir: build)
+# Usage: ./ci.sh [--sanitize] [--tsan] [--tidy] [--bench-smoke] [--soak]
+#                [--help] [build-dir]
+#                (default build dir: build; build-asan / build-tsan /
+#                build-tidy under the respective flags)
 #
 #   --sanitize   build the suite with ASan+UBSan (see LDR_SANITIZE in
 #                CMakeLists.txt) so pivot/pricing numerics bugs — tiny-pivot
@@ -11,6 +13,19 @@
 #                inverse and FTRAN paths — surface as hard failures instead
 #                of silent corruption. Uses build-asan as the default build
 #                dir so a sanitized tree never masquerades as the plain one.
+#   --tsan       build the suite with ThreadSanitizer (-DLDR_SANITIZE=tsan,
+#                build dir build-tsan) and run the full ctest suite under it
+#                — including tests/concurrency_test.cc, the dedicated
+#                stressor for the thread-pool corpus fan-out, the Failpoint
+#                registry hot path, PathStore's const-read contract, and
+#                pool shutdown churn, on both LDR_LP_BASIS modes. Any TSan
+#                report is a hard failure (halt_on_error=1).
+#   --tidy       configure with compile_commands.json (build dir build-tidy)
+#                and run clang-tidy (profile: .clang-tidy — bugprone-*,
+#                performance-*, concurrency-*, selected cppcoreguidelines)
+#                over src/ and tools/. Skipped with a notice when clang-tidy
+#                is not installed: the container bakes in GCC only, and
+#                installing packages is out of scope for CI.
 #   --bench-smoke  after the tests, run the micro_lp warm-resolve bench once
 #                and bench_to_json in --smoke mode, failing if any
 #                correctness marker in the emitted JSON — lp_pricing /
@@ -30,6 +45,8 @@ cd "$(dirname "$0")"
 usage() { sed -n '/^# Usage:/,/^set /p' "$0" | grep '^#' | sed 's/^# \{0,1\}//'; }
 
 SANITIZE=0
+TSAN=0
+TIDY=0
 BENCH_SMOKE=0
 SOAK=0
 BUILD_DIR=""
@@ -41,6 +58,12 @@ for arg in "$@"; do
       ;;
     --sanitize)
       SANITIZE=1
+      ;;
+    --tsan)
+      TSAN=1
+      ;;
+    --tidy)
+      TIDY=1
       ;;
     --bench-smoke)
       BENCH_SMOKE=1
@@ -63,8 +86,16 @@ for arg in "$@"; do
   esac
 done
 
+if [ "$SANITIZE" = 1 ] && [ "$TSAN" = 1 ]; then
+  echo "ci.sh: --sanitize (ASan) and --tsan are mutually exclusive" >&2
+  exit 2
+fi
+
 if [ -z "$BUILD_DIR" ]; then
-  if [ "$SANITIZE" = 1 ]; then BUILD_DIR=build-asan; else BUILD_DIR=build; fi
+  if [ "$TSAN" = 1 ]; then BUILD_DIR=build-tsan
+  elif [ "$TIDY" = 1 ]; then BUILD_DIR=build-tidy
+  elif [ "$SANITIZE" = 1 ]; then BUILD_DIR=build-asan
+  else BUILD_DIR=build; fi
 fi
 
 # CI semantics: always start from a cold configure, so a stale vendored
@@ -76,15 +107,37 @@ fi
 
 CMAKE_ARGS=()
 if [ "$SANITIZE" = 1 ]; then
-  CMAKE_ARGS+=(-DLDR_SANITIZE=ON)
+  CMAKE_ARGS+=(-DLDR_SANITIZE=asan)
   # Make UBSan abort (and print) instead of silently continuing.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+fi
+if [ "$TSAN" = 1 ]; then
+  CMAKE_ARGS+=(-DLDR_SANITIZE=tsan)
+  # Any race report fails the run; second_deadlock_stack makes lock-order
+  # reports actionable.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+fi
+if [ "$TIDY" = 1 ]; then
+  CMAKE_ARGS+=(-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "$TIDY" = 1 ]; then
+  # clang-tidy pass over the first-party sources (profile: .clang-tidy).
+  # Gated on availability: the image bakes in GCC only, and CI must not
+  # install packages — absent tooling is a visible skip, never a fake pass.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    mapfile -t TIDY_SOURCES < <(git ls-files 'src/*.cc' 'tools/*.cc')
+    clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+    echo "ci.sh: clang-tidy OK (${#TIDY_SOURCES[@]} files)" >&2
+  else
+    echo "ci.sh: clang-tidy not installed — tidy step SKIPPED" >&2
+  fi
+fi
 
 # Scenario determinism probe: the ScenarioEngine is serial by design and
 # must produce byte-identical reports at any LDR_THREADS setting. The

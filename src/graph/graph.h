@@ -171,7 +171,11 @@ class Graph {
     char& slot = link_down_[static_cast<size_t>(id)];
     if (slot == static_cast<char>(down)) return;
     slot = static_cast<char>(down);
-    down_count_ += down ? 1 : -1;
+    if (down) {
+      ++down_count_;
+    } else {
+      --down_count_;
+    }
   }
   bool IsLinkDown(LinkId id) const {
     return id >= 0 && static_cast<size_t>(id) < link_down_.size() &&

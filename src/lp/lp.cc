@@ -143,7 +143,7 @@ class Solver::Impl {
     // factorized state it can touch is the basic values, and only when it
     // rests at a nonzero bound (never the case for Fig. 13 path columns,
     // which rest at 0 — that path is O(1) beyond storing the sparse column).
-    if (factor_valid_ && v != 0.0) {
+    if (factor_valid_ && v != 0.0) {  // NOLINT(ldr-float-eq): exact sparsity test on a stored coefficient
       ++updates_since_refactor_;
       Ftran(j);
       for (size_t i = 0; i < m_; ++i) xb_[i] -= ftran_[i] * v;
@@ -236,7 +236,7 @@ class Solver::Impl {
     // shift direction is column B^-1·e_row — a direct read of bcol_ under
     // the dense inverse, one slack FTRAN under LU.
     double val = value_[v];
-    if (val == 0.0) return;
+    if (val == 0.0) return;  // NOLINT(ldr-float-eq): exact sparsity test on a stored value
     ++updates_since_refactor_;
     if (mode_ == BasisMode::kDenseInverse) {
       const double* b = bcol_[static_cast<size_t>(row)].data();
@@ -554,7 +554,7 @@ class Solver::Impl {
     // Forward L: replay the elimination's row operations.
     for (size_t k = 0; k < m0; ++k) {
       double wk = wd[static_cast<size_t>(prow_[k])];
-      if (wk == 0.0) continue;
+      if (wk == 0.0) continue;  // NOLINT(ldr-float-eq): skip exact structural zeros during FTRAN
       for (int t = l_start_[k]; t < l_start_[k + 1]; ++t) {
         wd[static_cast<size_t>(l_dst_[static_cast<size_t>(t)])] -=
             l_mult_[static_cast<size_t>(t)] * wk;
@@ -578,7 +578,7 @@ class Solver::Impl {
       size_t r = static_cast<size_t>(op.pos);
       if (op.kind == FileOp::kEta) {
         double xr = xd[r] / op.pivot;
-        if (xr != 0.0) {
+        if (xr != 0.0) {  // NOLINT(ldr-float-eq): skip exact structural zeros in the eta file
           for (int t = op.start; t < op.end; ++t) {
             const auto& e = file_ent_[static_cast<size_t>(t)];
             xd[static_cast<size_t>(e.first)] -= e.second * xr;
@@ -614,7 +614,7 @@ class Solver::Impl {
         cd[r] = s / op.pivot;
       } else {
         double cp = cd[r];
-        if (cp != 0.0) {
+        if (cp != 0.0) {  // NOLINT(ldr-float-eq): skip exact structural zeros in the eta file
           for (int t = op.start; t < op.end; ++t) {
             const auto& e = file_ent_[static_cast<size_t>(t)];
             cd[static_cast<size_t>(e.first)] -= e.second * cp;
@@ -634,7 +634,7 @@ class Solver::Impl {
       size_t pc = static_cast<size_t>(pcol_[k]);
       double tk = (cd[pc] - ad[pc]) / upiv_[k];
       yd[static_cast<size_t>(prow_[k])] = tk;
-      if (tk != 0.0) {
+      if (tk != 0.0) {  // NOLINT(ldr-float-eq): skip exact structural zeros during BTRAN
         for (int t = u_start_[k]; t < u_start_[k + 1]; ++t) {
           const auto& e = u_ent_[static_cast<size_t>(t)];
           ad[static_cast<size_t>(e.first)] += e.second * tk;
@@ -1025,7 +1025,7 @@ class Solver::Impl {
       op.pivot = pivot;
       op.start = static_cast<int>(file_ent_.size());
       for (size_t i = 0; i < m_; ++i) {
-        if (i != r && ftran_[i] != 0.0) {
+        if (i != r && ftran_[i] != 0.0) {  // NOLINT(ldr-float-eq): drop exact zeros when compressing the eta
           file_ent_.emplace_back(static_cast<int>(i), ftran_[i]);
         }
       }
@@ -1554,7 +1554,7 @@ class Solver::Impl {
                                                          1.0);
       } else {
         for (const auto& [r, c] : acol_[static_cast<size_t>(ref)]) {
-          if (c != 0.0) lu_rows_[static_cast<size_t>(r)].emplace_back(
+          if (c != 0.0) lu_rows_[static_cast<size_t>(r)].emplace_back(  // NOLINT(ldr-float-eq): drop exact structural zeros while loading LU
               static_cast<int>(i), c);
         }
       }
@@ -1702,7 +1702,7 @@ class Solver::Impl {
         double mult = v2 / best_v;
         l_dst_.push_back(r2i);
         l_mult_.push_back(mult);
-        if (mult == 0.0) continue;
+        if (mult == 0.0) continue;  // NOLINT(ldr-float-eq): exact-zero multiplier row needs no update
         for (size_t t = 0; t < row2.size(); ++t) {
           lu_mark_[static_cast<size_t>(row2[t].first)] =
               static_cast<int>(t) + 1;
@@ -1724,7 +1724,7 @@ class Solver::Impl {
         size_t w2 = 0;
         for (size_t t = 0; t < row2.size(); ++t) {
           lu_mark_[static_cast<size_t>(row2[t].first)] = 0;
-          if (row2[t].second != 0.0) {
+          if (row2[t].second != 0.0) {  // NOLINT(ldr-float-eq): drop exact zeros created by cancellation
             row2[w2++] = row2[t];
           } else {
             --col_count_[static_cast<size_t>(row2[t].first)];
@@ -1940,10 +1940,10 @@ class Solver::Impl {
   }
 };
 
-Solver::Solver(const SolveOptions& options) : impl_(new Impl(options)) {}
+Solver::Solver(const SolveOptions& options) : impl_(new Impl(options)) {}  // NOLINT(ldr-lp-alloc): pimpl construction at Solver birth, not the pivot loop
 
 Solver::Solver(const Problem& p, const SolveOptions& options)
-    : impl_(new Impl(options)) {
+    : impl_(new Impl(options)) {  // NOLINT(ldr-lp-alloc): pimpl construction at Solver birth, not the pivot loop
   for (size_t j = 0; j < p.VariableCount(); ++j) {
     impl_->AddVariable(p.lower_bounds()[j], p.upper_bounds()[j],
                        p.objective()[j]);

@@ -165,6 +165,7 @@ RoutingLpResult SolveRoutingLp(
   result.eta_count = sol.eta_count;
   result.fill_ratio = sol.fill_ratio;
   result.refactorizations = sol.refactorizations;
+  result.pivot_recoveries = sol.pivot_recoveries;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
     // unbounded above); failure here means a numerical breakdown, an
@@ -355,6 +356,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   result.eta_count = sol.eta_count;
   result.fill_ratio = sol.fill_ratio;
   result.refactorizations = sol.refactorizations;
+  result.pivot_recoveries = sol.pivot_recoveries;
   if (!sol.ok()) {
     // kIterLimit/kDeadline carry no usable values — never extract fractions
     // from them; callers walk the fallback ladder on !solved.
@@ -546,6 +548,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     outcome.lp_eta_count = std::max(outcome.lp_eta_count, r.eta_count);
     outcome.lp_fill_ratio = std::max(outcome.lp_fill_ratio, r.fill_ratio);
     outcome.lp_refactorizations += r.refactorizations;
+    outcome.lp_pivot_recoveries += r.pivot_recoveries;
   };
 
   RoutingLpResult res;
@@ -673,9 +676,10 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
       }
     }
     outcome.max_level = res.omax;
-    outcome.feasible =
-        opts.lp.minmax ? res.omax <= 1.0 + opts.fit_eps
-                       : res.omax <= 1.0 + opts.fit_eps;
+    // Same acceptance threshold in both LP modes: omax is max utilization
+    // under minmax and max overload under LDR, and 1 + fit_eps is the fit
+    // boundary for either scale.
+    outcome.feasible = res.omax <= 1.0 + opts.fit_eps;
   } else {
     // Degradation ladder, rung 4 (emergency): every aggregate rides its
     // shortest path. max_level reports the *actual* load of that placement

@@ -96,6 +96,10 @@ struct RoutingLpResult {
   int eta_count = 0;
   double fill_ratio = 0;
   int refactorizations = 0;
+  // Tiny-pivot events the solver survived by forcing a refactorization
+  // (see lp::Solution::pivot_recoveries; nonzero means the instance is
+  // numerically near-degenerate and worth a look).
+  int pivot_recoveries = 0;
 };
 
 // Path sets are interned ids into `store` (delays cached at intern time;

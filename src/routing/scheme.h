@@ -82,6 +82,9 @@ struct RoutingOutcome {
   int lp_eta_count = 0;
   double lp_fill_ratio = 0;
   int lp_refactorizations = 0;
+  // Tiny-pivot recoveries (forced refactorizations) across all LP rounds;
+  // nonzero flags a numerically near-degenerate epoch.
+  int lp_pivot_recoveries = 0;
   double solve_ms = 0;     // wall-clock of the routing computation
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.

@@ -75,7 +75,9 @@ EvalResult Evaluate(const Graph& g, const std::vector<Aggregate>& aggregates,
     if (hit) ++congested;
   }
   r.congested_fraction =
-      counted == 0 ? 0 : static_cast<double>(congested) / counted;
+      counted == 0 ? 0
+                   : static_cast<double>(congested) /
+                         static_cast<double>(counted);
   r.total_stretch = weighted_sp > 0 ? weighted_delay / weighted_sp : 1.0;
   r.weighted_delay_ms = weighted_delay;
   return r;

@@ -12,7 +12,10 @@ double MedianCapacity(const Graph& g) {
   caps.reserve(g.LinkCount());
   for (const Link& l : g.links()) caps.push_back(l.capacity_gbps);
   if (caps.empty()) return 100;
-  std::nth_element(caps.begin(), caps.begin() + caps.size() / 2, caps.end());
+  std::nth_element(
+      caps.begin(),
+      caps.begin() + static_cast<std::ptrdiff_t>(caps.size() / 2),
+      caps.end());
   return caps[caps.size() / 2];
 }
 

@@ -60,7 +60,7 @@ Topology GoogleLike() {
   };
   int eu = splice(EuropeRegion());
   int asia = splice(AsiaRegion());
-  int per_cluster = 12;
+  uint64_t per_cluster = 12;
   auto bridge = [&](int off_a, int off_b, int count) {
     for (int i = 0; i < count; ++i) {
       NodeId a = static_cast<NodeId>(

@@ -41,7 +41,7 @@ class EmpiricalCdf {
   // Value at cumulative fraction q in [0, 1].
   double ValueAt(double q) const;
 
-  size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
   // Evenly spaced (x, F(x)) points suitable for plotting; at most

@@ -104,16 +104,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 namespace {
 
-ThreadPool* SharedPool() {
+// Handed out by value: a caller mid-ParallelFor keeps its pool alive even if
+// another thread triggers a rebuild (LDR_THREADS changed between calls), so
+// the rebuild can never tear a pool down under a concurrent caller. The
+// replaced pool joins its workers when the last in-flight caller releases it.
+std::shared_ptr<ThreadPool> SharedPool() {
   static std::mutex pool_mu;
-  static std::unique_ptr<ThreadPool> pool;
+  static std::shared_ptr<ThreadPool> pool;
   std::lock_guard<std::mutex> lock(pool_mu);
   size_t want = DefaultThreadCount();
   if (pool == nullptr || pool->thread_count() != want) {
-    pool.reset();  // join the old workers before respawning
-    pool = std::make_unique<ThreadPool>(want);
+    pool = std::make_shared<ThreadPool>(want);
   }
-  return pool.get();
+  return pool;
 }
 
 }  // namespace

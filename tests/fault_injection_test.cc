@@ -562,12 +562,12 @@ TEST_F(FaultInjectionTest, FaultWindowDegradesThenReconverges) {
   // Before the window the runs are identical; after it closes the forced
   // cold restart reconverges the placement hash immediately (warm/cold
   // parity), well within the ladder's two-epoch guarantee.
-  for (int e = 0; e < 3; ++e) {
+  for (size_t e = 0; e < 3; ++e) {
     EXPECT_EQ(degraded.epochs[e].allocation_hash,
               clean.epochs[e].allocation_hash)
         << "pre-window epoch " << e;
   }
-  for (int e = 6; e < s.epochs; ++e) {
+  for (size_t e = 6; e < static_cast<size_t>(s.epochs); ++e) {
     EXPECT_EQ(degraded.epochs[e].allocation_hash,
               clean.epochs[e].allocation_hash)
         << "post-window epoch " << e;
@@ -662,8 +662,11 @@ TEST_F(FaultInjectionTest, FaultCampaignSoak) {
       SCOPED_TRACE(seed);
       // Mix the topology into the schedule stream: each of the twenty
       // campaigns draws a distinct (but fixed, reproducible) schedule.
-      uint64_t rng =
-          topo_index * 0x100000001b3ULL + 0x5DEECE66DULL * seed + 11;
+      uint64_t rng = static_cast<uint64_t>(topo_index) *
+                         static_cast<uint64_t>(0x100000001b3) +
+                     static_cast<uint64_t>(0x5DEECE66D) *
+                         static_cast<uint64_t>(seed) +
+                     11;
       Scenario faulted = base;
 
       FaultWindow solve_fw;
@@ -714,7 +717,7 @@ TEST_F(FaultInjectionTest, FaultCampaignSoak) {
       }
       // Reconvergence: all windows close by kUp, so from kUp + 2 on the
       // faulted run's placements are bitwise the clean run's.
-      for (int e = kUp + 2; e < kEpochs; ++e) {
+      for (size_t e = kUp + 2; e < kEpochs; ++e) {
         EXPECT_EQ(report.epochs[e].allocation_hash,
                   clean.epochs[e].allocation_hash)
             << "post-fault epoch " << e;

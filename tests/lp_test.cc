@@ -31,10 +31,15 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// GCC's -Wmismatched-new-delete cannot see that the replacement operator new
+// above allocates with malloc, so freeing here is in fact the matched pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ldr::lp {
 namespace {
@@ -309,23 +314,23 @@ class LpRandomFeasibleTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(LpRandomFeasibleTest, OptimumBeatsKnownPointAndIsFeasible) {
   Rng rng(static_cast<uint64_t>(2000 + GetParam()));
-  const int n = 8;
-  const int m = 6;
+  const size_t n = 8;
+  const size_t m = 6;
   Problem p;
   std::vector<double> known(n);
   std::vector<int> vars(n);
   std::vector<double> costs(n);
-  for (int j = 0; j < n; ++j) {
+  for (size_t j = 0; j < n; ++j) {
     known[j] = rng.Uniform(0, 2);
     costs[j] = rng.Uniform(-2, 2);
     vars[j] = p.AddVariable(0, 5, costs[j]);
   }
   std::vector<std::vector<double>> a(m, std::vector<double>(n));
   std::vector<double> rhs(m);
-  for (int i = 0; i < m; ++i) {
+  for (size_t i = 0; i < m; ++i) {
     std::vector<std::pair<int, double>> coeffs;
     double lhs = 0;
-    for (int j = 0; j < n; ++j) {
+    for (size_t j = 0; j < n; ++j) {
       a[i][j] = rng.Uniform(-1, 2);
       lhs += a[i][j] * known[j];
       coeffs.emplace_back(vars[j], a[i][j]);
@@ -336,16 +341,16 @@ TEST_P(LpRandomFeasibleTest, OptimumBeatsKnownPointAndIsFeasible) {
   Solution s = Solve(p);
   ASSERT_TRUE(s.ok()) << ToString(s.status);
   double known_obj = 0;
-  for (int j = 0; j < n; ++j) known_obj += costs[j] * known[j];
+  for (size_t j = 0; j < n; ++j) known_obj += costs[j] * known[j];
   EXPECT_LE(s.objective, known_obj + 1e-6);
-  for (int i = 0; i < m; ++i) {
+  for (size_t i = 0; i < m; ++i) {
     double lhs = 0;
-    for (int j = 0; j < n; ++j) lhs += a[i][j] * s.values[static_cast<size_t>(j)];
+    for (size_t j = 0; j < n; ++j) lhs += a[i][j] * s.values[j];
     EXPECT_LE(lhs, rhs[i] + 1e-6);
   }
-  for (int j = 0; j < n; ++j) {
-    EXPECT_GE(s.values[static_cast<size_t>(j)], -1e-9);
-    EXPECT_LE(s.values[static_cast<size_t>(j)], 5 + 1e-9);
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_GE(s.values[j], -1e-9);
+    EXPECT_LE(s.values[j], 5 + 1e-9);
   }
 }
 
@@ -357,10 +362,10 @@ class LpRandomEqualityTest : public ::testing::TestWithParam<int> {};
 TEST_P(LpRandomEqualityTest, SplitVariablesSumToOne) {
   Rng rng(static_cast<uint64_t>(3000 + GetParam()));
   // k groups of 3 "path fractions" summing to 1, shared capacity rows.
-  const int groups = 4;
+  const size_t groups = 4;
   Problem p;
   std::vector<std::vector<int>> gv(groups);
-  for (int a = 0; a < groups; ++a) {
+  for (size_t a = 0; a < groups; ++a) {
     std::vector<std::pair<int, double>> sum_row;
     for (int q = 0; q < 3; ++q) {
       int v = p.AddVariable(0, 1, rng.Uniform(1, 10));
@@ -372,7 +377,7 @@ TEST_P(LpRandomEqualityTest, SplitVariablesSumToOne) {
   // A couple of coupling capacity rows.
   for (int r = 0; r < 3; ++r) {
     std::vector<std::pair<int, double>> row;
-    for (int a = 0; a < groups; ++a) {
+    for (size_t a = 0; a < groups; ++a) {
       row.emplace_back(gv[a][static_cast<size_t>(rng.NextIndex(3))],
                        rng.Uniform(0.5, 2));
     }
@@ -380,7 +385,7 @@ TEST_P(LpRandomEqualityTest, SplitVariablesSumToOne) {
   }
   Solution s = Solve(p);
   ASSERT_TRUE(s.ok()) << ToString(s.status);
-  for (int a = 0; a < groups; ++a) {
+  for (size_t a = 0; a < groups; ++a) {
     double sum = 0;
     for (int v : gv[a]) sum += s.values[static_cast<size_t>(v)];
     EXPECT_NEAR(sum, 1.0, 1e-6);
@@ -1054,9 +1059,10 @@ TEST(Lp, ModerateSizePerformance) {
   // random cover rows; optimum well-defined and feasible.
   Rng rng(99);
   Problem p;
-  const int n = 300, m = 100;
+  const size_t n = 300;
+  const int m = 100;
   std::vector<int> vars(n);
-  for (int j = 0; j < n; ++j) vars[j] = p.AddVariable(0, 1, 1);
+  for (size_t j = 0; j < n; ++j) vars[j] = p.AddVariable(0, 1, 1);
   for (int i = 0; i < m; ++i) {
     std::vector<std::pair<int, double>> row;
     for (int t = 0; t < 10; ++t) {

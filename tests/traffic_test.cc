@@ -134,7 +134,8 @@ TEST(Predictor, SyntheticTracesRarelyExceedPrediction) {
     EXPECT_LT(r, 1.10);  // "never by more than 10%"
     if (r > 1.0) ++exceed;
   }
-  EXPECT_LT(static_cast<double>(exceed) / all_ratios.size(), 0.02);
+  EXPECT_LT(static_cast<double>(exceed) / static_cast<double>(all_ratios.size()),
+            0.02);
 }
 
 // --- FFT ---

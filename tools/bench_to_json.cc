@@ -416,6 +416,7 @@ struct LuSweepPoint {
   double fill_ratio = 0;
   int eta_count = 0;
   int refactorizations = 0;
+  int pivot_recoveries = 0;
   bool parity = false;
   double dense_per_pivot_ms() const {
     return dense_pivots > 0 ? dense_ms / static_cast<double>(dense_pivots) : 0;
@@ -456,8 +457,8 @@ LuSweepPoint BenchLuSweepPoint(int groups, int links, int reps) {
       std::fprintf(stderr,
                    "bench_to_json: lp_lu parity mismatch at m=%zu "
                    "(dense %g, lu %g)\n",
-                   out.rows, sd.ok() ? sd.objective : NAN,
-                   sl.ok() ? sl.objective : NAN);
+                   out.rows, sd.ok() ? sd.objective : std::nan(""),
+                   sl.ok() ? sl.objective : std::nan(""));
       continue;
     }
     out.dense_pivots += sd.pivots;
@@ -468,6 +469,7 @@ LuSweepPoint BenchLuSweepPoint(int groups, int links, int reps) {
     out.fill_ratio = sl.fill_ratio;
     out.eta_count = sl.eta_count;
     out.refactorizations = sl.refactorizations;
+    out.pivot_recoveries += sl.pivot_recoveries;
   }
   // Wall-clock is summed over reps, like the pivot counts, so the per-pivot
   // quotients stay comparable across points with different rep counts.
@@ -825,11 +827,13 @@ int main(int argc, char** argv) {
         "\"dense_per_pivot_ms\": %.5f, \"lu_per_pivot_ms\": %.5f, "
         "\"dense_basis_bytes\": %zu, \"lu_basis_bytes\": %zu, "
         "\"lu_nnz\": %ld, \"fill_ratio\": %.2f, \"eta_count\": %d, "
-        "\"refactorizations\": %d, \"speedup\": %.2f, \"parity\": %s}%s\n",
+        "\"refactorizations\": %d, \"pivot_recoveries\": %d, "
+        "\"speedup\": %.2f, \"parity\": %s}%s\n",
         pt.groups, pt.links, pt.rows, pt.dense_ms, pt.lu_ms,
         pt.dense_per_pivot_ms(), pt.lu_per_pivot_ms(), pt.dense_basis_bytes,
         pt.lu_basis_bytes, pt.lu_nnz, pt.fill_ratio, pt.eta_count,
-        pt.refactorizations, pt.lu_ms > 0 ? pt.dense_ms / pt.lu_ms : 0,
+        pt.refactorizations, pt.pivot_recoveries,
+        pt.lu_ms > 0 ? pt.dense_ms / pt.lu_ms : 0,
         pt.parity ? "true" : "false",
         i + 1 < lu_sweep.size() ? "," : "");
   }
