@@ -31,7 +31,10 @@
 #                correctness marker in the emitted JSON — lp_pricing /
 #                lp_revised objective_parity, lp_lu basis_parity (sparse-LU
 #                vs dense-inverse objectives across the size sweep), scenario
-#                placement_parity, degradation recovery_parity — is false.
+#                placement_parity, degradation recovery_parity, lp_dual
+#                warm_restart_parity (dual warm restart vs cold-rebuild
+#                placements reconverge within 2 epochs of each event) — is
+#                false.
 #                Perf refactors cannot silently break the parity markers the
 #                BENCH baseline stands on.
 #   --soak       implies --sanitize; after the suite, re-run the randomized
@@ -173,7 +176,8 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   SMOKE_JSON=$(mktemp)
   trap 'rm -f "$PROBE_1" "$PROBE_4" "$SMOKE_JSON"' EXIT
   "$BUILD_DIR/bench_to_json" --smoke "$SMOKE_JSON" >&2
-  for marker in objective_parity basis_parity placement_parity recovery_parity; do
+  for marker in objective_parity basis_parity placement_parity recovery_parity \
+      warm_restart_parity; do
     if grep -q "\"$marker\": false" "$SMOKE_JSON"; then
       echo "ci.sh: bench smoke FAILED ($marker is false)" >&2
       exit 1
@@ -183,5 +187,5 @@ if [ "$BENCH_SMOKE" = 1 ]; then
       exit 1
     fi
   done
-  echo "ci.sh: bench smoke OK (objective/basis/placement/recovery parity true)" >&2
+  echo "ci.sh: bench smoke OK (objective/basis/placement/recovery/warm-restart parity true)" >&2
 fi

@@ -91,7 +91,9 @@ void SumDuplicates(std::vector<std::pair<int, double>>* coeffs) {
 class Solver::Impl {
  public:
   explicit Impl(const SolveOptions& opt)
-      : opt_(opt), mode_(ResolveBasisMode(opt.basis.mode)) {}
+      : opt_(opt), mode_(ResolveBasisMode(opt.basis.mode)) {
+    warm_restart_ = ResolveWarmRestart(opt.warm_restart);
+  }
 
   // LDR_LP_BASIS=dense|lu overrides the configured representation — the CI
   // hook that runs the whole suite against the fallback without a rebuild.
@@ -265,6 +267,44 @@ class Solver::Impl {
 
   double rhs(int row) const { return rhs_[static_cast<size_t>(row)]; }
 
+  void SetRhs(const std::vector<std::pair<int, double>>& rows) {
+    for (const auto& [row, value] : rows) SetRhs(row, value);
+  }
+
+  // Basis-preserving bound repair. A basic variable only records the new
+  // bounds — the next Solve() drives any violation out (dual restart or
+  // primal phase 1). A nonbasic variable is re-rested on the finite bound
+  // nearest its previous value and the basic values absorb the shift via
+  // one FTRAN, exactly mirroring AddColumn's resting-value update.
+  void SetBounds(int var, double lo, double hi) {
+    size_t j = static_cast<size_t>(var);
+    lo_[j] = lo;
+    hi_[j] = hi;
+    if (vrow_[j] >= 0) return;  // basic: Solve() repairs the violation
+    double v_old = value_[j];
+    double nv = 0.0;
+    VarState ns = VarState::kFree;
+    if (std::isfinite(lo) || std::isfinite(hi)) {
+      if (!std::isfinite(hi) || (std::isfinite(lo) && v_old - lo <= hi - v_old)) {
+        nv = lo;
+        ns = VarState::kAtLower;
+      } else {
+        nv = hi;
+        ns = VarState::kAtUpper;
+      }
+    }
+    vstate_[j] = ns;
+    value_[j] = nv;
+    double shift = v_old - nv;
+    if (factor_valid_ && shift != 0.0) {  // NOLINT(ldr-float-eq): exact no-op test on the resting-value delta
+      ++updates_since_refactor_;
+      Ftran(static_cast<int>(j));
+      for (size_t i = 0; i < m_; ++i) xb_[i] += ftran_[i] * shift;
+    }
+  }
+
+  void FixVariable(int var, double value) { SetBounds(var, value, value); }
+
   void AddToObjective(int var, double delta) {
     cost_[static_cast<size_t>(var)] += delta;
   }
@@ -281,6 +321,9 @@ class Solver::Impl {
     sol.ftran_nnz = ftran_nnz_;
     sol.pivots = pivots_;
     sol.refactorizations = refactorizations_;
+    sol.dual_pivots = dual_pivots_;
+    sol.bound_flips = bound_flips_;
+    sol.warm_restart = warm_restart_used_;
     // Resident factorized footprint per representation. Dense: the B^-1
     // columns plus their vector headers. LU: the L/U arrays, the pivot
     // sequence, and the update file — everything FTRAN/BTRAN touch.
@@ -319,6 +362,9 @@ class Solver::Impl {
     ftran_nnz_ = 0;
     pivots_ = 0;
     refactorizations_ = 0;
+    dual_pivots_ = 0;
+    bound_flips_ = 0;
+    warm_restart_used_ = false;
     // Mutations between Solve() calls (AddColumn/AddRow/AddToRow/SetRhs/
     // AddToObjective) are not tracked against the duals; rebuilding them
     // lazily once per Solve is far cheaper than one old-style dense pricing
@@ -387,6 +433,54 @@ class Solver::Impl {
       // callers rebuild from scratch on !ok().
       sol.status = Status::kIterLimit;
       return sol;
+    }
+
+    // Dual-simplex warm restart: a basis that already certified optimality
+    // once and is now primal-infeasible (bound/rhs repair after a topology
+    // event) is usually still dual feasible — costs did not move. Repair it
+    // with dual pivots (leaving row = worst bound violation, entering column
+    // by the dual Harris ratio test over BTRAN(e_r)) instead of rebuilding
+    // feasibility from primal phase 1. Any exit short of primal feasibility
+    // (dual feasibility lost, numerical breakdown, stall) falls through to
+    // the primal phase-1 loop below, whose Bland path is the anti-cycling
+    // authority.
+    if (warm_restart_ && ever_optimal_ && HasInfeasibleBasic()) {
+      // Fault site: the warm basis reports dual feasibility lost, forcing
+      // the primal phase-1 fallback path without constructing a genuinely
+      // dual-infeasible basis.
+      bool dual_ok = !LDR_FAILPOINT("lp.dual_infeasible");
+      if (dual_ok) {
+        if (!y2_valid_) RebuildPhase2Duals();
+        dual_ok = DualFeasible();
+      }
+      if (dual_ok) {
+        warm_restart_used_ = true;
+        int stall = 0;
+        double prev_infeas = kInfinity;
+        while (iter_ < limit && stall <= kBlandThreshold) {
+          int r = MostViolatedRow();
+          if (r < 0) break;  // primal feasible: phase 2 certifies below
+          StepResult dr = DualStep(static_cast<size_t>(r));
+          if (dr == StepResult::kRecovered) {
+            if (!y2_valid_) RebuildPhase2Duals();
+            ++stall;
+            continue;
+          }
+          if (dr != StepResult::kPivoted) break;
+          double infeas = TotalInfeasibility();
+          if (infeas < prev_infeas - 1e-12) {
+            stall = 0;
+          } else {
+            ++stall;
+          }
+          prev_infeas = infeas;
+        }
+        if (deadline_hit_) {
+          sol.status = Status::kDeadline;
+          sol.iterations = iter_;
+          return sol;
+        }
+      }
     }
 
     // Phase 1: drive bound violations of basic variables to zero. A warm
@@ -460,6 +554,7 @@ class Solver::Impl {
       return sol;
     }
 
+    ever_optimal_ = true;
     sol.values.assign(n_, 0.0);
     for (size_t j = 0; j < n_; ++j) {
       sol.values[j] =
@@ -734,6 +829,61 @@ class Solver::Impl {
       if (BasicViolated(i)) return true;
     }
     return false;
+  }
+
+  // Dual-simplex leaving rule: the basic variable with the largest bound
+  // violation (same relative tolerance as BasicViolated). -1 when the basis
+  // is primal feasible.
+  int MostViolatedRow() const {
+    int best = -1;
+    double worst = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      int b = basis_[i];
+      double lo = LoOf(b), hi = HiOf(b);
+      double t = opt_.tol * (1.0 + std::abs(xb_[i]));
+      double v = 0.0;
+      if (xb_[i] < lo - t) {
+        v = lo - xb_[i];
+      } else if (xb_[i] > hi + t) {
+        v = xb_[i] - hi;
+      } else {
+        continue;
+      }
+      if (v > worst) {
+        worst = v;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  // Raw (tolerance-free) total primal infeasibility — the monotonicity
+  // witness for the dual loop's stall counter.
+  double TotalInfeasibility() const {
+    double sum = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      int b = basis_[i];
+      double lo = LoOf(b), hi = HiOf(b);
+      if (xb_[i] < lo) {
+        sum += lo - xb_[i];
+      } else if (xb_[i] > hi) {
+        sum += xb_[i] - hi;
+      }
+    }
+    return sum;
+  }
+
+  // Dual feasibility is exactly the phase-2 optimality condition on the
+  // nonbasic reduced costs: no nonbasic column has an improving
+  // EnteringScore. Requires valid y2_.
+  bool DualFeasible() {
+    for (size_t p = 0; p < n_ + m_; ++p) {
+      int ref = RefAt(p);
+      if (BasicRowOf(ref) >= 0) continue;
+      double d = ReducedCost(/*phase1=*/false, ref);
+      if (EnteringScore(ref, d) > opt_.tol) return false;
+    }
+    return true;
   }
 
   // --- dual values -----------------------------------------------------------
@@ -1254,6 +1404,7 @@ class Solver::Impl {
       // guaranteed structural here.
       value_[static_cast<size_t>(entering)] = new_q_value;
       StateOf(entering) = (dir > 0) ? VarState::kAtUpper : VarState::kAtLower;
+      ++bound_flips_;
       return StepResult::kBoundFlip;
     }
 
@@ -1307,6 +1458,183 @@ class Solver::Impl {
       }
     }
     if (!phase1) y1_valid_ = false;  // phase-1 duals go stale with the basis
+    return StepResult::kPivoted;
+  }
+
+  // One dual-simplex iteration repairing leaving row r (picked by
+  // MostViolatedRow): price the pivot row off BTRAN(e_r), run a dual
+  // Harris-style two-pass ratio test over the admissible nonbasic columns,
+  // flip boxed candidates whose reduced cost crosses zero before the pivot
+  // (long step), then pivot so the leaving variable lands on its violated
+  // bound. Dual feasibility of the basis is the caller's invariant; any
+  // kStuck/kRecovered exit leaves the primal phase-1 loop as the authority.
+  StepResult DualStep(size_t r) {
+    // Deadline check between pivots, mirroring Step: the basis is
+    // untouched, so the solver stays consistent and warm-resumable.
+    if (DeadlineExceeded()) {
+      deadline_hit_ = true;
+      return StepResult::kStuck;
+    }
+    // LU update-file bound, as in Step: fold an outgrown file into a fresh
+    // factorization before pivoting further.
+    if (mode_ == BasisMode::kSparseLU && factor_valid_ &&
+        opt_.refactor_interval >= 0 && NeedsEtaRefactor()) {
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+    }
+    ++iter_;
+    int leaving = basis_[r];
+    double blo = LoOf(leaving), bhi = HiOf(leaving);
+    bool below = xb_[r] < blo;
+    // sigma: the direction xb_[r] must move to reach its violated bound.
+    double sigma = below ? 1.0 : -1.0;
+    double leave_bound = below ? blo : bhi;
+
+    // Price the pivot row: alpha_j = rho^T A_j over every nonbasic column,
+    // with rho = row r of B^-1 (a gather across bcol_ under the dense
+    // inverse, one BTRAN(e_r) under LU). A candidate is admissible when the
+    // dual step moves its reduced cost toward zero from the feasible side;
+    // t is the step at which it crosses.
+    ComputeInverseRow(r);
+    const double* rho = rho_.data();
+    dual_cand_.clear();
+    for (size_t p = 0; p < n_ + m_; ++p) {
+      int ref = RefAt(p);
+      if (IsBasic(ref)) continue;
+      double clo = LoOf(ref), chi = HiOf(ref);
+      if (clo == chi) continue;  // fixed variable can never enter
+      double alpha;
+      if (ref < 0) {
+        alpha = rho[static_cast<size_t>(~ref)];
+      } else {
+        alpha = 0.0;
+        for (const auto& [row, c] : acol_[static_cast<size_t>(ref)]) {
+          alpha += rho[static_cast<size_t>(row)] * c;
+        }
+      }
+      if (std::abs(alpha) < 1e-10) continue;
+      double abar = -sigma * alpha;  // reduced-cost rate along the dual step
+      VarState st = ref >= 0 ? vstate_[static_cast<size_t>(ref)]
+                             : sstate_[static_cast<size_t>(~ref)];
+      bool admissible = (st == VarState::kAtLower && abar > 0) ||
+                        (st == VarState::kAtUpper && abar < 0) ||
+                        st == VarState::kFree;
+      if (!admissible) continue;
+      double d = ReducedCost(/*phase1=*/false, ref);
+      double range =
+          (std::isfinite(clo) && std::isfinite(chi)) ? chi - clo : kInfinity;
+      dual_cand_.push_back(
+          {ref, alpha, abar, d, std::max(d / abar, 0.0), range});
+    }
+    if (dual_cand_.empty()) {
+      // No admissible entering column: the dual ray certifies primal
+      // infeasibility, but the phase-1 loop owns that verdict — bail out
+      // and let it re-derive (and report) the status.
+      return StepResult::kStuck;
+    }
+    std::sort(dual_cand_.begin(), dual_cand_.end(),
+              [](const DualCand& a, const DualCand& b) { return a.t < b.t; });
+
+    // Long-step bound flips: a boxed candidate whose reduced cost crosses
+    // zero before the eventual pivot jumps to its opposite bound instead of
+    // entering — the flip moves xb_[r] toward its violated bound (the
+    // admissibility sign guarantees the direction) and the dual step keeps
+    // going. Guarded so a flip never overshoots the remaining violation,
+    // and at least one candidate always survives to pivot on.
+    size_t first_live = 0;
+    while (first_live + 1 < dual_cand_.size()) {
+      const DualCand& c = dual_cand_[first_live];
+      double remaining = std::abs(leave_bound - xb_[r]);
+      if (!(std::isfinite(c.range) &&
+            std::abs(c.alpha) * c.range < remaining)) {
+        break;
+      }
+      size_t j = static_cast<size_t>(c.ref);  // boxed => structural
+      double move = vstate_[j] == VarState::kAtLower ? c.range : -c.range;
+      Ftran(c.ref);
+      for (size_t i = 0; i < m_; ++i) xb_[i] -= ftran_[i] * move;
+      value_[j] += move;
+      vstate_[j] = vstate_[j] == VarState::kAtLower ? VarState::kAtUpper
+                                                    : VarState::kAtLower;
+      ++bound_flips_;
+      ++first_live;
+    }
+
+    // Harris pass 2: allow any candidate blocking within a per-candidate
+    // tie window past the minimum ratio, and take the largest pivot
+    // magnitude among them — same numerics-over-degeneracy trade as the
+    // primal ratio test.
+    double cap = kInfinity;
+    for (size_t k = first_live; k < dual_cand_.size(); ++k) {
+      const DualCand& c = dual_cand_[k];
+      cap = std::min(cap, c.t + kTieTol / std::abs(c.abar));
+    }
+    const DualCand* enter = nullptr;
+    double best_mag = 0.0;
+    for (size_t k = first_live; k < dual_cand_.size(); ++k) {
+      const DualCand& c = dual_cand_[k];
+      if (c.t > cap) break;  // sorted: everything after is worse
+      double mag = std::abs(c.abar);
+      if (mag > best_mag) {
+        best_mag = mag;
+        enter = &c;
+      }
+    }
+    if (enter == nullptr) enter = &dual_cand_[first_live];
+
+    int e = enter->ref;
+    double d_e = enter->d;
+    Ftran(e);
+    for (size_t i = 0; i < m_; ++i) {
+      if (!std::isfinite(ftran_[i])) {
+        // Poisoned B^-1 — same recovery path as Step.
+        ++pivot_recoveries_;
+        factor_valid_ = false;
+        Refactorize();
+        return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+      }
+    }
+    double apiv = ftran_[r];
+    if (!(std::abs(apiv) > kMinPivot)) {
+      ++pivot_recoveries_;
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+    }
+    // The entering variable moves by `move` from its resting value so that
+    // xb_[r] lands exactly on the violated bound.
+    double move = (xb_[r] - leave_bound) / apiv;
+    double new_e_value = ValueOf(e) + move;
+    for (size_t i = 0; i < m_; ++i) {
+      double a = ftran_[i];
+      if (a == 0) continue;
+      xb_[i] -= a * move;
+    }
+    if (!RawPivot(r, e)) {
+      ++pivot_recoveries_;
+      factor_valid_ = false;
+      Refactorize();
+      return refactor_singular_ ? StepResult::kStuck : StepResult::kRecovered;
+    }
+    StateOf(leaving) = below ? VarState::kAtLower : VarState::kAtUpper;
+    if (LoOf(leaving) == HiOf(leaving)) StateOf(leaving) = VarState::kAtLower;
+    if (leaving >= 0) value_[static_cast<size_t>(leaving)] = leave_bound;
+    BasicRowOf(leaving) = -1;
+    xb_[r] = new_e_value;
+    basis_[r] = e;
+    StateOf(e) = VarState::kBasic;
+    BasicRowOf(e) = static_cast<int>(r);
+    ++dual_pivots_;
+
+    // Same per-pivot dual maintenance as Step: the entering reduced cost
+    // times row r of the *new* B^-1.
+    if (y2_valid_) {
+      ComputeInverseRow(r);
+      const double* nrho = rho_.data();
+      for (size_t k = 0; k < m_; ++k) y2_[k] += d_e * nrho[k];
+    }
+    y1_valid_ = false;
     return StepResult::kPivoted;
   }
 
@@ -1906,6 +2234,16 @@ class Solver::Impl {
   long ftran_nnz_ = 0;
   int pivots_ = 0;
   int refactorizations_ = 0;
+  int dual_pivots_ = 0;
+  int bound_flips_ = 0;
+  bool warm_restart_used_ = false;
+
+  // Warm-restart state: warm_restart_ is the env-resolved SolveOptions
+  // knob; ever_optimal_ records that a previous SolveImpl reached kOptimal,
+  // which is what makes the current basis a candidate dual-feasible warm
+  // start (a cold first solve always takes the primal path).
+  bool warm_restart_ = false;
+  bool ever_optimal_ = false;
 
   // Scratch buffers reused across iterations — the simplex inner loop
   // (FTRAN, ratio test, pivot) allocates nothing once these reach capacity
@@ -1917,6 +2255,19 @@ class Solver::Impl {
   std::vector<int> desired_;     // Refactorize: recorded basis snapshot
   std::vector<double> net_rhs_;  // Refactorize: rhs net of nonbasic values
   std::vector<double> rho_;      // row r of B^-1 for the per-pivot dual update
+  // Dual ratio-test candidate: a nonbasic column with a nonzero pivot-row
+  // entry alpha, signed entry abar = -sigma*alpha, reduced cost d, dual step
+  // t = d/abar at which d crosses zero, and the finite bound range for
+  // long-step bound flips (kInfinity when not boxed).
+  struct DualCand {
+    int ref;
+    double alpha;
+    double abar;
+    double d;
+    double t;
+    double range;
+  };
+  std::vector<DualCand> dual_cand_;  // dual ratio-test scratch
   std::vector<double> luw_;      // LuFtran row-space working vector
   std::vector<double> lub_;      // LuBtran position-space input
   std::vector<double> luacc_;    // LuBtran U^T accumulator
@@ -1988,6 +2339,18 @@ void Solver::AddToRow(int row, int var, double delta) {
 
 void Solver::SetRhs(int row, double rhs) { impl_->SetRhs(row, rhs); }
 
+void Solver::SetRhs(const std::vector<std::pair<int, double>>& rows) {
+  impl_->SetRhs(rows);
+}
+
+void Solver::SetBounds(int var, double lo, double hi) {
+  impl_->SetBounds(var, lo, hi);
+}
+
+void Solver::FixVariable(int var, double value) {
+  impl_->FixVariable(var, value);
+}
+
 double Solver::rhs(int row) const { return impl_->rhs(row); }
 
 void Solver::AddToObjective(int var, double delta) {
@@ -2005,6 +2368,19 @@ void Solver::Invalidate() { impl_->Invalidate(); }
 Solution Solve(const Problem& problem, const SolveOptions& options) {
   Solver solver(problem, options);
   return solver.Solve();
+}
+
+// LDR_LP_WARM=cold|warm overrides the configured warm-restart mode — the CI
+// hook that runs the whole suite against the cold-rebuild baseline without a
+// rebuild, mirroring LDR_LP_BASIS. Shared by the solver's dual-entry gate
+// and the routing layer's keep-vs-drop decision on topology events.
+bool ResolveWarmRestart(bool configured) {
+  const char* e = std::getenv("LDR_LP_WARM");
+  if (e != nullptr) {
+    if (std::strcmp(e, "cold") == 0) return false;
+    if (std::strcmp(e, "warm") == 0) return true;
+  }
+  return configured;
 }
 
 }  // namespace ldr::lp

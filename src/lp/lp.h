@@ -180,6 +180,17 @@ struct SolveOptions {
   // that would blow the epoch budget surfaces as kDeadline and the caller
   // walks the fallback ladder instead of stalling the epoch.
   double deadline_ms = -1;
+  // Dual-simplex warm restart. When a Solve() begins from a previously
+  // optimal basis that bound/rhs repair (FixVariable, SetBounds, SetRhs —
+  // the topology-delta entry points) left primal infeasible but still dual
+  // feasible, enter dual simplex and pivot straight back to optimality
+  // instead of paying primal phase 1 + phase 2. Dual feasibility is
+  // verified before entry (one pricing sweep) and the solver falls back to
+  // the primal path — with its Bland anti-cycling guard — the moment the
+  // dual loop loses feasibility or progress. The `LDR_LP_WARM` environment
+  // variable ("cold" / "warm"), when set, overrides this flag — the A/B
+  // hook mirroring LDR_LP_BASIS.
+  bool warm_restart = false;
 };
 
 struct Solution {
@@ -222,6 +233,15 @@ struct Solution {
   // triggers, eta-file bounds, and numerical recoveries; counted in both
   // basis modes).
   int refactorizations = 0;
+  // Dual-simplex pivots run while repairing a primal-infeasible warm basis
+  // (SolveOptions::warm_restart; 0 for every primal-only solve).
+  int dual_pivots = 0;
+  // Boxed nonbasic variables flipped bound-to-bound over the solve: primal
+  // ratio-test flips plus the dual long-step flips.
+  int bound_flips = 0;
+  // True when this solve entered the dual-simplex warm restart instead of
+  // primal phase 1.
+  bool warm_restart = false;
 
   bool ok() const { return status == Status::kOptimal; }
 };
@@ -272,7 +292,26 @@ class Solver {
 
   // Replaces a row's right-hand side.
   void SetRhs(int row, double rhs);
+  // Bulk rhs repair: each (row, rhs) entry replaces that row's right-hand
+  // side in place, pushing the deltas into the basic values — the
+  // capacity-row half of a topology repair. Equivalent to the single-row
+  // form per entry; the basis is preserved throughout.
+  void SetRhs(const std::vector<std::pair<int, double>>& rows);
   double rhs(int row) const;
+
+  // Overwrites a variable's bounds in place, preserving the basis. A
+  // nonbasic variable is re-rested at the finite bound nearest its previous
+  // value and the shift is pushed into the basic values (one FTRAN); a
+  // basic one just takes the new bounds — a violation this creates is
+  // repaired by the next Solve() (dual simplex under
+  // SolveOptions::warm_restart, primal phase 1 otherwise).
+  void SetBounds(int var, double lo, double hi);
+
+  // Fixes a variable at `value` (lo = hi = value) without touching the
+  // basis — SetBounds sugar, and the topology-repair entry point: path
+  // variables crossing a failed link get fixed to zero in place of an LP
+  // rebuild.
+  void FixVariable(int var, double value);
 
   // Adds `delta` to a variable's objective coefficient.
   void AddToObjective(int var, double delta);
@@ -295,6 +334,14 @@ class Solver {
 };
 
 Solution Solve(const Problem& problem, const SolveOptions& options = {});
+
+// Effective warm-restart mode: the `LDR_LP_WARM` environment variable
+// ("cold" disables, "warm" enables), when set, overrides `configured`.
+// Shared by the solver and by the routing layer's keep-vs-drop decision on
+// topology deltas, so one env knob flips the whole stack to the
+// cold-rebuild A/B baseline — exactly how LDR_LP_BASIS selects the basis
+// representation.
+bool ResolveWarmRestart(bool configured);
 
 }  // namespace ldr::lp
 

@@ -39,9 +39,21 @@ LdrController::LdrController(const Graph* graph, KspCache* cache,
                              const LdrControllerOptions& opts)
     : g_(graph), cache_(cache), opts_(opts) {}
 
+// Topology hooks (PR 9): under warm restarts the live LP is no longer
+// dropped on a topology delta — it is marked dirty and repaired in place on
+// the next epoch (dead-path variables fixed to zero, capacity rows
+// re-synced), with the solver re-entering via dual simplex off the
+// still-dual-feasible basis. LDR_LP_WARM=cold (or warm_restart=false in the
+// routing options) restores the drop-and-rebuild behavior as the A/B
+// baseline. KSP-cache handling is unchanged in both modes.
 void LdrController::OnLinkDown(LinkId link) {
   ksp_evictions_ += cache_->InvalidateLink(link);
-  DropWarmState();
+  if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
+      reuse_.lp != nullptr) {
+    reuse_.lp->MarkTopologyDirty();
+  } else {
+    DropWarmState();
+  }
 }
 
 void LdrController::OnLinkUp(LinkId) {
@@ -49,13 +61,24 @@ void LdrController::OnLinkUp(LinkId) {
   // generator's production order is suspect, so clear them all. The store
   // (stable PathIds, cached delays) survives.
   cache_->Clear();
-  DropWarmState();
+  if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
+      reuse_.lp != nullptr) {
+    reuse_.lp->MarkTopologyDirty();
+  } else {
+    DropWarmState();
+  }
 }
 
 void LdrController::OnCapacityChange() {
   // Path identities and delays are untouched; only the LP's capacity rows
-  // are stale, and those are cheapest rebuilt cold.
-  DropWarmState();
+  // are stale — repaired in place under warm restarts, rebuilt cold under
+  // the baseline.
+  if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
+      reuse_.lp != nullptr) {
+    reuse_.lp->MarkTopologyDirty();
+  } else {
+    DropWarmState();
+  }
 }
 
 void LdrController::DropWarmState() {
@@ -100,7 +123,10 @@ LdrControllerResult LdrController::RunEpoch(
     result.outcome =
         IterativeLpRoute(g, working, cache_, opts_.routing, &reuse_);
     result.solve_ms_total += result.outcome.solve_ms;
-    if (round == 0) result.warm_epoch = result.outcome.reused_warm;
+    if (round == 0) {
+      result.warm_epoch = result.outcome.reused_warm;
+      result.topology_repaired = result.outcome.topology_repaired;
+    }
     result.fallback = std::max(result.fallback, result.outcome.fallback);
     if (result.outcome.fallback == FallbackRung::kShortestPath) {
       // The LP pipeline is down (rungs 1-2 already failed inside
@@ -212,6 +238,14 @@ LdrControllerResult LdrController::RunEpoch(
     // path production, stale placement). Rebuilding cold next epoch is also
     // what lets the placement hash reconverge with the fault-free run as
     // soon as faults clear: cold solves are bitwise-reproducible.
+    DropWarmState();
+  } else if (result.topology_repaired) {
+    // A repaired topology epoch served the fast reaction off the dual warm
+    // restart; its path sets are history-dependent (pre-event growth plus
+    // repair additions), so the placement is not the canonical one a cold
+    // rebuild finds. Drop the warm state so the *next* epoch re-optimizes
+    // cold off the critical path — placement hashes reconverge bitwise
+    // with the cold A/B baseline within 2 epochs of every event.
     DropWarmState();
   }
   result.outcome.fallback = result.fallback;

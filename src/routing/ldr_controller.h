@@ -54,9 +54,13 @@ struct LdrControllerResult {
   double solve_ms_total = 0;
   // True when this epoch re-entered the previous epoch's live LP with
   // demand deltas instead of rebuilding it (always false for the one-epoch
-  // RunLdrController wrapper and for the first epoch after a topology
-  // delta).
+  // RunLdrController wrapper; under LDR_LP_WARM=cold also false for the
+  // first epoch after a topology delta).
   bool warm_epoch = false;
+  // True when this epoch's warm re-entry repaired the live LP in place
+  // after a topology delta (dead-path variables fixed to zero, capacity
+  // rows re-synced, dual-simplex warm restart) instead of rebuilding cold.
+  bool topology_repaired = false;
   // Degradation telemetry (PR 6): the highest fallback-ladder rung that
   // fired across the epoch's rounds producing the installed placement.
   // kNone on a clean epoch; mirrored into outcome.fallback.
@@ -86,17 +90,24 @@ std::vector<double> AdvancePredictors(
 // path sets (LpReuseContext), and the KSP cache it was handed. The scenario
 // engine owns one of these and threads topology deltas through the
 // OnLinkDown / OnLinkUp / OnCapacityChange hooks, which invalidate exactly
-// as much of that state as the delta requires:
+// as much of that state as the delta requires (PR 9: under warm restarts —
+// the default; LDR_LP_WARM=cold is the A/B baseline — the LP is marked
+// dirty and repaired in place instead of dropped):
 //
 //   demand change      nothing — RunEpoch pushes demand deltas warm
-//   capacity change    LP dropped (capacities are baked into its rows);
-//                      predictors and KSP cache survive (delays unchanged)
-//   link down          LP dropped + targeted KSP eviction of the pairs
-//                      whose produced paths cross the link
-//                      (KspCache::InvalidateLink over the reverse index)
-//   link up            LP dropped + all generators cleared (a restored link
-//                      can shorten any pair's k-th path); the PathStore
-//                      arena survives, so rediscovered paths keep their ids
+//   capacity change    LP marked dirty (capacity-row coefficients re-synced
+//                      on the next solve); cold baseline: LP dropped.
+//                      Predictors and KSP cache survive (delays unchanged)
+//   link down          targeted KSP eviction of the pairs whose produced
+//                      paths cross the link (KspCache::InvalidateLink over
+//                      the reverse index); LP marked dirty — dead-path
+//                      variables fixed to zero, dual-simplex restart off
+//                      the surviving basis. Cold baseline: LP dropped
+//   link up            all generators cleared (a restored link can shorten
+//                      any pair's k-th path; the PathStore arena survives,
+//                      so rediscovered paths keep their ids); LP marked
+//                      dirty — fixed variables released back to [0, 1].
+//                      Cold baseline: LP dropped
 class LdrController {
  public:
   // graph and cache must outlive the controller; the cache must be built

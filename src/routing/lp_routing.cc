@@ -36,6 +36,7 @@ lp::SolveOptions SolverOptionsFor(const RoutingLpOptions& opts) {
   so.basis = opts.basis;
   so.max_iters = opts.max_iters;
   so.deadline_ms = opts.deadline_ms;
+  so.warm_restart = opts.warm_restart;
   return so;
 }
 
@@ -166,6 +167,9 @@ RoutingLpResult SolveRoutingLp(
   result.fill_ratio = sol.fill_ratio;
   result.refactorizations = sol.refactorizations;
   result.pivot_recoveries = sol.pivot_recoveries;
+  result.dual_pivots = sol.dual_pivots;
+  result.bound_flips = sol.bound_flips;
+  result.warm_restart = sol.warm_restart;
   if (!sol.ok()) {
     // The LP is always feasible by construction (overload variables are
     // unbounded above); failure here means a numerical breakdown, an
@@ -235,6 +239,7 @@ IncrementalRoutingLp::IncrementalRoutingLp(
   fixed_load_.assign(num_links, 0.0);
   link_row_.assign(num_links, -1);
   olvar_.assign(num_links, -1);
+  applied_cap_.assign(num_links, 0.0);
   link_vars_.resize(num_links);
 }
 
@@ -253,6 +258,7 @@ void IncrementalRoutingLp::EnsureLinkRows() {
     if (fixed_load_[l] <= 0 && link_vars_[l].empty()) continue;
     double cap = g_->link(static_cast<LinkId>(l)).capacity_gbps * cap_scale_;
     if (cap <= 0) cap = 1e-9;
+    applied_cap_[l] = cap;
     std::vector<std::pair<int, double>> terms;
     terms.reserve(link_vars_[l].size() + 1);
     for (const auto& [var, a] : link_vars_[l]) {
@@ -270,6 +276,43 @@ void IncrementalRoutingLp::EnsureLinkRows() {
       solver_.AddRow(lp::RowType::kLe, 0, {{olvar_[l], 1}, {omax_var_, -1}});
     }
   }
+}
+
+// In-place topology repair (MarkTopologyDirty): re-syncs the live LP with
+// the graph's current link mask and capacities instead of discarding it.
+// Path variables crossing a masked link are fixed to zero (and released
+// back to [0, 1] when the link returns) — basis-preserving bound edits the
+// solver repairs with dual pivots on the next Solve(). Capacity-row
+// coefficients are shifted by the delta against the capacity each row was
+// built with (CapacityScale events; SetLinkDown leaves capacity untouched).
+void IncrementalRoutingLp::RepairTopology() {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (npaths_[a] < 2) continue;
+    for (size_t pi = 0; pi < paths_[a].size(); ++pi) {
+      bool dead = false;
+      for (LinkId l : store_->Links(paths_[a][pi])) {
+        if (g_->IsLinkDown(l)) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        solver_.FixVariable(xvar_[a][pi], 0.0);
+      } else {
+        solver_.SetBounds(xvar_[a][pi], 0.0, 1.0);
+      }
+    }
+  }
+  for (size_t l = 0; l < link_row_.size(); ++l) {
+    if (link_row_[l] < 0) continue;
+    double cap = g_->link(static_cast<LinkId>(l)).capacity_gbps * cap_scale_;
+    if (cap <= 0) cap = 1e-9;
+    if (cap == applied_cap_[l]) continue;
+    int capvar = opts_.minmax ? omax_var_ : olvar_[l];
+    solver_.AddToRow(link_row_[l], capvar, -(cap - applied_cap_[l]));
+    applied_cap_[l] = cap;
+  }
+  topology_dirty_ = false;
 }
 
 RoutingLpResult IncrementalRoutingLp::Solve(
@@ -344,6 +387,7 @@ RoutingLpResult IncrementalRoutingLp::Solve(
     npaths_[a] = cnt;
   }
   EnsureLinkRows();
+  if (topology_dirty_) RepairTopology();
 
   lp::Solution sol = solver_.Solve();
   result.status = sol.status;
@@ -357,6 +401,9 @@ RoutingLpResult IncrementalRoutingLp::Solve(
   result.fill_ratio = sol.fill_ratio;
   result.refactorizations = sol.refactorizations;
   result.pivot_recoveries = sol.pivot_recoveries;
+  result.dual_pivots = sol.dual_pivots;
+  result.bound_flips = sol.bound_flips;
+  result.warm_restart = sol.warm_restart;
   if (!sol.ok()) {
     // kIterLimit/kDeadline carry no usable values — never extract fractions
     // from them; callers walk the fallback ladder on !solved.
@@ -488,10 +535,49 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   std::vector<std::vector<PathId>> paths;
   std::unique_ptr<IncrementalRoutingLp> local_lp;
   IncrementalRoutingLp* ilp = nullptr;
-  if (reuse != nullptr && reuse->lp != nullptr &&
-      reuse->paths.size() == aggregates.size()) {
-    // Warm re-entry (controller headroom round): keep the grown path sets
-    // and the live LP, pushing only the demand deltas.
+  bool warm_entry = reuse != nullptr && reuse->lp != nullptr &&
+                    reuse->paths.size() == aggregates.size();
+  if (warm_entry && reuse->lp->topology_dirty()) {
+    // Topology-event re-entry: the repair fixes every dead-path variable to
+    // zero, so an aggregate whose whole candidate set crosses masked links
+    // would leave its equality row unsatisfiable. Append one live path from
+    // the (already invalidated, mask-aware) KSP generator before the solve;
+    // an aggregate with no live path at all is unroutable warm — fall back
+    // to the cold rebuild for this epoch.
+    auto path_dead = [&](PathId p) {
+      for (LinkId l : store.Links(p)) {
+        if (g.IsLinkDown(l)) return true;
+      }
+      return false;
+    };
+    for (size_t a = 0; a < aggregates.size() && warm_entry; ++a) {
+      auto& plist = reuse->paths[a];
+      if (plist.empty()) continue;
+      bool all_dead = true;
+      for (PathId p : plist) {
+        if (!path_dead(p)) {
+          all_dead = false;
+          break;
+        }
+      }
+      if (!all_dead) continue;
+      KspGenerator* gen = cache->Get(aggregates[a].src, aggregates[a].dst);
+      PathId next = gen->GetId(0);
+      if (next == kInvalidPathId) {
+        warm_entry = false;
+        break;
+      }
+      plist.push_back(next);
+    }
+    if (!warm_entry) {
+      reuse->lp.reset();
+      reuse->paths.clear();
+    }
+  }
+  if (warm_entry) {
+    // Warm re-entry (controller headroom round or repaired topology event):
+    // keep the grown path sets and the live LP, pushing only the deltas.
+    outcome.topology_repaired = reuse->lp->topology_dirty();
     paths = reuse->paths;
     reuse->lp->UpdateDemands(aggregates);
     ilp = reuse->lp.get();
@@ -549,6 +635,9 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
     outcome.lp_fill_ratio = std::max(outcome.lp_fill_ratio, r.fill_ratio);
     outcome.lp_refactorizations += r.refactorizations;
     outcome.lp_pivot_recoveries += r.pivot_recoveries;
+    outcome.lp_dual_pivots += r.dual_pivots;
+    outcome.lp_bound_flips += r.bound_flips;
+    if (r.warm_restart) ++outcome.lp_warm_restart;
   };
 
   RoutingLpResult res;
@@ -562,6 +651,15 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
   // rule can miss placements that move one aggregate slightly to free a
   // full (but not overloaded) shortest path for another.
   int polish_left = 2;
+  // Fast-reaction contract for repaired topology events: the grown path
+  // sets the warm LP carries over the event ARE the provisioned fallback
+  // capacity — reoptimize over them (dual warm restart) and return. Growing
+  // here would put the masked-graph Yen recomputation — the KSP work the
+  // paper singles out as the bottleneck, and the dominant cost of a cold
+  // event epoch — back on the reaction's critical path. The
+  // canonicalization rebuild one epoch later regrows from scratch and
+  // restores the full-quality placement off that path.
+  const bool grow_allowed = opts.grow && !outcome.topology_repaired;
   int round = 0;
   for (; round < opts.max_rounds; ++round) {
     res = ilp != nullptr ? ilp->Solve(paths)
@@ -619,7 +717,7 @@ RoutingOutcome IterativeLpRoute(const Graph& g,
         best_paths = paths;
       }
     }
-    if (!opts.grow) break;
+    if (!grow_allowed) break;
 
     if (!opts.lp.minmax) {
       if (feasible_now && polish_left-- <= 0) break;

@@ -63,6 +63,13 @@ struct RoutingLpOptions {
   // comes back !solved and the caller walks the fallback ladder.
   int max_iters = 0;
   double deadline_ms = -1;
+  // Warm restarts across topology events (forwarded to
+  // lp::SolveOptions::warm_restart): the controller keeps the incremental LP
+  // alive through LinkDown/LinkUp/CapacityScale, repairs it in place, and
+  // the solver re-enters via dual simplex when the warm basis is
+  // primal-infeasible-but-dual-feasible. Default on at the routing layer;
+  // LDR_LP_WARM=cold is the env A/B override (see lp::ResolveWarmRestart).
+  bool warm_restart = true;
 };
 
 // Result of one LP solve over explicit path sets.
@@ -100,6 +107,12 @@ struct RoutingLpResult {
   // (see lp::Solution::pivot_recoveries; nonzero means the instance is
   // numerically near-degenerate and worth a look).
   int pivot_recoveries = 0;
+  // Warm-restart telemetry (see lp::Solution): dual-simplex pivots run
+  // repairing a primal-infeasible warm basis, bound-to-bound flips of boxed
+  // variables, and whether this solve entered the dual restart at all.
+  int dual_pivots = 0;
+  int bound_flips = 0;
+  bool warm_restart = false;
 };
 
 // Path sets are interned ids into `store` (delays cached at intern time;
@@ -138,9 +151,18 @@ class IncrementalRoutingLp {
   // degradation ladder's rung 1 repair for drift-induced solve failures.
   void ForceRefactorize() { solver_.Invalidate(); }
 
+  // Marks the mirrored topology stale after a LinkDown/LinkUp/CapacityScale
+  // event: the next Solve() repairs the live LP in place — path variables
+  // crossing masked links are fixed to zero (and released when the link
+  // returns), capacity-row coefficients are re-synced — instead of the
+  // whole incremental state being discarded for a cold rebuild.
+  void MarkTopologyDirty() { topology_dirty_ = true; }
+  bool topology_dirty() const { return topology_dirty_; }
+
  private:
   double Weight(size_t a) const;
   void EnsureLinkRows();
+  void RepairTopology();
 
   const PathStore* store_;
   const Graph* g_;
@@ -156,10 +178,14 @@ class IncrementalRoutingLp {
   std::vector<std::vector<int>> xvar_;          // path-fraction variables
   std::vector<int> eq_row_;                     // sum(x) == 1 row, -1 if fixed
   std::vector<std::vector<PathId>> paths_;      // mirror of synced paths
+  bool topology_dirty_ = false;
   // Per link.
   std::vector<double> fixed_load_;
   std::vector<int> link_row_;                   // capacity row, -1 if unused
   std::vector<int> olvar_;                      // overload var (LDR mode)
+  // Capacity (after headroom scaling) each existing capacity row was built
+  // with — the delta a CapacityScale repair must push into the row.
+  std::vector<double> applied_cap_;
   // (variable, aggregate) pairs crossing each link, for deferred row
   // creation; demand is read from aggs_ at creation time.
   std::vector<std::vector<std::pair<int, size_t>>> link_vars_;

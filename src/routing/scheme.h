@@ -85,6 +85,15 @@ struct RoutingOutcome {
   // Tiny-pivot recoveries (forced refactorizations) across all LP rounds;
   // nonzero flags a numerically near-degenerate epoch.
   int lp_pivot_recoveries = 0;
+  // Warm-restart telemetry (PR 9) over all LP rounds: dual-simplex pivots
+  // run repairing primal-infeasible warm bases, boxed-variable bound flips,
+  // and how many solves entered the dual warm restart at all.
+  long lp_dual_pivots = 0;
+  long lp_bound_flips = 0;
+  int lp_warm_restart = 0;
+  // True when this call repaired a live LP in place after a topology event
+  // (IncrementalRoutingLp::MarkTopologyDirty) instead of rebuilding cold.
+  bool topology_repaired = false;
   double solve_ms = 0;     // wall-clock of the routing computation
   // LP schemes: final max overload (LDR mode, >= 1) or max utilization
   // (MinMax mode, >= 0) against headroom-scaled capacities.

@@ -109,6 +109,16 @@ struct ScenarioEpochReport {
   // the epoch's inputs differ from the previous epoch's beyond measurement.
   bool event_epoch = false;
   bool warm = false;      // LP re-entered warm (LDR driver only)
+  // The LP was repaired in place after a topology event and re-solved via
+  // the dual-simplex warm restart (PR 9; LDR driver only). Mutually
+  // exclusive with `warm`: epochs are cold / warm / dual-repaired.
+  bool dual_repair = false;
+  // LP warm-restart telemetry rolled up from the epoch's solves
+  // (RoutingOutcome totals; zero for scheme drivers): dual pivots, dual
+  // long-step bound flips, and solves that entered the dual restart.
+  long lp_dual_pivots = 0;
+  long lp_bound_flips = 0;
+  int lp_warm_restart = 0;
   double solve_ms = 0;    // routing computation wall-clock
   int rounds = 0;         // controller optimize/appraise rounds (1 = clean)
   bool multiplex_ok = false;
@@ -152,6 +162,11 @@ struct ScenarioEventReport {
   // aggregate): 0 = the event's own epoch recovered. -1 = never within the
   // scenario.
   int reconverge_epochs = -1;
+  // Reconvergence latency: sum of solve_ms from the event's epoch through
+  // the epoch that regained the clean placement (inclusive) — the wall
+  // clock the controller spent reacting, not just how many epochs it took.
+  // -1 when the scenario never reconverged.
+  double reconverge_ms = -1;
 };
 
 struct ScenarioReport {
@@ -159,13 +174,17 @@ struct ScenarioReport {
   std::string driver;  // "LDR" or the scheme id
   std::vector<ScenarioEpochReport> epochs;
   std::vector<ScenarioEventReport> events;
-  // Warm/cold epoch split (cold = LP rebuilt from scratch: the first epoch
-  // and every epoch after a topology delta — or all epochs when
-  // incremental is off).
+  // Warm / dual-repaired / cold epoch split. Cold = LP rebuilt from
+  // scratch: the first epoch, the canonicalization epoch after a repair,
+  // and (under LDR_LP_WARM=cold) every epoch after a topology delta — or
+  // all epochs when incremental is off. Dual-repaired = the LP was fixed in
+  // place after a topology event (PR 9).
   size_t warm_epochs = 0;
   size_t cold_epochs = 0;
+  size_t dual_repair_epochs = 0;
   double warm_solve_ms_total = 0;
   double cold_solve_ms_total = 0;
+  double dual_repair_solve_ms_total = 0;
   size_t ksp_evictions = 0;  // generators evicted by LinkDown invalidation
 
   // Degradation telemetry (PR 6). fallback_counts[r] = epochs whose
@@ -197,6 +216,9 @@ struct ScenarioReport {
 // placements every epoch (allocation_hash equality throughout) — the
 // warm-vs-cold A/B contract checked by fig21 and bench_to_json's scenario
 // section: one definition, so the figure and the JSON cannot drift.
+// Dual-repaired epochs (PR 9) are exempt in either report: their placement
+// comes from the in-place LP's history-dependent path sets; the
+// canonicalization epoch after them rebuilds cold and is compared bitwise.
 bool PlacementParity(const ScenarioReport& a, const ScenarioReport& b);
 
 struct ScenarioEngineOptions {

@@ -575,6 +575,66 @@ TEST_F(FaultInjectionTest, FaultWindowDegradesThenReconverges) {
   EXPECT_FALSE(Failpoint::IsActive("lp.iter_limit"));
 }
 
+// A fault window forcing lp.dual_infeasible across a cable flap (PR 9): the
+// dual-simplex warm restart at the repaired epochs reports dual feasibility
+// lost and must fall back to primal phase 1 *inside* the solver — invisible
+// to the degradation ladder (the repair still succeeds), every placement
+// valid, and the run reconverging bitwise with the fault-free one outside
+// the per-event canonicalization windows.
+TEST_F(FaultInjectionTest, DualInfeasibleFallbackCampaign) {
+  const char* env = std::getenv("LDR_LP_WARM");
+  const bool warm = env == nullptr || std::string(env) != "cold";
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "dual-loss";
+  s.epochs = 10;
+  s.aggregates = SmallAggregates();
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  s.AddLinkFlap(t.graph, 0, /*down_epoch=*/3, /*up_epoch=*/6);
+
+  Scenario faulted = s;
+  FaultWindow fw;
+  fw.failpoint = "lp.dual_infeasible";
+  fw.from_epoch = 3;
+  fw.until_epoch = 7;  // covers both the LinkDown and LinkUp repairs
+  faulted.faults.push_back(fw);
+
+  ScenarioReport clean = ScenarioEngine(t, s).Run();
+  ScenarioReport degraded = ScenarioEngine(t, faulted).Run();
+  long hits = Failpoint::HitCount("lp.dual_infeasible");
+  EXPECT_FALSE(Failpoint::IsActive("lp.dual_infeasible"));
+
+  // The site sits inside the warm-entry gate: hit exactly when repaired
+  // epochs would have entered the dual loop (never under LDR_LP_WARM=cold,
+  // where events drop the LP and rebuild cold).
+  EXPECT_EQ(hits > 0, warm);
+
+  ASSERT_EQ(clean.epochs.size(), degraded.epochs.size());
+  for (const auto& er : degraded.epochs) {
+    SCOPED_TRACE(er.epoch);
+    EXPECT_TRUE(er.placement_valid);
+    // The forced fallback happens inside Solve(); the ladder never fires.
+    EXPECT_EQ(er.fallback, FallbackRung::kNone);
+  }
+  EXPECT_EQ(degraded.clean_fallback_epochs, 0u);
+  // Both runs classify the event epochs identically: the repair decision is
+  // made before the solver's internal dual-vs-primal choice.
+  for (size_t e = 0; e < clean.epochs.size(); ++e) {
+    EXPECT_EQ(degraded.epochs[e].dual_repair, clean.epochs[e].dual_repair)
+        << "epoch " << e;
+  }
+  // Bitwise parity outside the repaired epochs themselves (3 and 6): a
+  // primal-repaired epoch may land on a different optimal vertex than the
+  // dual-repaired one, but the canonicalization rebuild one epoch later
+  // realigns both runs.
+  for (size_t e = 0; e < clean.epochs.size(); ++e) {
+    if (e == 3 || e == 6) continue;
+    EXPECT_EQ(degraded.epochs[e].allocation_hash,
+              clean.epochs[e].allocation_hash)
+        << "epoch " << e;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The randomized fault-campaign soak.
 

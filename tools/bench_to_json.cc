@@ -86,6 +86,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -632,6 +633,92 @@ DegradationBench BenchDegradation() {
   return out;
 }
 
+// --- lp_dual ----------------------------------------------------------------
+
+struct LpDualBench {
+  int epochs = 0;
+  size_t dual_repair_epochs = 0;
+  // Solve medians over the topology-event epochs only — the population the
+  // dual warm restart exists to make cheap.
+  double dual_event_median_ms = 0;
+  double cold_event_median_ms = 0;
+  // Warm-run telemetry totals (the lp::Solution counters threaded through
+  // RoutingOutcome into the epoch reports).
+  long dual_pivots = 0;
+  long bound_flips = 0;
+  long warm_restart_solves = 0;
+  // Per event: the wall clock from the event to the regained clean
+  // placement, under each A/B arm.
+  std::vector<double> dual_reconverge_ms;
+  std::vector<double> cold_reconverge_ms;
+  bool warm_restart_parity = false;
+  double speedup() const {
+    return dual_event_median_ms > 0
+               ? cold_event_median_ms / dual_event_median_ms
+               : 0;
+  }
+};
+
+// The fig21 fixture again (same single definition), A/B-ing the PR 9 dual
+// warm restart against the drop-and-rebuild baseline: the default engine
+// repairs the LP in place on the cable flap's LinkDown/LinkUp and re-enters
+// via dual simplex; the baseline configures warm_restart = false, so every
+// topology delta rebuilds the LP cold (the PR 4 behavior). The
+// warm_restart_parity marker — gated by ci.sh --bench-smoke — requires the
+// two runs' placement hashes to be bitwise equal outside the two-epoch
+// window [event, event+1] of every event: the dual-repaired epoch may place
+// differently (history-dependent path sets), the canonicalization epoch
+// after it rebuilds cold and must realign.
+LpDualBench BenchLpDual() {
+  LpDualBench out;
+  bench::FailureTimelineFixture fixture = bench::MakeFailureTimeline();
+
+  ScenarioEngineOptions dual_opts;  // routing default: warm_restart on
+  ScenarioReport dual =
+      ScenarioEngine(fixture.zoo, fixture.scenario, dual_opts).Run();
+  ScenarioEngineOptions cold_opts;
+  cold_opts.controller.routing.lp.warm_restart = false;
+  ScenarioReport cold =
+      ScenarioEngine(fixture.zoo, fixture.scenario, cold_opts).Run();
+
+  out.epochs = fixture.scenario.epochs;
+  out.dual_repair_epochs = dual.dual_repair_epochs;
+  std::vector<double> dual_ms, cold_ms;
+  std::set<size_t> exempt;  // the 2-epoch parity window of each event
+  for (size_t e = 0; e < dual.epochs.size(); ++e) {
+    const ScenarioEpochReport& er = dual.epochs[e];
+    out.dual_pivots += er.lp_dual_pivots;
+    out.bound_flips += er.lp_bound_flips;
+    out.warm_restart_solves += er.lp_warm_restart;
+    if (!er.event_epoch) continue;
+    dual_ms.push_back(er.solve_ms);
+    cold_ms.push_back(cold.epochs[e].solve_ms);
+    exempt.insert(e);
+    exempt.insert(e + 1);
+  }
+  if (!dual_ms.empty()) out.dual_event_median_ms = MedianMs(dual_ms);
+  if (!cold_ms.empty()) out.cold_event_median_ms = MedianMs(cold_ms);
+
+  bool parity = !dual.epochs.empty() && dual.epochs.size() == cold.epochs.size();
+  for (size_t e = 0; e < dual.epochs.size() && parity; ++e) {
+    if (exempt.count(e) != 0) continue;
+    parity = dual.epochs[e].allocation_hash == cold.epochs[e].allocation_hash;
+  }
+  out.warm_restart_parity = parity;
+  if (!out.warm_restart_parity) {
+    std::fprintf(stderr,
+                 "bench_to_json: dual-restart/cold placement mismatch "
+                 "outside the per-event canonicalization windows\n");
+  }
+  for (const ScenarioEventReport& evr : dual.events) {
+    out.dual_reconverge_ms.push_back(evr.reconverge_ms);
+  }
+  for (const ScenarioEventReport& evr : cold.events) {
+    out.cold_reconverge_ms.push_back(evr.reconverge_ms);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -717,6 +804,11 @@ int main(int argc, char** argv) {
   // mode too — ci.sh --bench-smoke greps its recovery_parity marker.
   std::fprintf(stderr, "bench_to_json: degradation...\n");
   DegradationBench degradation = BenchDegradation();
+
+  // Also cheap (two more 12-epoch runs) and a correctness gate
+  // (warm_restart_parity), so it runs in smoke mode too.
+  std::fprintf(stderr, "bench_to_json: lp_dual...\n");
+  LpDualBench lp_dual = BenchLpDual();
 
   std::vector<Topology> corpus;
   uint64_t allocation_refs = 0, unique_paths = 0;
@@ -872,6 +964,34 @@ int main(int argc, char** argv) {
       degradation.degraded_solve_ms,
       degradation.recovery_parity ? "true" : "false",
       single_core ? ", \"invalid_single_core\": true" : "");
+  std::fprintf(f, ",\n");
+  // The telemetry totals (dual_pivots / bound_flips / warm_restart) are
+  // correctness; the event-epoch medians are wall-clock and carry the same
+  // 1-core marker as the other timing sections.
+  auto emit_reconverge = [&](const char* name, const std::vector<double>& ms,
+                             bool comma) {
+    std::fprintf(f, "    \"%s\": [", name);
+    for (size_t i = 0; i < ms.size(); ++i) {
+      std::fprintf(f, "%s%.3f", i > 0 ? ", " : "", ms[i]);
+    }
+    std::fprintf(f, "]%s\n", comma ? "," : "");
+  };
+  std::fprintf(
+      f,
+      "  \"lp_dual\": {\n"
+      "    \"epochs\": %d, \"dual_repair_epochs\": %zu,\n"
+      "    \"dual_event_median_ms\": %.3f, \"cold_event_median_ms\": %.3f, "
+      "\"speedup\": %.2f,\n"
+      "    \"dual_pivots\": %ld, \"bound_flips\": %ld, \"warm_restart\": "
+      "%ld,\n",
+      lp_dual.epochs, lp_dual.dual_repair_epochs, lp_dual.dual_event_median_ms,
+      lp_dual.cold_event_median_ms, lp_dual.speedup(), lp_dual.dual_pivots,
+      lp_dual.bound_flips, lp_dual.warm_restart_solves);
+  emit_reconverge("dual_reconverge_ms", lp_dual.dual_reconverge_ms, true);
+  emit_reconverge("cold_reconverge_ms", lp_dual.cold_reconverge_ms, true);
+  std::fprintf(f, "    \"warm_restart_parity\": %s%s\n  }\n",
+               lp_dual.warm_restart_parity ? "true" : "false",
+               single_core ? ", \"invalid_single_core\": true" : "");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -926,5 +1046,11 @@ int main(int argc, char** argv) {
       degradation.fallback_counts[2], degradation.fallback_counts[3],
       degradation.fallback_counts[4], degradation.clean_run_fallbacks,
       degradation.recovery_parity ? "yes" : "NO");
+  std::printf(
+      "lp_dual       event epochs dual %.3f ms  cold %.3f ms  speedup %.1fx  "
+      "repaired %zu  pivots %ld  flips %ld  parity %s\n",
+      lp_dual.dual_event_median_ms, lp_dual.cold_event_median_ms,
+      lp_dual.speedup(), lp_dual.dual_repair_epochs, lp_dual.dual_pivots,
+      lp_dual.bound_flips, lp_dual.warm_restart_parity ? "yes" : "NO");
   return 0;
 }
