@@ -33,14 +33,18 @@
 #                vs dense-inverse objectives across the size sweep), scenario
 #                placement_parity, degradation recovery_parity, lp_dual
 #                warm_restart_parity (dual warm restart vs cold-rebuild
-#                placements reconverge within 2 epochs of each event) — is
-#                false.
+#                placements reconverge within 2 epochs of each event),
+#                survivability survivability_parity (replaying a failure
+#                campaign from its seed installs bitwise-identical
+#                placements) — is false.
 #                Perf refactors cannot silently break the parity markers the
 #                BENCH baseline stands on.
 #   --soak       implies --sanitize; after the suite, re-run the randomized
-#                fault campaigns (fault_injection_test) with LDR_SOAK=1 so
-#                the extended seed schedule runs under ASan+UBSan. The fixed
-#                per-campaign seeds make every failure replayable.
+#                fault campaigns (fault_injection_test) and the seeded
+#                correlated-failure campaign slice (campaign_test) with
+#                LDR_SOAK=1 so the extended seed/topology schedules run
+#                under ASan+UBSan. The fixed per-campaign seeds make every
+#                failure replayable.
 #   --help       print this usage block and exit.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -165,6 +169,12 @@ if [ "$SOAK" = 1 ]; then
   LDR_SOAK=1 "$BUILD_DIR/fault_injection_test" \
       --gtest_filter='FaultInjectionTest.FaultCampaignSoak' >&2
   echo "ci.sh: sanitized fault-campaign soak OK" >&2
+  # Correlated-failure campaign soak: the widened seeded survivability
+  # slice (SRLG cuts, node outages, maintenance drains, optimizer fault
+  # windows armed) with replay-parity checks, under the same sanitizers.
+  LDR_SOAK=1 "$BUILD_DIR/campaign_test" \
+      --gtest_filter='CampaignTest.SurvivabilityCampaignSoak' >&2
+  echo "ci.sh: sanitized survivability-campaign soak OK" >&2
 fi
 
 if [ "$BENCH_SMOKE" = 1 ]; then
@@ -177,7 +187,7 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   trap 'rm -f "$PROBE_1" "$PROBE_4" "$SMOKE_JSON"' EXIT
   "$BUILD_DIR/bench_to_json" --smoke "$SMOKE_JSON" >&2
   for marker in objective_parity basis_parity placement_parity recovery_parity \
-      warm_restart_parity; do
+      warm_restart_parity survivability_parity; do
     if grep -q "\"$marker\": false" "$SMOKE_JSON"; then
       echo "ci.sh: bench smoke FAILED ($marker is false)" >&2
       exit 1
@@ -187,5 +197,5 @@ if [ "$BENCH_SMOKE" = 1 ]; then
       exit 1
     fi
   done
-  echo "ci.sh: bench smoke OK (objective/basis/placement/recovery/warm-restart parity true)" >&2
+  echo "ci.sh: bench smoke OK (objective/basis/placement/recovery/warm-restart/survivability parity true)" >&2
 fi

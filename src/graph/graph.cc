@@ -55,6 +55,20 @@ LinkId Graph::ReverseLink(LinkId id) const {
   return kInvalidLink;
 }
 
+std::vector<LinkId> Graph::IncidentLinks(NodeId node) const {
+  std::vector<LinkId> out;
+  if (node < 0 || static_cast<size_t>(node) >= NodeCount()) return out;
+  for (LinkId id : AllOutLinks(node)) out.push_back(id);
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].dst == node && links_[i].src != node) {
+      out.push_back(static_cast<LinkId>(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 bool Graph::HasLink(NodeId src, NodeId dst) const {
   // Physical-identity query, like ReverseLink: topology evolution asks it
   // to avoid re-adding an existing cable, down or not.
@@ -62,6 +76,15 @@ bool Graph::HasLink(NodeId src, NodeId dst) const {
     if (link(cand).dst == dst) return true;
   }
   return false;
+}
+
+std::vector<LinkId> CableLinks(const Graph& g, LinkId link) {
+  std::vector<LinkId> out;
+  if (link < 0 || static_cast<size_t>(link) >= g.LinkCount()) return out;
+  out.push_back(link);
+  LinkId rev = g.ReverseLink(link);
+  if (rev != kInvalidLink && rev != link) out.push_back(rev);
+  return out;
 }
 
 double Path::DelayMs(const Graph& g) const {

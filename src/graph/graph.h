@@ -183,10 +183,26 @@ class Graph {
   }
   size_t DownLinkCount() const { return down_count_; }
 
+  // Grouped form of SetLinkDown — the correlated-event primitive (SRLG cut,
+  // node failure, maintenance drain): every member link flips before any
+  // consumer observes the graph, so a grouped event is one atomic topology
+  // delta, never a sequence of partially-applied states.
+  void SetLinksDown(const std::vector<LinkId>& ids, bool down) {
+    for (LinkId id : ids) SetLinkDown(id, down);
+  }
+
   // The opposite-direction link (same endpoints, swapped), or kInvalidLink.
   // When several exist, the first added is returned. A physical-identity
   // query: sees masked-down links (callers restore cables by id mid-outage).
   LinkId ReverseLink(LinkId id) const;
+
+  // Every link touching `node`, outgoing and incoming, in ascending id order
+  // — what a node failure masks. A physical-identity query like ReverseLink:
+  // masked links are included (a node can fail while some of its cables are
+  // already down). Outgoing links come straight off the CSR run; incoming
+  // ones from a link-table scan (node events are a cold path — there is no
+  // reverse CSR to maintain on the hot path for them).
+  std::vector<LinkId> IncidentLinks(NodeId node) const;
 
   // True if a link src->dst exists, down or not (physical identity, like
   // ReverseLink — topology evolution must not re-add a masked cable).
@@ -218,6 +234,13 @@ class Graph {
   std::vector<char> link_down_;            // LinkCount() entries
   size_t down_count_ = 0;
 };
+
+// Both directed links of the physical cable `link` rides: the link itself
+// plus its reverse direction when the graph has one, deduplicated (a
+// genuinely unidirectional link yields just itself; an invalid id yields
+// nothing). The one definition of "a cable failure takes both directions" —
+// link-flap construction and SRLG expansion both build on it.
+std::vector<LinkId> CableLinks(const Graph& g, LinkId link);
 
 // An explicit path: an ordered list of link ids, where link i's dst is
 // link i+1's src. An empty path is valid only as "no path".

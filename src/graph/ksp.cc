@@ -160,7 +160,7 @@ bool KspGenerator::HasProduced(PathId id) const {
   return std::find(produced_.begin(), produced_.end(), id) != produced_.end();
 }
 
-size_t KspCache::InvalidateLink(LinkId link) {
+size_t KspCache::EvictProducedCrossing(LinkId link) {
   size_t evicted = 0;
   // Produced-path side via the reverse index: cheap, no generator scan.
   // The index lists every path ever interned on the link, including ones
@@ -177,11 +177,41 @@ size_t KspCache::InvalidateLink(LinkId link) {
     generators_.erase(it);
     ++evicted;
   }
+  return evicted;
+}
+
+size_t KspCache::InvalidateLink(LinkId link) {
+  size_t evicted = EvictProducedCrossing(link);
   // Candidate-queue side: survivors holding a queued spur result that
   // crosses the link must go too (see the header contract) — candidates are
   // not interned, so this half needs the scan.
   for (auto it = generators_.begin(); it != generators_.end();) {
     if (it->second->AnyCandidateCrosses(link)) {
+      it = generators_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t KspCache::InvalidateLinks(const std::vector<LinkId>& links) {
+  size_t evicted = 0;
+  // Produced-path side per member link. A generator crossing several member
+  // links is erased by the first one that finds it — the later members'
+  // reverse-index walks miss it in generators_ and cannot recount it.
+  for (LinkId link : links) evicted += EvictProducedCrossing(link);
+  // One candidate-queue scan for the whole group.
+  for (auto it = generators_.begin(); it != generators_.end();) {
+    bool crosses = false;
+    for (LinkId link : links) {
+      if (it->second->AnyCandidateCrosses(link)) {
+        crosses = true;
+        break;
+      }
+    }
+    if (crosses) {
       it = generators_.erase(it);
       ++evicted;
     } else {

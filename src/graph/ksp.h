@@ -140,7 +140,20 @@ class KspCache {
   // cached delays, which masking never touches) survives either way.
   size_t InvalidateLink(LinkId link);
 
+  // Grouped form of InvalidateLink for correlated events (SRLG cuts, node
+  // failures): evicts exactly the generators whose state references *any*
+  // member link — same per-link contract as above — but counts each
+  // generator once and scans the candidate queues once for the whole group
+  // instead of once per member. The scenario engine delivers every grouped
+  // down-event through this, so batch eviction matches the batched
+  // controller delta (one epoch delta, not N).
+  size_t InvalidateLinks(const std::vector<LinkId>& links);
+
  private:
+  // Produced-path half of the eviction contract for one link, via the
+  // store's reverse index. Shared by both Invalidate forms.
+  size_t EvictProducedCrossing(LinkId link);
+
   static uint64_t Key(NodeId src, NodeId dst) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
            static_cast<uint32_t>(dst);

@@ -46,14 +46,18 @@ LdrController::LdrController(const Graph* graph, KspCache* cache,
 // still-dual-feasible basis. LDR_LP_WARM=cold (or warm_restart=false in the
 // routing options) restores the drop-and-rebuild behavior as the A/B
 // baseline. KSP-cache handling is unchanged in both modes.
-void LdrController::OnLinkDown(LinkId link) {
-  ksp_evictions_ += cache_->InvalidateLink(link);
+void LdrController::MarkLpStale() {
   if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
       reuse_.lp != nullptr) {
     reuse_.lp->MarkTopologyDirty();
   } else {
     DropWarmState();
   }
+}
+
+void LdrController::OnLinkDown(LinkId link) {
+  ksp_evictions_ += cache_->InvalidateLink(link);
+  MarkLpStale();
 }
 
 void LdrController::OnLinkUp(LinkId) {
@@ -61,24 +65,33 @@ void LdrController::OnLinkUp(LinkId) {
   // generator's production order is suspect, so clear them all. The store
   // (stable PathIds, cached delays) survives.
   cache_->Clear();
-  if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
-      reuse_.lp != nullptr) {
-    reuse_.lp->MarkTopologyDirty();
-  } else {
-    DropWarmState();
-  }
+  MarkLpStale();
 }
 
 void LdrController::OnCapacityChange() {
   // Path identities and delays are untouched; only the LP's capacity rows
   // are stale — repaired in place under warm restarts, rebuilt cold under
   // the baseline.
-  if (lp::ResolveWarmRestart(opts_.routing.lp.warm_restart) &&
-      reuse_.lp != nullptr) {
-    reuse_.lp->MarkTopologyDirty();
-  } else {
-    DropWarmState();
-  }
+  MarkLpStale();
+}
+
+// Grouped deltas (PR 10): one reconciliation per correlated event. The KSP
+// side is the batch form of the singleton hooks' contract; the LP side is
+// marked stale exactly once, so the dual-simplex repair of the next epoch
+// fixes every member link's path variables in one pass — one epoch delta,
+// not a per-link cascade.
+void LdrController::OnLinksDown(const std::vector<LinkId>& links) {
+  if (links.empty()) return;
+  ksp_evictions_ += cache_->InvalidateLinks(links);
+  MarkLpStale();
+}
+
+void LdrController::OnLinksUp(const std::vector<LinkId>& links) {
+  if (links.empty()) return;
+  // Same reasoning as OnLinkUp, once for the whole group: any restored
+  // member can shorten any pair's k-th path.
+  cache_->Clear();
+  MarkLpStale();
 }
 
 void LdrController::DropWarmState() {

@@ -132,6 +132,19 @@ class LdrController {
   void OnLinkUp(LinkId link);
   void OnCapacityChange();
 
+  // Grouped topology deltas (PR 10): a correlated event — SRLG cut, node
+  // failure, maintenance drain — delivers all its member links in ONE batch,
+  // so the controller reconciles once per event, not once per link: the KSP
+  // cache is invalidated for the whole group (batch eviction: each affected
+  // generator evicted and counted once) or cleared once for a grouped
+  // restore, and the live LP is marked dirty once — the dual-simplex repair
+  // sees one epoch delta covering every member link. A maintenance drain is
+  // delivered through OnLinksDown too: from the controller's view, "move
+  // traffic off these links now" is the same reconciliation whether the
+  // links are administratively drained or physically cut.
+  void OnLinksDown(const std::vector<LinkId>& links);
+  void OnLinksUp(const std::vector<LinkId>& links);
+
   // Drops the warm LP so the next epoch rebuilds from scratch — the
   // cold-epoch baseline the scenario engine's incremental=false mode and
   // the warm-vs-cold benches use.
@@ -143,6 +156,10 @@ class LdrController {
   const LdrControllerOptions& options() const { return opts_; }
 
  private:
+  // Shared tail of every topology hook: mark the live LP dirty for in-place
+  // repair (warm restarts) or drop it for a cold rebuild (the A/B baseline).
+  void MarkLpStale();
+
   const Graph* g_;
   KspCache* cache_;
   LdrControllerOptions opts_;

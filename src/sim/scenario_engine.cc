@@ -1,6 +1,7 @@
 #include "sim/scenario_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <unordered_map>
 
@@ -83,9 +84,9 @@ double RouteChurn(const AllocationMap& prev, const AllocationMap& cur) {
 
 void Scenario::AddLinkFlap(const Graph& graph, LinkId link, int down_epoch,
                            int up_epoch) {
-  if (link < 0 || static_cast<size_t>(link) >= graph.LinkCount()) return;
-  for (LinkId l : {link, graph.ReverseLink(link)}) {
-    if (l == kInvalidLink) continue;
+  // CableLinks is the one definition of "a cable takes both directions" —
+  // shared with SRLG expansion and maintenance windows.
+  for (LinkId l : CableLinks(graph, link)) {
     ScenarioEvent down;
     down.type = ScenarioEvent::Type::kLinkDown;
     down.epoch = down_epoch;
@@ -97,6 +98,40 @@ void Scenario::AddLinkFlap(const Graph& graph, LinkId link, int down_epoch,
     up.link = l;
     events.push_back(up);
   }
+}
+
+int Scenario::AddSrlg(std::string srlg_name, std::vector<LinkId> links) {
+  Srlg s;
+  s.name = std::move(srlg_name);
+  s.links = std::move(links);
+  srlgs.push_back(std::move(s));
+  return static_cast<int>(srlgs.size() - 1);
+}
+
+void Scenario::AddSrlgOutage(int srlg, int down_epoch, int up_epoch) {
+  ScenarioEvent down;
+  down.type = ScenarioEvent::Type::kSrlgDown;
+  down.epoch = down_epoch;
+  down.srlg = srlg;
+  events.push_back(down);
+  ScenarioEvent up;
+  up.type = ScenarioEvent::Type::kSrlgUp;
+  up.epoch = up_epoch;
+  up.srlg = srlg;
+  events.push_back(up);
+}
+
+void Scenario::AddNodeOutage(NodeId node, int down_epoch, int up_epoch) {
+  ScenarioEvent down;
+  down.type = ScenarioEvent::Type::kNodeDown;
+  down.epoch = down_epoch;
+  down.node = node;
+  events.push_back(down);
+  ScenarioEvent up;
+  up.type = ScenarioEvent::Type::kNodeUp;
+  up.epoch = up_epoch;
+  up.node = node;
+  events.push_back(up);
 }
 
 std::vector<std::vector<double>> ConstantScenarioTraffic(
@@ -142,6 +177,48 @@ double ScenarioReport::EventFreeChurnMax() const {
   return churn;
 }
 
+double ScenarioReport::Availability() const {
+  if (epochs.empty()) return 1.0;
+  size_t clean = 0;
+  for (const ScenarioEpochReport& er : epochs) {
+    if (er.placement_valid && er.congested_fraction == 0) ++clean;
+  }
+  return static_cast<double>(clean) / static_cast<double>(epochs.size());
+}
+
+FallbackRung ScenarioReport::MaxFallbackRung() const {
+  FallbackRung rung = FallbackRung::kNone;
+  for (const ScenarioEpochReport& er : epochs) {
+    rung = std::max(rung, er.fallback);
+  }
+  return rung;
+}
+
+std::vector<int> ScenarioReport::ReconvergeEpochs() const {
+  std::vector<int> out;
+  out.reserve(events.size());
+  for (const ScenarioEventReport& evr : events) {
+    out.push_back(evr.reconverge_epochs);
+  }
+  return out;
+}
+
+double ScenarioReport::WorstCongestedFraction() const {
+  double worst = 0;
+  for (const ScenarioEpochReport& er : epochs) {
+    worst = std::max(worst, er.congested_fraction);
+  }
+  return worst;
+}
+
+double ScenarioReport::WorstQueueMs() const {
+  double worst = 0;
+  for (const ScenarioEpochReport& er : epochs) {
+    worst = std::max(worst, er.worst_queue_ms);
+  }
+  return worst;
+}
+
 bool PlacementParity(const ScenarioReport& a, const ScenarioReport& b) {
   if (a.epochs.size() != b.epochs.size()) return false;
   for (size_t e = 0; e < a.epochs.size(); ++e) {
@@ -174,6 +251,11 @@ ScenarioEngine::ScenarioEngine(const Topology& topology, Scenario scenario,
   } else {
     scheme_ = MakeScheme(opts_.scheme_id, &graph_, &cache_);
   }
+  if (opts_.adaptive.enabled) {
+    demand_scale_.assign(scenario_.aggregates.size(), 1.0);
+    cubic_wmax_.assign(scenario_.aggregates.size(), 1.0);
+    cubic_epochs_.assign(scenario_.aggregates.size(), 0);
+  }
 }
 
 ScenarioEngine::~ScenarioEngine() = default;
@@ -181,52 +263,143 @@ ScenarioEngine::~ScenarioEngine() = default;
 bool ScenarioEngine::EventValid(const ScenarioEvent& ev) const {
   // Invalid events are ignored everywhere — not applied, not epoch-marking,
   // not reported — so they cannot skew the event-free churn/solve
-  // populations or fabricate reconvergence entries. Two ways to be invalid:
-  // an epoch outside the scenario (the apply loop would never fire it), or
-  // a link-typed event naming no real link (a default-constructed
+  // populations or fabricate reconvergence entries. Ways to be invalid: an
+  // epoch outside the scenario (the apply loop would never fire it), a
+  // link-typed event naming no real link (a default-constructed
   // ScenarioEvent or an unguarded ReverseLink() miss would otherwise index
-  // the mask array at SIZE_MAX).
+  // the mask array at SIZE_MAX), or a grouped event whose expansion yields
+  // no links at all (an out-of-range SRLG index, an SRLG of only bogus
+  // member ids, an isolated or unknown node).
   if (ev.epoch < 0 || ev.epoch >= scenario_.epochs) return false;
-  if (ev.type == ScenarioEvent::Type::kDemandSurge) {
-    // A surge must actually surge something: positive window, and a target
-    // that is either the documented -1 ("every aggregate") or a real index.
-    return ev.duration_epochs > 0 && ev.aggregate >= -1 &&
-           (ev.aggregate < 0 ||
-            static_cast<size_t>(ev.aggregate) < scenario_.aggregates.size());
+  switch (ev.type) {
+    case ScenarioEvent::Type::kDemandSurge:
+      // A surge must actually surge something: positive window, and a
+      // target that is either the documented -1 ("every aggregate") or a
+      // real index.
+      return ev.duration_epochs > 0 && ev.aggregate >= -1 &&
+             (ev.aggregate < 0 ||
+              static_cast<size_t>(ev.aggregate) < scenario_.aggregates.size());
+    case ScenarioEvent::Type::kSrlgDown:
+    case ScenarioEvent::Type::kSrlgUp:
+      return ev.srlg >= 0 &&
+             static_cast<size_t>(ev.srlg) < scenario_.srlgs.size() &&
+             !EventLinks(ev).empty();
+    case ScenarioEvent::Type::kNodeDown:
+    case ScenarioEvent::Type::kNodeUp:
+      return ev.node >= 0 &&
+             static_cast<size_t>(ev.node) < graph_.NodeCount() &&
+             !EventLinks(ev).empty();
+    case ScenarioEvent::Type::kMaintenance:
+      // The window must have extent; the drain epoch clamps to 0 on its own.
+      return ev.duration_epochs > 0 && ev.link >= 0 &&
+             static_cast<size_t>(ev.link) < graph_.LinkCount();
+    case ScenarioEvent::Type::kLinkDown:
+    case ScenarioEvent::Type::kLinkUp:
+    case ScenarioEvent::Type::kCapacityScale:
+      return ev.link >= 0 &&
+             static_cast<size_t>(ev.link) < graph_.LinkCount();
   }
-  return ev.link >= 0 && static_cast<size_t>(ev.link) < graph_.LinkCount();
+  return false;
 }
 
-void ScenarioEngine::ApplyEvent(const ScenarioEvent& ev) {
+std::vector<LinkId> ScenarioEngine::EventLinks(const ScenarioEvent& ev) const {
+  std::vector<LinkId> out;
   switch (ev.type) {
     case ScenarioEvent::Type::kLinkDown:
-      graph_.SetLinkDown(ev.link, true);
-      if (controller_ != nullptr) {
-        controller_->OnLinkDown(ev.link);
-      } else {
-        scheme_ksp_evictions_ += cache_.InvalidateLink(ev.link);
-      }
-      sp_dirty_ = true;
-      break;
     case ScenarioEvent::Type::kLinkUp:
-      graph_.SetLinkDown(ev.link, false);
-      if (controller_ != nullptr) {
-        controller_->OnLinkUp(ev.link);
-      } else {
-        cache_.Clear();
+      // Singleton events stay single-direction: AddLinkFlap already emits
+      // the two directions of a cable as two events, and tests address
+      // directed links individually.
+      if (ev.link >= 0 && static_cast<size_t>(ev.link) < graph_.LinkCount()) {
+        out.push_back(ev.link);
       }
-      sp_dirty_ = true;
+      break;
+    case ScenarioEvent::Type::kSrlgDown:
+    case ScenarioEvent::Type::kSrlgUp:
+      if (ev.srlg >= 0 &&
+          static_cast<size_t>(ev.srlg) < scenario_.srlgs.size()) {
+        for (LinkId cable : scenario_.srlgs[static_cast<size_t>(ev.srlg)].links) {
+          for (LinkId l : CableLinks(graph_, cable)) out.push_back(l);
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+      }
+      break;
+    case ScenarioEvent::Type::kNodeDown:
+    case ScenarioEvent::Type::kNodeUp:
+      out = graph_.IncidentLinks(ev.node);
+      break;
+    case ScenarioEvent::Type::kMaintenance:
+      out = CableLinks(graph_, ev.link);
       break;
     case ScenarioEvent::Type::kCapacityScale:
-      graph_.SetCapacity(ev.link, graph_.link(ev.link).capacity_gbps *
-                                      ev.factor);
-      if (controller_ != nullptr) controller_->OnCapacityChange();
-      // Delays are untouched: the stretch denominators stay valid.
-      break;
     case ScenarioEvent::Type::kDemandSurge:
-      // Handled by EpochSegment; the demand delta flows into the LP warm.
       break;
   }
+  return out;
+}
+
+void ScenarioEngine::ApplyMask(const std::vector<LinkId>& links, bool down) {
+  // Every member flips before any consumer observes the graph, then the
+  // driver hears about the whole group ONCE: batch KSP eviction plus a
+  // single LP dirty-mark for the controller (the dual repair sees one epoch
+  // delta), one grouped eviction — or one Clear — for scheme drivers.
+  graph_.SetLinksDown(links, down);
+  if (controller_ != nullptr) {
+    if (down) {
+      controller_->OnLinksDown(links);
+    } else {
+      controller_->OnLinksUp(links);
+    }
+  } else {
+    if (down) {
+      scheme_ksp_evictions_ += cache_.InvalidateLinks(links);
+    } else {
+      cache_.Clear();
+    }
+  }
+  sp_dirty_ = true;
+}
+
+size_t ScenarioEngine::UpdateAdaptiveDemand(const ReplayResult& replay,
+                                            const RoutingOutcome& outcome) {
+  const AdaptiveDemandOptions& ad = opts_.adaptive;
+  const PathStore& store = *outcome.store;
+  size_t backoffs = 0;
+  size_t n = std::min(demand_scale_.size(), outcome.allocations.size());
+  for (size_t a = 0; a < n; ++a) {
+    // The congestion signal: the worst realized queueing on any link this
+    // aggregate's placed paths cross — what its flows actually felt.
+    double queue_ms = 0;
+    for (const PathAllocation& pa : outcome.allocations[a]) {
+      if (pa.fraction <= 1e-9) continue;
+      for (LinkId l : store.Links(pa.path)) {
+        queue_ms =
+            std::max(queue_ms, replay.links[static_cast<size_t>(l)].max_queue_ms);
+      }
+    }
+    double& scale = demand_scale_[a];
+    if (queue_ms > ad.queue_threshold_ms) {
+      // Multiplicative decrease, with CUBIC's fast-convergence tweak: a
+      // backoff from below the previous w_max shrinks the remembered
+      // target, so repeated congestion hunts downward.
+      cubic_wmax_[a] =
+          scale < cubic_wmax_[a] ? scale * (2.0 - ad.beta) / 2.0 : scale;
+      scale = std::max(ad.floor, scale * ad.beta);
+      cubic_epochs_[a] = 0;
+      ++backoffs;
+    } else if (scale < 1.0) {
+      // Cubic recovery: concave toward w_max, convex probing past it, never
+      // above the full offered rate. max(scale, w) keeps the early flat
+      // part of the curve from moving the scale backwards.
+      ++cubic_epochs_[a];
+      double t = static_cast<double>(cubic_epochs_[a]);
+      double k = std::cbrt(cubic_wmax_[a] * (1.0 - ad.beta) / ad.cubic_c);
+      double w = ad.cubic_c * (t - k) * (t - k) * (t - k) + cubic_wmax_[a];
+      scale = std::min(1.0, std::max(scale, std::max(ad.floor, w)));
+    }
+  }
+  return backoffs;
 }
 
 std::vector<std::vector<double>> ScenarioEngine::EpochSegment(
@@ -253,6 +426,12 @@ std::vector<std::vector<double>> ScenarioEngine::EpochSegment(
       if (epoch < ev.epoch || epoch >= ev.epoch + ev.duration_epochs) continue;
       if (ev.aggregate >= 0 && static_cast<size_t>(ev.aggregate) != a) continue;
       for (double& v : segment[a]) v *= ev.factor;
+    }
+    // Closed-loop demand (PR 10): the aggregate's current CUBIC scale —
+    // updated at the end of each epoch from the realized queueing — shapes
+    // what it actually transmits next epoch. Off: demand_scale_ is empty.
+    if (a < demand_scale_.size() && demand_scale_[a] != 1.0) {
+      for (double& v : segment[a]) v *= demand_scale_[a];
     }
   }
   return segment;
@@ -289,6 +468,10 @@ ScenarioReport ScenarioEngine::Run() {
     if (!EventValid(ev)) ++report.invalid_events;
   }
   std::vector<char> applied(scenario_.events.size(), 0);
+  // First epoch each event actually changed something — the reconvergence
+  // scan starts there, not at the nominal epoch (a maintenance window's
+  // disruption starts at its drain epoch, one before `epoch`).
+  std::vector<int> first_applied(scenario_.events.size(), -1);
 
   auto fault_active = [&](int epoch) {
     for (const FaultWindow& fw : scenario_.faults) {
@@ -321,28 +504,77 @@ ScenarioReport ScenarioEngine::Run() {
         if (EventValid(ev)) applied[i] = 1;
         continue;
       }
-      if (ev.epoch != e || !EventValid(ev)) continue;
-      // No-op-with-report: a LinkDown on an already-masked link or a LinkUp
-      // on a link that is up would re-apply state the engine already holds
-      // — skipping keeps the epoch's inputs unchanged, so it is not marked
-      // an event epoch for it.
-      bool redundant =
-          (ev.type == ScenarioEvent::Type::kLinkDown &&
-           graph_.IsLinkDown(ev.link)) ||
-          (ev.type == ScenarioEvent::Type::kLinkUp &&
-           !graph_.IsLinkDown(ev.link));
-      if (redundant) {
-        ++report.redundant_events;
+      if (!EventValid(ev)) continue;
+      if (ev.type == ScenarioEvent::Type::kCapacityScale) {
+        if (ev.epoch != e) continue;
+        // Fault site: the event is lost before reaching the topology (a
+        // controller that missed a provisioning notification).
+        if (LDR_FAILPOINT("scenario.drop_event")) {
+          ++report.dropped_events;
+          continue;
+        }
+        graph_.SetCapacity(ev.link,
+                           graph_.link(ev.link).capacity_gbps * ev.factor);
+        if (controller_ != nullptr) controller_->OnCapacityChange();
+        // Delays are untouched: the stretch denominators stay valid.
+        applied[i] = 1;
+        if (first_applied[i] < 0) first_applied[i] = e;
+        event_fired = true;
         continue;
       }
-      // Fault site: the event is lost before reaching the topology (a
-      // controller that missed a link-state notification).
+      // Link-group events: a singleton flap direction, an SRLG cut, a node
+      // failure, or a maintenance window's drain/restore edge. Maintenance
+      // fires twice — the mask at the drain epoch (one before the nominal
+      // outage, clamped to 0: the pre-move head start), the restore at the
+      // window's end; a restore past the timeline simply never fires.
+      bool down;
+      if (ev.type == ScenarioEvent::Type::kMaintenance) {
+        int drain = std::max(0, ev.epoch - 1);
+        int restore = ev.epoch + ev.duration_epochs;
+        if (e == drain) {
+          down = true;
+        } else if (e == restore) {
+          down = false;
+        } else {
+          continue;
+        }
+      } else {
+        if (ev.epoch != e) continue;
+        down = ev.type == ScenarioEvent::Type::kLinkDown ||
+               ev.type == ScenarioEvent::Type::kSrlgDown ||
+               ev.type == ScenarioEvent::Type::kNodeDown;
+      }
+      // Partial-redundancy semantics (PR 10): a grouped event some of whose
+      // members are already in the target state applies the LIVE subset and
+      // reports the rest, link by link — not the old all-or-nothing per-link
+      // call sequence. Fully-redundant events stay no-ops: not applied, not
+      // epoch-marking, no reconvergence entry.
+      std::vector<LinkId> group = EventLinks(ev);
+      std::vector<LinkId> live;
+      live.reserve(group.size());
+      for (LinkId l : group) {
+        if (graph_.IsLinkDown(l) != down) live.push_back(l);
+      }
+      report.redundant_events += group.size() - live.size();
+      if (live.empty()) continue;
+      // Fault site: the whole notification is lost before reaching the
+      // topology (a controller that missed a link-state notification).
       if (LDR_FAILPOINT("scenario.drop_event")) {
-        ++report.dropped_events;
+        report.dropped_events += live.size();
         continue;
       }
-      ApplyEvent(ev);
+      // Fault site: a grouped notification arrives PARTIALLY — only a
+      // prefix of the live members reaches the topology this epoch (an SRLG
+      // inventory that maps the conduit to a subset of its fibers). The
+      // lost members count as dropped.
+      if (live.size() > 1 && LDR_FAILPOINT("scenario.srlg_partial")) {
+        size_t keep = (live.size() + 1) / 2;
+        report.dropped_events += live.size() - keep;
+        live.resize(keep);
+      }
+      ApplyMask(live, down);
       applied[i] = 1;
+      if (first_applied[i] < 0) first_applied[i] = e;
       event_fired = true;
     }
     bool surge_changed = active_surges(e) != active_surges(e - 1);
@@ -357,6 +589,12 @@ ScenarioReport ScenarioEngine::Run() {
     ScenarioEpochReport er;
     er.epoch = e;
     er.event_epoch = event_fired || surge_changed;
+    if (!demand_scale_.empty()) {
+      // The scale in effect for THIS epoch's segment (updated below, after
+      // the replay, for the next one).
+      er.demand_scale_min =
+          *std::min_element(demand_scale_.begin(), demand_scale_.end());
+    }
 
     LdrControllerResult ctrl;
     RoutingOutcome scheme_outcome;
@@ -412,6 +650,11 @@ ScenarioReport ScenarioEngine::Run() {
         ReplayTraffic(graph_, working, *outcome, segment, opts_.replay);
     er.worst_queue_ms = replay.worst_queue_ms;
     er.links_with_queueing = replay.links_with_queueing;
+    if (!demand_scale_.empty()) {
+      // Close the loop: next epoch's segment scales react to this epoch's
+      // realized queueing (multiplicative backoff / cubic probe).
+      er.backoff_aggregates = UpdateAdaptiveDemand(replay, *outcome);
+    }
 
     AllocationMap cur_alloc = FlattenAllocations(outcome->allocations);
     er.route_churn = e == 0 ? 0.0 : RouteChurn(prev_alloc, cur_alloc);
@@ -458,11 +701,15 @@ ScenarioReport ScenarioEngine::Run() {
     ScenarioEventReport evr;
     evr.event = ev;
     double ms = 0;
-    for (int e = ev.epoch; e < scenario_.epochs; ++e) {
+    // Surges apply through EpochSegment from their nominal epoch; every
+    // other applied event recorded where it first changed the topology
+    // (the drain epoch for maintenance windows).
+    int start = first_applied[i] >= 0 ? first_applied[i] : ev.epoch;
+    for (int e = start; e < scenario_.epochs; ++e) {
       const ScenarioEpochReport& er = report.epochs[static_cast<size_t>(e)];
       ms += er.solve_ms;
       if (er.multiplex_ok && er.congested_fraction == 0) {
-        evr.reconverge_epochs = e - ev.epoch;
+        evr.reconverge_epochs = e - start;
         evr.reconverge_ms = ms;
         break;
       }

@@ -37,6 +37,23 @@ namespace ldr {
 
 // One operational event, applied at the start of its epoch, before that
 // epoch's reconfiguration — the controller re-optimizes *in response*.
+//
+// The singleton link events take one directed link each (a cable flap is
+// two of them per direction; see AddLinkFlap). The correlated types (PR 10)
+// expand to a *group* of directed links applied atomically — every member
+// masked/restored before the controller hears about any of them, and the
+// whole group delivered as one batched delta (LdrController::OnLinksDown /
+// OnLinksUp), so the repair path sees one epoch delta, not N:
+//
+//   kSrlgDown/kSrlgUp  every cable of Scenario::srlgs[srlg], both directions
+//                      (a conduit cut takes every fiber sharing it)
+//   kNodeDown/kNodeUp  every link incident to `node` (Graph::IncidentLinks)
+//   kMaintenance       the cable of `link`, both directions, masked at the
+//                      *drain* epoch `epoch - 1` (clamped to 0) and restored
+//                      at `epoch + duration_epochs`. The drain epoch is the
+//                      scheduled head start: the controller pre-moves
+//                      traffic off the cable one epoch before the nominal
+//                      outage window [epoch, epoch + duration_epochs).
 struct ScenarioEvent {
   enum class Type {
     kLinkDown,       // mask `link` out of the topology
@@ -44,14 +61,33 @@ struct ScenarioEvent {
     kCapacityScale,  // multiply `link`'s capacity by `factor`
     kDemandSurge,    // multiply traffic of `aggregate` (-1: all) by `factor`
                      // for `duration_epochs` epochs
+    kSrlgDown,       // mask every member of SRLG `srlg` atomically
+    kSrlgUp,         // restore every member of SRLG `srlg` atomically
+    kNodeDown,       // mask every link incident to `node`
+    kNodeUp,         // restore every link incident to `node`
+    kMaintenance,    // scheduled cable outage with a drain epoch (see above)
   };
 
   Type type = Type::kLinkDown;
   int epoch = 0;
-  LinkId link = kInvalidLink;  // kLinkDown / kLinkUp / kCapacityScale
+  LinkId link = kInvalidLink;  // kLinkDown / kLinkUp / kCapacityScale /
+                               // kMaintenance (the cable's forward link)
   double factor = 1.0;         // kCapacityScale / kDemandSurge
-  int duration_epochs = 1;     // kDemandSurge
+  int duration_epochs = 1;     // kDemandSurge / kMaintenance
   int aggregate = -1;          // kDemandSurge; -1 = every aggregate
+  int srlg = -1;               // kSrlgDown / kSrlgUp: index into
+                               // Scenario::srlgs
+  NodeId node = kInvalidNode;  // kNodeDown / kNodeUp
+};
+
+// A shared-risk link group: cables that fail together because they share a
+// physical risk (one conduit, one amplifier hut, one landing station).
+// Members are directed link ids; expansion takes each member's cable — both
+// directions via CableLinks — so listing just the forward direction is
+// enough. Invalid member ids are skipped at expansion time.
+struct Srlg {
+  std::string name;
+  std::vector<LinkId> links;
 };
 
 // A deterministic fault-injection window (PR 6): the named util::Failpoint
@@ -87,12 +123,26 @@ struct Scenario {
   // scenarios — the engine then touches no failpoint state at all, keeping
   // the determinism contract exactly as before.
   std::vector<FaultWindow> faults;
+  // Shared-risk link groups referenced by kSrlgDown/kSrlgUp events.
+  std::vector<Srlg> srlgs;
 
   // Appends the canonical cable-flap event shape: kLinkDown at `down_epoch`
-  // and kLinkUp at `up_epoch` for `link` and (when the graph resolves one)
-  // its reverse direction — a physical cable failure takes both.
+  // and kLinkUp at `up_epoch` for every directed link of `link`'s cable
+  // (CableLinks) — a physical cable failure takes both directions.
   void AddLinkFlap(const Graph& graph, LinkId link, int down_epoch,
                    int up_epoch);
+
+  // Registers an SRLG and returns its index (the `srlg` field of
+  // kSrlgDown/kSrlgUp events).
+  int AddSrlg(std::string srlg_name, std::vector<LinkId> links);
+
+  // Appends a kSrlgDown at `down_epoch` plus the matching kSrlgUp at
+  // `up_epoch` for SRLG index `srlg`.
+  void AddSrlgOutage(int srlg, int down_epoch, int up_epoch);
+
+  // Appends a kNodeDown at `down_epoch` plus the matching kNodeUp at
+  // `up_epoch` for `node`.
+  void AddNodeOutage(NodeId node, int down_epoch, int up_epoch);
 };
 
 // Builds the constant-rate timeline used by the failure benches and tests:
@@ -153,6 +203,12 @@ struct ScenarioEpochReport {
   // ValidatePlacement verdict on the installed placement — the soak
   // harness' hard invariant; must be true every epoch, faulted or not.
   bool placement_valid = true;
+  // Closed-loop demand telemetry (PR 10; 1 / 0 when the adaptive model is
+  // off): the smallest per-aggregate demand scale in effect this epoch, and
+  // how many aggregates backed off *at the end of it* in response to the
+  // epoch's realized queueing.
+  double demand_scale_min = 1.0;
+  size_t backoff_aggregates = 0;
 };
 
 struct ScenarioEventReport {
@@ -210,6 +266,23 @@ struct ScenarioReport {
   // Max route_churn over event-free, fault-free epochs (>0 means placements
   // drift without operational cause).
   double EventFreeChurnMax() const;
+
+  // Survivability telemetry (PR 10) — the per-campaign quantities the
+  // survivability bench aggregates.
+  //
+  // Fraction of epochs with a *clean* placement: installed placement valid
+  // and no aggregate congested. 1.0 on an undisturbed run; every epoch a
+  // correlated failure pushes into congestion or ladder territory lowers it.
+  double Availability() const;
+  // Highest fallback-ladder rung that produced any epoch's placement.
+  FallbackRung MaxFallbackRung() const;
+  // reconverge_epochs of every applied event, in event order (-1 entries =
+  // never reconverged within the scenario) — the reconvergence distribution.
+  std::vector<int> ReconvergeEpochs() const;
+  // Worst optimizer-view congestion across epochs (max congested_fraction).
+  double WorstCongestedFraction() const;
+  // Worst realized queueing across epochs (max worst_queue_ms).
+  double WorstQueueMs() const;
 };
 
 // True when two runs of the same scenario installed bitwise-identical
@@ -221,6 +294,26 @@ struct ScenarioReport {
 // canonicalization epoch after them rebuilds cold and is compared bitwise.
 bool PlacementParity(const ScenarioReport& a, const ScenarioReport& b);
 
+// Closed-loop demand model (PR 10): aggregates react to the *realized*
+// queueing the replay measures, instead of following the fixed timeline.
+// CUBIC-shaped (the TCP congestion-avoidance curve): an aggregate whose
+// paths saw queueing beyond `queue_threshold_ms` last epoch multiplicatively
+// backs its sending scale off by `beta` (remembering the scale that
+// congested as w_max), then probes back along the cubic curve
+// w(t) = c * (t - K)^3 + w_max with K = cbrt(w_max * (1 - beta) / c) —
+// concave recovery toward w_max, then convex probing beyond it, capped at
+// the full offered rate (scale 1). Off by default: the fixed-timeline
+// benches and their stationarity invariants (EventFreeChurnMax == 0) are
+// untouched. Fully deterministic — the scale update is a pure function of
+// the epoch's replay, so campaign replays stay bitwise-identical.
+struct AdaptiveDemandOptions {
+  bool enabled = false;
+  double beta = 0.7;              // multiplicative backoff factor
+  double cubic_c = 0.05;          // curve aggressiveness (scale / epoch^3)
+  double queue_threshold_ms = 1;  // realized queueing that signals congestion
+  double floor = 0.1;             // scale never drops below this
+};
+
 struct ScenarioEngineOptions {
   LdrControllerOptions controller;
   // Empty: drive the full LDR controller loop. Otherwise a MakeScheme id
@@ -231,6 +324,7 @@ struct ScenarioEngineOptions {
   // the A/B baseline proving warm epochs change nothing but solve time.
   bool incremental = true;
   ReplayOptions replay;
+  AdaptiveDemandOptions adaptive;
 };
 
 class ScenarioEngine {
@@ -249,8 +343,21 @@ class ScenarioEngine {
 
  private:
   bool EventValid(const ScenarioEvent& ev) const;
-  void ApplyEvent(const ScenarioEvent& ev);
+  // The directed links a link-group event masks or restores (deduplicated;
+  // empty for surge/capacity events). Singleton link events stay single-
+  // direction — AddLinkFlap already emits both directions as two events.
+  std::vector<LinkId> EventLinks(const ScenarioEvent& ev) const;
+  // Masks (`down`) or restores every link of the group atomically, then
+  // delivers ONE batched delta to the driver (LdrController::OnLinksDown /
+  // OnLinksUp, or grouped KSP invalidation for scheme drivers).
+  void ApplyMask(const std::vector<LinkId>& links, bool down);
   std::vector<std::vector<double>> EpochSegment(int epoch) const;
+  // End-of-epoch closed-loop demand update (see AdaptiveDemandOptions):
+  // attributes the replay's per-link queueing to the aggregates whose paths
+  // cross those links and moves each aggregate's scale along the CUBIC
+  // curve. Returns how many aggregates backed off.
+  size_t UpdateAdaptiveDemand(const ReplayResult& replay,
+                              const RoutingOutcome& outcome);
 
   Scenario scenario_;
   ScenarioEngineOptions opts_;
@@ -262,6 +369,10 @@ class ScenarioEngine {
   std::vector<double> sp_delay_ms_;             // refreshed on mask changes
   bool sp_dirty_ = true;
   size_t scheme_ksp_evictions_ = 0;  // scheme driver's LinkDown evictions
+  // Closed-loop demand state (AdaptiveDemandOptions; empty when disabled).
+  std::vector<double> demand_scale_;     // current per-aggregate scale
+  std::vector<double> cubic_wmax_;       // scale at the last congestion
+  std::vector<int> cubic_epochs_;        // epochs since the last backoff
 };
 
 }  // namespace ldr

@@ -28,6 +28,9 @@
 //                        (forces the primal phase-1 fallback path)
 //   ksp.empty            KspGenerator yields no *new* paths (prefix survives)
 //   scenario.drop_event  ScenarioEngine skips applying a topology event
+//   scenario.srlg_partial grouped event arrives truncated: only the first
+//                        half (rounded up) of the live member links is
+//                        applied, the rest counted dropped
 #ifndef LDR_UTIL_FAILPOINT_H_
 #define LDR_UTIL_FAILPOINT_H_
 

@@ -15,6 +15,7 @@
 #include "routing/ldr_controller.h"
 #include "sim/scenario_engine.h"
 #include "topology/topology.h"
+#include "util/failpoint.h"
 
 namespace ldr {
 namespace {
@@ -404,6 +405,229 @@ TEST(ScenarioEngine, DemandSurgeStaysWarmAndRaisesDemand) {
             report.epochs[1].demand_total_gbps + 2.9);
   EXPECT_LT(report.epochs[5].demand_total_gbps,
             report.epochs[4].demand_total_gbps);
+}
+
+TEST(KspInvalidation, GroupedInvalidationCountsEachGeneratorOnce) {
+  // InvalidateLinks must evict exactly the generators crossing ANY member
+  // link — and count a generator crossing several members once, not once
+  // per member.
+  Topology t = FailoverNet();
+  Graph& g = t.graph;
+  KspCache cache(&g);
+  KspGenerator* gab = cache.Get(0, 1);
+  // Produce A-B (crosses link 0) AND A-C-B (crosses link 4): the (A,B)
+  // generator crosses both members of the group below.
+  ASSERT_NE(gab->GetId(1), kInvalidPathId);
+  KspGenerator* gcd = cache.Get(2, 3);  // C->D: crosses neither
+  ASSERT_NE(gcd->GetId(0), kInvalidPathId);
+  ASSERT_EQ(cache.size(), 2u);
+
+  g.SetLinksDown({0, 4}, true);
+  EXPECT_EQ(cache.InvalidateLinks({0, 4}), 1u);  // (A,B) once, not twice
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(2, 3), gcd);  // survivor kept warm
+
+  // The rebuilt generator produces only mask-valid paths.
+  KspGenerator* fresh = cache.Get(0, 1);
+  for (size_t k = 0;; ++k) {
+    PathId p = fresh->GetId(k);
+    if (p == kInvalidPathId) break;
+    EXPECT_FALSE(cache.store()->ContainsLink(p, 0));
+    EXPECT_FALSE(cache.store()->ContainsLink(p, 4));
+  }
+}
+
+TEST(ScenarioEngine, SrlgOutageMasksAllMembersAtomically) {
+  // An SRLG over the A-C and C-B cables takes the whole detour in one
+  // event: during the outage only the direct A-B cable can carry A<->B
+  // traffic, and the event must land as ONE batched delta (one dual-repair
+  // epoch under warm restarts, not one per member link).
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "srlg-conduit";
+  s.epochs = 10;
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  int srlg = s.AddSrlg("detour-conduit", {2, 4});  // A-C and C-B cables
+  s.AddSrlgOutage(srlg, 3, 6);
+
+  ScenarioEngine engine(t, s);
+  ScenarioReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 10u);
+  const bool wr = WarmRestartOn();
+  for (const ScenarioEpochReport& er : report.epochs) {
+    EXPECT_EQ(er.event_epoch, er.epoch == 3 || er.epoch == 6);
+    // One grouped delta: exactly the event epochs are dual-repaired.
+    EXPECT_EQ(er.dual_repair, wr && (er.epoch == 3 || er.epoch == 6));
+    EXPECT_TRUE(er.placement_valid) << "epoch " << er.epoch;
+    // The direct cable has room for both aggregates.
+    EXPECT_EQ(er.congested_fraction, 0.0) << "epoch " << er.epoch;
+  }
+  EXPECT_EQ(report.dual_repair_epochs, wr ? 2u : 0u);
+  // Down + up, each applied once, each reconverged.
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_EQ(report.events[0].event.type, ScenarioEvent::Type::kSrlgDown);
+  EXPECT_EQ(report.events[1].event.type, ScenarioEvent::Type::kSrlgUp);
+  for (const ScenarioEventReport& evr : report.events) {
+    EXPECT_GE(evr.reconverge_epochs, 0);
+  }
+  EXPECT_EQ(report.redundant_events, 0u);
+  EXPECT_EQ(engine.graph().DownLinkCount(), 0u);
+}
+
+TEST(ScenarioEngine, NodeOutageAppliesLiveSubsetOfIncidentLinks) {
+  // Node C fails while one of its incident links (A->C) is already masked
+  // by an earlier singleton event: the grouped apply must mask the LIVE
+  // subset (partial redundancy — the overlap is reported, not grounds to
+  // reject the event), and the restore must bring back everything,
+  // including the link the singleton event downed.
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "node-outage";
+  s.epochs = 10;
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  ScenarioEvent pre;
+  pre.type = ScenarioEvent::Type::kLinkDown;
+  pre.epoch = 2;
+  pre.link = 2;  // A->C, incident to C
+  s.events.push_back(pre);
+  s.AddNodeOutage(2, 3, 6);  // node C: links 2,3,4,5,6,7
+
+  ScenarioEngine engine(t, s);
+  ScenarioReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 10u);
+  // The node-down group is 6 links, of which A->C is already masked: one
+  // redundant member, five applied live.
+  EXPECT_EQ(report.redundant_events, 1u);
+  EXPECT_EQ(report.invalid_events, 0u);
+  // All three events applied and reconverged (A<->B rides the direct cable
+  // throughout, so recovery is immediate).
+  ASSERT_EQ(report.events.size(), 3u);
+  for (const ScenarioEventReport& evr : report.events) {
+    EXPECT_GE(evr.reconverge_epochs, 0);
+  }
+  for (const ScenarioEpochReport& er : report.epochs) {
+    EXPECT_TRUE(er.placement_valid) << "epoch " << er.epoch;
+  }
+  // kNodeUp restores every incident link — including the one the singleton
+  // kLinkDown masked (it has no matching kLinkUp of its own).
+  EXPECT_EQ(engine.graph().DownLinkCount(), 0u);
+}
+
+TEST(ScenarioEngine, MaintenanceDrainsOneEpochBeforeTheWindow) {
+  // A maintenance window on the direct A-B cable, nominally [4, 6): the
+  // mask must land at the drain epoch 3 — the controller's scheduled head
+  // start — and lift at 6. A second window whose restore lands past the
+  // timeline must leave the cable masked at scenario end.
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "maintenance";
+  s.epochs = 10;
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  ScenarioEvent mw;
+  mw.type = ScenarioEvent::Type::kMaintenance;
+  mw.epoch = 4;
+  mw.link = 0;  // the A-B cable, both directions via CableLinks
+  mw.duration_epochs = 2;
+  s.events.push_back(mw);
+
+  ScenarioEngine engine(t, s);
+  ScenarioReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 10u);
+  for (const ScenarioEpochReport& er : report.epochs) {
+    // Drain at 3 (= 4 - 1), restore at 6 (= 4 + 2); the nominal window
+    // start itself is not an event epoch — the traffic already moved.
+    EXPECT_EQ(er.event_epoch, er.epoch == 3 || er.epoch == 6)
+        << "epoch " << er.epoch;
+    EXPECT_TRUE(er.placement_valid) << "epoch " << er.epoch;
+    EXPECT_EQ(er.congested_fraction, 0.0) << "epoch " << er.epoch;
+  }
+  // The drain moved traffic off the cable (churn at 3), and reconvergence
+  // is measured from the drain epoch.
+  EXPECT_GT(report.epochs[3].route_churn, 0.0);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_GE(report.events[0].reconverge_epochs, 0);
+  EXPECT_EQ(engine.graph().DownLinkCount(), 0u);
+
+  // Restore past the timeline: masked at drain epoch 7, never restored.
+  Scenario open_ended = s;
+  open_ended.events[0].epoch = 8;
+  open_ended.events[0].duration_epochs = 5;  // restore at 13 > last epoch
+  ScenarioEngine engine2(t, open_ended);
+  ScenarioReport r2 = engine2.Run();
+  EXPECT_TRUE(r2.epochs[7].event_epoch);
+  EXPECT_EQ(engine2.graph().DownLinkCount(), 2u);  // both directions masked
+}
+
+TEST(ScenarioEngine, SrlgPartialFailpointKeepsTheLivePrefix) {
+  // The scenario.srlg_partial failpoint models a correlated event arriving
+  // truncated: only the first half (rounded up) of the live subset is
+  // applied, the rest is counted dropped. Down group {2,3,4,5} -> 2 masked,
+  // 2 dropped; up group live {2,3} -> 1 restored, 1 dropped — so one link
+  // stays masked at scenario end and the books must say exactly that.
+  Topology t = FailoverNet();
+  Scenario s;
+  s.name = "srlg-partial";
+  s.epochs = 10;
+  s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0)};
+  s.series_100ms = ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+  int srlg = s.AddSrlg("detour-conduit", {2, 4});
+  s.AddSrlgOutage(srlg, 3, 6);
+
+  util::Failpoint::Activate("scenario.srlg_partial");
+  ScenarioEngine engine(t, s);
+  ScenarioReport report = engine.Run();
+  util::Failpoint::Deactivate("scenario.srlg_partial");
+
+  // Down: live {2,3,4,5}, keep {2,3}, drop 2. Up: live {2,3}, keep {2},
+  // drop 1. The up group's 4,5 members were never masked: redundant 2.
+  EXPECT_EQ(report.dropped_events, 3u);
+  EXPECT_EQ(report.redundant_events, 2u);
+  EXPECT_EQ(engine.graph().DownLinkCount(), 1u);
+  ASSERT_EQ(report.events.size(), 2u);  // both applied (their live prefix)
+  for (const ScenarioEpochReport& er : report.epochs) {
+    EXPECT_TRUE(er.placement_valid) << "epoch " << er.epoch;
+  }
+}
+
+TEST(ScenarioEngine, GroupedEventDualRepairReconvergesToColdArm) {
+  // The DualRepairedEpochsReconvergeToColdHashes contract for a GROUPED
+  // delta: an SRLG cut repaired in place via one dual warm restart must
+  // place bitwise like the warm_restart=false baseline outside the 2-epoch
+  // [event, event+1] canonicalization windows. The *_cold_warm ctest
+  // re-registration runs this under LDR_LP_WARM=cold as well.
+  Topology t = FailoverNet();
+  auto make_scenario = [&]() {
+    Scenario s;
+    s.name = "srlg-ab";
+    s.epochs = 10;
+    s.aggregates = {MakeAgg(0, 1, 3.0), MakeAgg(1, 0, 2.0),
+                    MakeAgg(2, 3, 1.0)};
+    s.series_100ms =
+        ConstantScenarioTraffic(s.aggregates, s.epochs, s.epoch_sec);
+    int srlg = s.AddSrlg("detour-conduit", {2, 4});
+    s.AddSrlgOutage(srlg, 3, 6);
+    return s;
+  };
+  ScenarioEngineOptions dual;
+  ScenarioEngineOptions baseline;
+  baseline.controller.routing.lp.warm_restart = false;
+  ScenarioReport rd = ScenarioEngine(t, make_scenario(), dual).Run();
+  ScenarioReport rb = ScenarioEngine(t, make_scenario(), baseline).Run();
+  ASSERT_EQ(rd.epochs.size(), rb.epochs.size());
+  auto in_event_window = [](int e) {
+    return (e >= 3 && e <= 4) || (e >= 6 && e <= 7);
+  };
+  for (size_t e = 0; e < rd.epochs.size(); ++e) {
+    if (in_event_window(static_cast<int>(e))) continue;
+    EXPECT_EQ(rd.epochs[e].allocation_hash, rb.epochs[e].allocation_hash)
+        << "epoch " << e;
+  }
+  EXPECT_EQ(rd.dual_repair_epochs, WarmRestartOn() ? 2u : 0u);
+  EXPECT_EQ(rb.dual_repair_epochs, 0u);
+  EXPECT_TRUE(PlacementParity(rd, rb));
 }
 
 TEST(ScenarioEngine, SchemeDriversSurviveFailures) {

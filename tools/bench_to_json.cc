@@ -66,6 +66,22 @@
 //                     warm/cold placement parity flag. Timings carry the
 //                     same invalid_single_core marker as thread_scaling on
 //                     1-core containers (scheduling noise, not a baseline).
+//   survivability     seeded correlated-failure campaigns (PR 10): SRLG
+//                     conduit cuts, node outages, maintenance windows with a
+//                     drain epoch, and cable flaps sampled deterministically
+//                     from (topology, seed) over a zoo-corpus slice, run
+//                     under LDR / B4 / SP with the closed-loop CUBIC demand
+//                     model engaged. Per driver: availability mean/min,
+//                     worst-case congestion and queueing, fallback-ladder
+//                     rung counts, and the reconvergence-epoch distribution
+//                     (p50 / max / never-reconverged). Two markers gated by
+//                     ci.sh --bench-smoke: valid_every_epoch (no campaign
+//                     epoch may install an invalid placement) and
+//                     survivability_parity (replaying a campaign from its
+//                     (topology, seed) is bitwise-identical — the per-epoch
+//                     placement-hash chain must match). Smoke mode shrinks
+//                     the slice (2 topologies x 2 seeds vs 8 x 5) but
+//                     computes both markers for real.
 //   degradation       the fig21 fixture re-run with deterministic fault
 //                     windows (PR 6): lp.iter_limit and ksp.empty injected
 //                     mid-outage, against a fault-free control run. Records
@@ -94,6 +110,7 @@
 #include "bench/failure_scenario.h"
 #include "bench/lp_shapes.h"
 #include "routing/lp_routing.h"
+#include "sim/campaign.h"
 #include "sim/corpus_runner.h"
 #include "sim/scenario_engine.h"
 #include "sim/workload.h"
@@ -633,6 +650,105 @@ DegradationBench BenchDegradation() {
   return out;
 }
 
+// --- survivability ----------------------------------------------------------
+
+struct DriverSurvivability {
+  std::string driver;
+  size_t campaigns = 0;
+  double availability_mean = 0;
+  double availability_min = 1;
+  double worst_congestion = 0;
+  double worst_queue_ms = 0;
+  std::array<size_t, 5> rung_counts{};  // summed over campaigns
+  std::vector<int> reconverge;          // every applied event's epochs
+  size_t never_reconverged = 0;         // -1 entries split out
+  size_t events_applied = 0;
+  double min_demand_scale = 1;
+  bool valid_every_epoch = true;
+  int reconverge_p50() const {
+    if (reconverge.empty()) return 0;
+    std::vector<int> sorted = reconverge;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  }
+  int reconverge_max() const {
+    return reconverge.empty()
+               ? 0
+               : *std::max_element(reconverge.begin(), reconverge.end());
+  }
+};
+
+struct SurvivabilityBench {
+  size_t topologies = 0;
+  uint64_t seeds = 0;
+  int epochs_per_campaign = 0;
+  std::vector<DriverSurvivability> drivers;
+  bool valid_every_epoch = true;
+  // Replay identity: re-generating and re-running a campaign from its
+  // (topology, seed) reproduces the exact per-epoch placement-hash chain.
+  bool survivability_parity = true;
+};
+
+// Seeded correlated-failure campaigns over a corpus slice, LDR vs B4 vs SP.
+// Availability / congestion / reconvergence are telemetry; the two markers
+// (valid_every_epoch, survivability_parity) are correctness and computed for
+// real in smoke mode too — on the reduced slice.
+SurvivabilityBench BenchSurvivability(bool smoke) {
+  SurvivabilityBench out;
+  const uint64_t seeds = smoke ? 2 : 5;
+  std::vector<Topology> corpus = SurvivabilityCorpus(smoke ? 2 : 8);
+  out.topologies = corpus.size();
+  out.seeds = seeds;
+  out.epochs_per_campaign = CampaignOptions{}.epochs;
+  // The LDR sweep's seed-1 hash per topology, replayed below for parity.
+  std::vector<uint64_t> ldr_seed1_hash;
+  for (const char* id : {"", "B4", "SP"}) {
+    DriverSurvivability d;
+    d.driver = *id != '\0' ? id : "LDR";
+    double avail_sum = 0;
+    for (const Topology& topo : corpus) {
+      for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        CampaignRunResult r = RunCampaign(topo, seed, id);
+        ++d.campaigns;
+        avail_sum += r.availability;
+        d.availability_min = std::min(d.availability_min, r.availability);
+        d.worst_congestion = std::max(d.worst_congestion, r.worst_congestion);
+        d.worst_queue_ms = std::max(d.worst_queue_ms, r.worst_queue_ms);
+        for (size_t rung = 0; rung < r.fallback_counts.size(); ++rung) {
+          d.rung_counts[rung] += r.fallback_counts[rung];
+        }
+        for (int e : r.reconverge_epochs) {
+          if (e < 0) {
+            ++d.never_reconverged;
+          } else {
+            d.reconverge.push_back(e);
+          }
+        }
+        d.events_applied += r.events_applied;
+        d.min_demand_scale = std::min(d.min_demand_scale, r.min_demand_scale);
+        d.valid_every_epoch = d.valid_every_epoch && r.valid_every_epoch;
+        if (*id == '\0' && seed == 1) {
+          ldr_seed1_hash.push_back(r.placement_hash);
+        }
+      }
+    }
+    d.availability_mean =
+        d.campaigns > 0 ? avail_sum / static_cast<double>(d.campaigns) : 0;
+    out.valid_every_epoch = out.valid_every_epoch && d.valid_every_epoch;
+    out.drivers.push_back(std::move(d));
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    CampaignRunResult replay = RunCampaign(corpus[i], 1, "");
+    if (replay.placement_hash != ldr_seed1_hash[i]) {
+      out.survivability_parity = false;
+      std::fprintf(stderr,
+                   "bench_to_json: survivability replay mismatch on %s\n",
+                   corpus[i].name.c_str());
+    }
+  }
+  return out;
+}
+
 // --- lp_dual ----------------------------------------------------------------
 
 struct LpDualBench {
@@ -809,6 +925,11 @@ int main(int argc, char** argv) {
   // (warm_restart_parity), so it runs in smoke mode too.
   std::fprintf(stderr, "bench_to_json: lp_dual...\n");
   LpDualBench lp_dual = BenchLpDual();
+
+  // Correctness-gated too (valid_every_epoch, survivability_parity): smoke
+  // mode runs the reduced slice rather than skipping the section.
+  std::fprintf(stderr, "bench_to_json: survivability...\n");
+  SurvivabilityBench survivability = BenchSurvivability(smoke);
 
   std::vector<Topology> corpus;
   uint64_t allocation_refs = 0, unique_paths = 0;
@@ -989,9 +1110,41 @@ int main(int argc, char** argv) {
       lp_dual.bound_flips, lp_dual.warm_restart_solves);
   emit_reconverge("dual_reconverge_ms", lp_dual.dual_reconverge_ms, true);
   emit_reconverge("cold_reconverge_ms", lp_dual.cold_reconverge_ms, true);
-  std::fprintf(f, "    \"warm_restart_parity\": %s%s\n  }\n",
+  std::fprintf(f, "    \"warm_restart_parity\": %s%s\n  },\n",
                lp_dual.warm_restart_parity ? "true" : "false",
                single_core ? ", \"invalid_single_core\": true" : "");
+  // Availability / congestion are deterministic simulation outputs, not
+  // wall-clock, so the section carries no single-core marker.
+  std::fprintf(f,
+               "  \"survivability\": {\n"
+               "    \"topologies\": %zu, \"seeds\": %llu, "
+               "\"epochs_per_campaign\": %d,\n",
+               survivability.topologies,
+               static_cast<unsigned long long>(survivability.seeds),
+               survivability.epochs_per_campaign);
+  for (const DriverSurvivability& d : survivability.drivers) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\"campaigns\": %zu, \"availability_mean\": %.4f, "
+        "\"availability_min\": %.4f, \"worst_congestion\": %.4f, "
+        "\"worst_queue_ms\": %.1f, \"events_applied\": %zu, "
+        "\"reconverge_p50\": %d, \"reconverge_max\": %d, "
+        "\"never_reconverged\": %zu, \"rung_retry_refactor\": %zu, "
+        "\"rung_cold_rebuild\": %zu, \"rung_last_placement\": %zu, "
+        "\"rung_shortest_path\": %zu, \"min_demand_scale\": %.4f, "
+        "\"valid_every_epoch\": %s},\n",
+        d.driver.c_str(), d.campaigns, d.availability_mean,
+        d.availability_min, d.worst_congestion, d.worst_queue_ms,
+        d.events_applied, d.reconverge_p50(), d.reconverge_max(),
+        d.never_reconverged, d.rung_counts[1], d.rung_counts[2],
+        d.rung_counts[3], d.rung_counts[4], d.min_demand_scale,
+        d.valid_every_epoch ? "true" : "false");
+  }
+  std::fprintf(f,
+               "    \"valid_every_epoch\": %s,\n"
+               "    \"survivability_parity\": %s\n  }\n",
+               survivability.valid_every_epoch ? "true" : "false",
+               survivability.survivability_parity ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
@@ -1052,5 +1205,18 @@ int main(int argc, char** argv) {
       lp_dual.dual_event_median_ms, lp_dual.cold_event_median_ms,
       lp_dual.speedup(), lp_dual.dual_repair_epochs, lp_dual.dual_pivots,
       lp_dual.bound_flips, lp_dual.warm_restart_parity ? "yes" : "NO");
+  for (const DriverSurvivability& d : survivability.drivers) {
+    std::printf(
+        "survivability %-3s  %zu campaigns  avail %.3f (min %.3f)  "
+        "worst congestion %.3f  reconverge p50/max %d/%d (+%zu never)  "
+        "rungs r3/r4 %zu/%zu\n",
+        d.driver.c_str(), d.campaigns, d.availability_mean,
+        d.availability_min, d.worst_congestion, d.reconverge_p50(),
+        d.reconverge_max(), d.never_reconverged, d.rung_counts[3],
+        d.rung_counts[4]);
+  }
+  std::printf("survivability markers  valid_every_epoch %s  replay parity %s\n",
+              survivability.valid_every_epoch ? "yes" : "NO",
+              survivability.survivability_parity ? "yes" : "NO");
   return 0;
 }
